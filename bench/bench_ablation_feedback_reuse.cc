@@ -1,0 +1,101 @@
+// Ablation: feedback reuse via self-tuning DPC histograms (the paper's
+// Section II-C/VI extension, implemented in core/dpc_histogram.h).
+//
+// One monitored query per column "teaches" the column's page density;
+// subsequent queries with different bounds on the same column are then
+// optimized correctly on their FIRST execution — no further monitoring.
+// Compared against the exact-hint-only mode, where feedback applies solely
+// to the identical expression.
+
+#include "bench/bench_util.h"
+
+using namespace dpcf;
+using namespace dpcf::bench;
+
+namespace {
+
+struct ModeResult {
+  int correct_first_plans = 0;
+  double total_first_run_ms = 0;
+};
+
+ModeResult RunMode(SyntheticPair* pair, bool learn_histograms) {
+  FeedbackRunOptions options;
+  options.learn_dpc_histograms = learn_histograms;
+  FeedbackDriver driver(pair->db.get(), &pair->stats, options);
+
+  // Teach with one query per column at 2% selectivity.
+  const int cols[] = {kC2, kC3, kC4};
+  const int64_t n = pair->t->row_count();
+  for (int col : cols) {
+    SingleTableQuery teach;
+    teach.table = pair->t;
+    teach.count_star = true;
+    teach.count_col = kPadding;
+    teach.pred.Add(PredicateAtom::Int64(col, CmpOp::kLt, n / 50));
+    CheckOk(driver.RunSingleTable(teach).status(), "teach");
+  }
+
+  // Evaluate: different bounds (1%, 3%, 5%) per column; measure the cost
+  // of the plan chosen on first sight (no monitored re-run).
+  Optimizer opt(pair->db.get(), &pair->stats, driver.hints(),
+                SimCostParams(),
+                learn_histograms ? driver.dpc_histograms() : nullptr);
+  ModeResult out;
+  for (int col : cols) {
+    for (double sel : {0.01, 0.03, 0.05}) {
+      SingleTableQuery q;
+      q.table = pair->t;
+      q.count_star = true;
+      q.count_col = kPadding;
+      q.pred.Add(PredicateAtom::Int64(
+          col, CmpOp::kLt, static_cast<int64_t>(sel * n)));
+      AccessPathPlan plan = CheckOk(opt.OptimizeSingleTable(q), "opt");
+      out.correct_first_plans += plan.kind == AccessKind::kIndexSeek;
+
+      CheckOk(pair->db->ColdCache(), "cold");
+      ExecContext ctx(pair->db->buffer_pool());
+      PlanMonitorHooks none;
+      auto root = CheckOk(BuildSingleTableExec(plan, q, none), "build");
+      RunResult run = CheckOk(ExecutePlan(root.get(), &ctx), "run");
+      out.total_first_run_ms += run.stats.simulated_ms;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "== Ablation: feedback reuse via self-tuning DPC histograms ==\n\n");
+  std::printf(
+      "teach: 1 monitored query per column (C2/C3/C4 at 2%% sel);\n"
+      "probe: 9 NEW queries (different bounds, 1/3/5%% sel), first "
+      "execution only.\nThe index seek is the correct plan for 8-9 of "
+      "them (C4 at 5%% is borderline:\nits window-shuffled DPC is flat in "
+      "selectivity, which the proportional\ndensity model overestimates "
+      "— conservatively keeping the scan).\n\n");
+
+  TablePrinter table({"mode", "correct first plans", "total first-run ms"});
+  {
+    SyntheticPair pair = BuildSyntheticPair(false);
+    ModeResult exact = RunMode(&pair, /*learn_histograms=*/false);
+    table.AddRow({"exact-expression hints only",
+                  StrFormat("%d/9", exact.correct_first_plans),
+                  FormatDouble(exact.total_first_run_ms, 1)});
+  }
+  {
+    SyntheticPair pair = BuildSyntheticPair(false);
+    ModeResult learned = RunMode(&pair, /*learn_histograms=*/true);
+    table.AddRow({"+ DPC histograms (learned density)",
+                  StrFormat("%d/9", learned.correct_first_plans),
+                  FormatDouble(learned.total_first_run_ms, 1)});
+  }
+  table.Print();
+  std::printf(
+      "\nSUMMARY ablation_feedback_reuse: exact hints only help the "
+      "taught expression; learned densities transfer to new bounds on the "
+      "same column\n");
+  return 0;
+}

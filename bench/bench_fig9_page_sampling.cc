@@ -1,0 +1,96 @@
+// Figure 9: effectiveness of page sampling.
+//
+// Queries with a growing number of conjuncts; the relevant page counts of
+// all indexed sub-expressions are monitored with page samples of 1%, 10%
+// and 100% (full scan with short-circuiting off). Overhead is
+// (T_monitored - T)/T; accuracy is the worst relative DPC error across the
+// monitored expressions vs an exact raw-walk ground truth. Paper: full
+// evaluation becomes impractical as conjuncts grow; 1% sampling holds
+// around 2% overhead with max error ~0.5% (at 1.45M pages — our scaled
+// tables sample fewer pages, so the error band is wider).
+
+#include "bench/bench_util.h"
+#include "core/clustering_ratio.h"
+#include "core/monitor_manager.h"
+
+using namespace dpcf;
+using namespace dpcf::bench;
+
+int main() {
+  std::printf("== Figure 9: effectiveness of page sampling ==\n\n");
+  SyntheticPair pair = BuildSyntheticPair(false);
+
+  OptimizerHints hints;
+  Optimizer opt(pair.db.get(), &pair.stats, &hints);
+
+  const double fractions[] = {0.01, 0.10, 1.0};
+  TablePrinter table({"#preds", "f", "sim overhead", "wall overhead",
+                      "max DPC err", "exprs"});
+
+  for (int atoms = 1; atoms <= 8; ++atoms) {
+    SingleTableQuery query =
+        GenerateMultiPredicateQuery(pair.t, atoms, /*per_atom_sel=*/0.5,
+                                    /*seed=*/atoms);
+    AccessPathPlan scan;
+    scan.kind = AccessKind::kTableScan;
+    scan.table = pair.t;
+    scan.full_pred = query.pred;
+
+    // Unmonitored baseline.
+    CheckOk(pair.db->ColdCache(), "cold");
+    ExecContext ctx0(pair.db->buffer_pool());
+    PlanMonitorHooks none;
+    auto root0 =
+        CheckOk(BuildSingleTableExec(scan, query, none), "build baseline");
+    RunResult baseline =
+        CheckOk(ExecutePlan(root0.get(), &ctx0), "run baseline");
+
+    for (double f : fractions) {
+      MonitorOptions mopts;
+      mopts.scan_sample_fraction = f;
+      mopts.min_sampled_pages = 0;  // sweep f exactly, no floor
+      MonitorManager mm(pair.db.get(), mopts);
+      InstrumentedHooks hooks =
+          CheckOk(mm.ForSingleTable(scan, query), "hooks");
+
+      CheckOk(pair.db->ColdCache(), "cold");
+      ExecContext ctx(pair.db->buffer_pool());
+      auto root = CheckOk(BuildSingleTableExec(scan, query, hooks.hooks),
+                          "build monitored");
+      RunResult monitored =
+          CheckOk(ExecutePlan(root.get(), &ctx), "run monitored");
+
+      double sim_overhead =
+          (monitored.stats.simulated_ms - baseline.stats.simulated_ms) /
+          baseline.stats.simulated_ms;
+      double wall_overhead =
+          (monitored.stats.wall_ms - baseline.stats.wall_ms) /
+          std::max(baseline.stats.wall_ms, 1e-9);
+
+      // Exact ground truth per monitored expression.
+      double max_err = 0;
+      for (const MonitorRecord& m : monitored.stats.monitors) {
+        for (const MonitoredExpr& e : hooks.entries) {
+          if (e.label != m.label) continue;
+          ClusteringRatioResult truth = CheckOk(
+              ComputeClusteringRatio(pair.db->disk(), *pair.t, e.expr),
+              "truth");
+          double denom = std::max<double>(1, pair.t->page_count());
+          max_err = std::max(
+              max_err, std::abs(m.actual_dpc -
+                                static_cast<double>(truth.actual_pages)) /
+                           denom);
+        }
+      }
+      table.AddRow({std::to_string(atoms), FormatDouble(f, 2),
+                    Pct(sim_overhead), Pct(wall_overhead), Pct(max_err),
+                    std::to_string(monitored.stats.monitors.size())});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nSUMMARY fig9: overhead grows with #predicates at f=1.0 "
+      "(short-circuiting off for every row) and stays flat at f=0.01; "
+      "errors are relative to table pages\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Table I: databases used in the experiments — rows, pages, rows/page.
+//
+// Paper values (for shape comparison; our tables are scaled down):
+//   Book Retailer 10.8M rows / 403K pages / 27 rows-per-page
+//   Yellow Pages   1.0M / 25K / 39      TPC-H(10GB,Z=1)  60M / 1121K / 54
+//   Voter data     4.0M / 89K / 46      Products        0.56M / 65K / 9
+//   Synthetic      100M / 1450K / 80 (written as 1450/80 in scaled units)
+
+#include "bench/bench_util.h"
+
+using namespace dpcf;
+using namespace dpcf::bench;
+
+int main() {
+  std::printf("== Table I: databases used in experiments (scaled) ==\n\n");
+
+  DatabaseOptions db_opts;
+  db_opts.buffer_pool_pages = 8192;
+  Database db(db_opts);
+
+  TablePrinter table({"Database", "Rows", "Pages", "Rows/Page",
+                      "Paper Rows/Page"});
+
+  RealWorldOptions rw;
+  rw.scale = RealWorldScale();
+  rw.build_indexes = false;  // inventory only
+  auto datasets = CheckOk(BuildRealWorldDatabases(&db, rw), "realworld");
+  const char* paper_rpp[] = {"27", "39", "46", "9"};
+  int i = 0;
+  for (const DatasetInfo& info : datasets) {
+    table.AddRow({info.name, FormatCount(info.table->row_count()),
+                  FormatCount(info.table->page_count()),
+                  std::to_string(info.table->rows_per_page()),
+                  paper_rpp[i++]});
+  }
+
+  TpchLikeOptions tpch;
+  tpch.lineitem_rows = TpchRows();
+  tpch.build_indexes = false;
+  auto tables = CheckOk(BuildTpchLike(&db, tpch), "tpch");
+  table.AddRow({"tpch_lineitem (Z=1)",
+                FormatCount(tables.lineitem->row_count()),
+                FormatCount(tables.lineitem->page_count()),
+                std::to_string(tables.lineitem->rows_per_page()), "54"});
+  table.AddRow({"tpch_orders", FormatCount(tables.orders->row_count()),
+                FormatCount(tables.orders->page_count()),
+                std::to_string(tables.orders->rows_per_page()), "-"});
+
+  SyntheticOptions synth;
+  synth.num_rows = SyntheticRows();
+  synth.build_indexes = false;
+  Table* t = CheckOk(BuildSyntheticTable(&db, "T", synth), "synthetic");
+  table.AddRow({"synthetic T", FormatCount(t->row_count()),
+                FormatCount(t->page_count()),
+                std::to_string(t->rows_per_page()), "80"});
+
+  table.Print();
+  std::printf(
+      "\nSUMMARY table1: %d databases; synthetic rows/page=%u "
+      "(paper: 80; 100-byte tuples)\n",
+      6, t->rows_per_page());
+  return 0;
+}

@@ -1,0 +1,163 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+//
+// Scale knobs (environment variables):
+//   DPCF_ROWS      synthetic table rows           (default 400000)
+//   DPCF_SCALE     real-world dataset scale        (default 1.0)
+//   DPCF_TPCH_ROWS tpch-like lineitem rows         (default 240000)
+// Each binary prints the series of one paper table/figure as an aligned
+// text table plus a one-line SUMMARY, so `for b in build/bench/*; do $b;
+// done` regenerates the whole evaluation.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/feedback_driver.h"
+#include "sql/binder.h"
+#include "workload/query_gen.h"
+#include "workload/realworld.h"
+#include "workload/synthetic.h"
+#include "workload/tpch_like.h"
+
+namespace dpcf::bench {
+
+inline int64_t EnvInt(const char* name, int64_t def) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? def : std::atoll(v);
+}
+
+inline double EnvDouble(const char* name, double def) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? def : std::atof(v);
+}
+
+inline int64_t SyntheticRows() { return EnvInt("DPCF_ROWS", 400'000); }
+inline double RealWorldScale() { return EnvDouble("DPCF_SCALE", 1.0); }
+inline int64_t TpchRows() { return EnvInt("DPCF_TPCH_ROWS", 240'000); }
+
+/// Dies on error — benches have no meaningful recovery.
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what,
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T CheckOk(Result<T> result, const char* what) {
+  CheckOk(result.status(), what);
+  return std::move(result).value();
+}
+
+/// The synthetic pair: T (all indexes) and T1 (independent permutations,
+/// clustered-key index only), as the paper's join experiments require.
+struct SyntheticPair {
+  std::unique_ptr<Database> db;
+  Table* t = nullptr;
+  Table* t1 = nullptr;
+  StatisticsCatalog stats;
+};
+
+inline SyntheticPair BuildSyntheticPair(bool with_t1) {
+  SyntheticPair out;
+  DatabaseOptions db_opts;
+  db_opts.buffer_pool_pages = 4096;
+  out.db = std::make_unique<Database>(db_opts);
+  SyntheticOptions opts;
+  opts.num_rows = SyntheticRows();
+  opts.seed = 42;
+  out.t = CheckOk(BuildSyntheticTable(out.db.get(), "T", opts),
+                  "build synthetic T");
+  CheckOk(out.stats.BuildAll(out.db->disk(), *out.t), "stats T");
+  if (with_t1) {
+    SyntheticOptions o1 = opts;
+    o1.seed = 4242;  // independent permutations (see DESIGN.md)
+    o1.build_indexes = false;
+    out.t1 = CheckOk(BuildSyntheticTable(out.db.get(), "T1", o1),
+                     "build synthetic T1");
+    CheckOk(out.db->CreateIndex("T1_c1", "T1", std::vector<int>{kC1}, true)
+                .status(),
+            "T1 clustered index");
+    CheckOk(out.stats.BuildAll(out.db->disk(), *out.t1), "stats T1");
+  }
+  return out;
+}
+
+/// Aligned text-table printer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    std::vector<size_t> width(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      width[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      std::string line;
+      for (size_t c = 0; c < row.size(); ++c) {
+        line += row[c];
+        line.append(width[c] - row[c].size() + 2, ' ');
+      }
+      std::printf("%s\n", line.c_str());
+    };
+    print_row(headers_);
+    size_t total = 2 * headers_.size();
+    for (size_t w : width) total += w;
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Pct(double fraction) {
+  return FormatDouble(fraction * 100.0, 2) + "%";
+}
+
+inline const char* ColumnName(const Table& t, int col) {
+  return t.schema().column(static_cast<size_t>(col)).name.c_str();
+}
+
+/// Short plan label for figure rows ("TableScan", "IndexSeek(T_c3)", ...).
+/// Access-path Describe() strings look like "Kind(table, index[lo..hi])
+/// ..."; the second comma token is the index name.
+inline std::string ShortPlan(const std::string& describe) {
+  size_t cut = describe.find_first_of("([");
+  if (cut == std::string::npos) return describe;
+  std::string kind = describe.substr(0, cut);
+  if (kind == "IndexSeek" || kind == "IndexNestedLoopsJoin") {
+    size_t comma = describe.find(", ", cut);
+    size_t ix = comma == std::string::npos
+                    ? describe.find(" via ", cut)
+                    : comma + 2;
+    if (comma == std::string::npos && ix != std::string::npos) ix += 5;
+    if (ix != std::string::npos) {
+      size_t end = describe.find_first_of("[,) ", ix);
+      if (end != std::string::npos && end > ix) {
+        return kind + "(" + describe.substr(ix, end - ix) + ")";
+      }
+    }
+  }
+  return kind;
+}
+
+}  // namespace dpcf::bench

@@ -1,0 +1,112 @@
+// DBA diagnosis workflow (paper Section II-C): run the production query
+// with monitoring on, compare the optimizer's page-count estimates with the
+// observed values, inspect the clustering ratio, and print the plan hint a
+// DBA (or tuning tool) would apply.
+//
+//   build/examples/dba_diagnose
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "core/clustering_ratio.h"
+#include "core/monitor_manager.h"
+#include "exec/executor.h"
+#include "optimizer/optimizer.h"
+#include "sql/binder.h"
+#include "workload/realworld.h"
+
+using namespace dpcf;
+
+namespace {
+template <typename T>
+T Unwrap(Result<T> result) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+}  // namespace
+
+int main() {
+  Database db;
+  RealWorldOptions rw;
+  rw.scale = 0.5;
+  auto datasets = Unwrap(BuildRealWorldDatabases(&db, rw));
+  Table* orders = db.GetTable("book_retailer");
+  StatisticsCatalog stats;
+  if (!stats.BuildAll(db.disk(), *orders).ok()) return 1;
+
+  // The slow production query: orders of one fortnight. order_date is
+  // correlated with the load order (orders arrive daily).
+  const char* sql =
+      "SELECT COUNT(detail) FROM book_retailer "
+      "WHERE order_date >= 100 AND order_date <= 113";
+  BoundQuery query = Unwrap(BindSql(db, sql));
+  std::printf("diagnosing: %s\n\n", sql);
+
+  OptimizerHints hints;
+  Optimizer opt(&db, &stats, &hints);
+  std::printf("candidate plans (optimizer's view):\n");
+  auto paths = Unwrap(opt.EnumerateAccessPaths(query.single));
+  for (const AccessPathPlan& p : paths) {
+    std::printf("  %s\n", p.Describe().c_str());
+  }
+  AccessPathPlan chosen = Unwrap(opt.OptimizeSingleTable(query.single));
+  std::printf("chosen: %s\n\n", chosen.Signature().c_str());
+
+  // Execute with monitoring.
+  if (!db.ColdCache().ok()) return 1;
+  ExecContext ctx(db.buffer_pool());
+  MonitorManager mm(&db);
+  InstrumentedHooks hooks = Unwrap(mm.ForSingleTable(chosen, query.single));
+  OperatorPtr root =
+      Unwrap(BuildSingleTableExec(chosen, query.single, hooks.hooks));
+  RunResult run = Unwrap(ExecutePlan(root.get(), &ctx));
+
+  std::printf("execution feedback (est vs actual page counts):\n");
+  for (MonitorRecord& m : run.stats.monitors) {
+    // Attach the optimizer estimate for the same expression.
+    for (const MonitoredExpr& e : hooks.entries) {
+      if (e.label != m.label) continue;
+      double est_rows =
+          opt.cardinality().EstimateRows(*e.table, e.expr);
+      m.estimated_cardinality = est_rows;
+      m.estimated_dpc = opt.EstimateDpc(*e.table, e.expr, est_rows,
+                                        nullptr);
+      std::printf(
+          "  %-45s est %-9s actual %-9s error %.1fx [%s]\n",
+          m.expr_text.c_str(), FormatDouble(m.estimated_dpc, 0).c_str(),
+          FormatDouble(m.actual_dpc, 0).c_str(), m.DpcErrorFactor(),
+          m.mechanism.c_str());
+      // Clustering ratio: where between fully-correlated and scattered
+      // does this expression sit?
+      ClusteringRatioResult cr = Unwrap(
+          ComputeClusteringRatio(db.disk(), *e.table, e.expr));
+      std::printf(
+          "    clustering ratio %.3f (LB=%lld, N=%lld, UB=%lld)\n",
+          cr.ratio, static_cast<long long>(cr.lower_bound),
+          static_cast<long long>(cr.actual_pages),
+          static_cast<long long>(cr.upper_bound));
+    }
+  }
+
+  // The DBA's corrective action: inject the observed DPC and re-optimize.
+  std::printf("\napplying page-count hints and re-optimizing...\n");
+  for (const MonitorRecord& m : run.stats.monitors) {
+    hints.SetDpc(m.label, m.actual_dpc);
+  }
+  AccessPathPlan fixed = Unwrap(opt.OptimizeSingleTable(query.single));
+  std::printf("recommended plan: %s\n", fixed.Describe().c_str());
+  if (fixed.Signature() != chosen.Signature()) {
+    std::printf(
+        "=> plan hint: force %s (the optimizer's Yao estimate missed the "
+        "on-disk clustering by %.0fx)\n",
+        fixed.Signature().c_str(),
+        run.stats.monitors.empty() ? 0.0
+                                   : run.stats.monitors[0].DpcErrorFactor());
+  } else {
+    std::printf("=> current plan is already optimal; no hint needed\n");
+  }
+  return 0;
+}

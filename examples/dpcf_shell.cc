@@ -1,0 +1,195 @@
+// Interactive shell over a pre-loaded demo database: type SQL, get the
+// chosen plan, the result, and (with monitoring on) the statistics-xml
+// report with actual distinct page counts. Feedback accumulates across
+// statements, so re-running a query after a monitored execution shows the
+// corrected plan — the paper's loop, driven by hand.
+//
+//   build/examples/dpcf_shell <<'SQL'
+//   .tables
+//   SELECT COUNT(padding) FROM T WHERE C2 < 4000
+//   SELECT COUNT(padding) FROM T WHERE C2 < 4000
+//   SQL
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/string_util.h"
+#include "core/feedback_driver.h"
+#include "sql/binder.h"
+#include "workload/synthetic.h"
+
+using namespace dpcf;
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  <SQL>           run SELECT COUNT(...) FROM ... [JOIN ...] [WHERE]\n"
+      "  .tables         list tables and indexes\n"
+      "  .plan <SQL>     show candidate plans without executing\n"
+      "  .monitor on|off toggle page-count monitoring (default on)\n"
+      "  .feedback       dump the feedback store\n"
+      "  .help           this text\n");
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  SyntheticOptions opts;
+  opts.num_rows = 100'000;
+  auto t = BuildSyntheticTable(&db, "T", opts);
+  if (!t.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 t.status().ToString().c_str());
+    return 1;
+  }
+  SyntheticOptions o1 = opts;
+  o1.seed = 4242;
+  o1.build_indexes = false;
+  auto t1 = BuildSyntheticTable(&db, "T1", o1);
+  if (!t1.ok()) return 1;
+  if (!db.CreateIndex("T1_c1", "T1", std::vector<int>{kC1}, true).ok()) {
+    return 1;
+  }
+  StatisticsCatalog stats;
+  for (Table* table : db.catalog().Tables()) {
+    if (!stats.BuildAll(db.disk(), *table).ok()) return 1;
+  }
+  FeedbackDriver driver(&db, &stats, {});
+  bool monitor = true;
+
+  std::printf("dpcf shell — demo db loaded (T: %s rows, T1: copy).\n",
+              FormatCount((*t)->row_count()).c_str());
+  PrintHelp();
+
+  std::string line;
+  while (std::printf("dpcf> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line == ".help") {
+      PrintHelp();
+      continue;
+    }
+    if (line == ".tables") {
+      for (Table* table : db.catalog().Tables()) {
+        std::printf("  %s %s — %s rows, %s pages\n",
+                    table->name().c_str(),
+                    table->schema().ToString().c_str(),
+                    FormatCount(table->row_count()).c_str(),
+                    FormatCount(table->page_count()).c_str());
+      }
+      for (Index* ix : db.catalog().Indexes()) {
+        std::printf("  index %s on %s%s\n", ix->name().c_str(),
+                    ix->table()->name().c_str(),
+                    ix->is_clustered_key() ? " (clustered key)" : "");
+      }
+      continue;
+    }
+    if (line == ".feedback") {
+      for (const FeedbackEntry& e : driver.store()->Entries()) {
+        std::printf("  %-40s card=%-9s dpc=%-9s %s [%s]\n", e.key.c_str(),
+                    FormatDouble(e.cardinality, 1).c_str(),
+                    FormatDouble(e.dpc, 1).c_str(),
+                    e.exact ? "exact" : "estimated", e.mechanism.c_str());
+      }
+      continue;
+    }
+    if (line.rfind(".monitor", 0) == 0) {
+      monitor = line.find("on") != std::string::npos;
+      std::printf("monitoring %s\n", monitor ? "on" : "off");
+      continue;
+    }
+    bool explain_only = false;
+    std::string sql = line;
+    if (line.rfind(".plan ", 0) == 0) {
+      explain_only = true;
+      sql = line.substr(6);
+    }
+    auto bound = BindSql(db, sql);
+    if (!bound.ok()) {
+      std::printf("error: %s\n", bound.status().ToString().c_str());
+      continue;
+    }
+    Optimizer opt(&db, &stats, driver.hints(), SimCostParams(),
+                  driver.dpc_histograms());
+    if (explain_only) {
+      if (bound->is_join) {
+        auto plans = opt.EnumerateJoinPlans(bound->join);
+        if (!plans.ok()) continue;
+        for (const JoinPlan& p : *plans) {
+          std::printf("  %s\n", p.Describe().c_str());
+        }
+      } else {
+        auto plans = opt.EnumerateAccessPaths(bound->single);
+        if (!plans.ok()) continue;
+        for (const AccessPathPlan& p : *plans) {
+          std::printf("  %s\n", p.Describe().c_str());
+        }
+      }
+      continue;
+    }
+    if (!monitor) {
+      // Plain execution of the optimizer's choice.
+      PlanMonitorHooks none;
+      OperatorPtr root;
+      if (bound->is_join) {
+        auto plan = opt.OptimizeJoin(bound->join);
+        if (!plan.ok()) continue;
+        std::printf("plan: %s\n", plan->Describe().c_str());
+        auto r = BuildJoinExec(*plan, bound->join, none);
+        if (!r.ok()) continue;
+        root = std::move(r).value();
+      } else {
+        auto plan = opt.OptimizeSingleTable(bound->single);
+        if (!plan.ok()) continue;
+        std::printf("plan: %s\n", plan->Describe().c_str());
+        auto r = BuildSingleTableExec(*plan, bound->single, none);
+        if (!r.ok()) continue;
+        root = std::move(r).value();
+      }
+      if (!db.ColdCache().ok()) continue;
+      ExecContext ctx(db.buffer_pool());
+      auto result = ExecutePlan(root.get(), &ctx);
+      if (!result.ok()) {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+        continue;
+      }
+      std::printf("COUNT = %lld   (%.1f simulated ms)\n",
+                  static_cast<long long>(result->output[0][0].AsInt64()),
+                  result->stats.simulated_ms);
+      continue;
+    }
+    // Monitored execution through the full feedback loop.
+    auto outcome = bound->is_join ? driver.RunJoin(bound->join)
+                                  : driver.RunSingleTable(bound->single);
+    if (!outcome.ok()) {
+      std::printf("error: %s\n", outcome.status().ToString().c_str());
+      continue;
+    }
+    std::printf("COUNT = %lld\n",
+                static_cast<long long>(outcome->count_result));
+    std::printf("plan:  %s\n", outcome->plan_before.c_str());
+    for (const MonitorRecord& m : outcome->feedback) {
+      std::printf("  dpc %-36s est %-8s actual %-8s [%s]\n",
+                  m.expr_text.c_str(),
+                  FormatDouble(m.estimated_dpc, 0).c_str(),
+                  FormatDouble(m.actual_dpc, 0).c_str(),
+                  m.mechanism.c_str());
+    }
+    if (outcome->plan_changed) {
+      std::printf("feedback changed the plan => %s\n",
+                  outcome->plan_after.c_str());
+      std::printf("T = %.1f ms -> T' = %.1f ms (SpeedUp %.1f%%)\n",
+                  outcome->time_before_ms, outcome->time_after_ms,
+                  outcome->speedup * 100);
+    } else {
+      std::printf("plan unchanged (T = %.1f ms)\n",
+                  outcome->time_before_ms);
+    }
+  }
+  std::printf("\nbye\n");
+  return 0;
+}

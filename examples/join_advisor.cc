@@ -1,0 +1,84 @@
+// Join-method advisor (paper Section IV / Example 2): enumerate join
+// strategies with their costs, execute the optimizer's Hash Join with the
+// bitvector filter monitoring DPC(inner, join-pred), and show how the
+// feedback flips the choice to Index Nested Loops when the join column is
+// correlated with the inner table's clustering.
+//
+//   build/examples/join_advisor
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "core/feedback_driver.h"
+#include "sql/binder.h"
+#include "workload/synthetic.h"
+
+using namespace dpcf;
+
+namespace {
+template <typename T>
+T Unwrap(Result<T> result) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+}  // namespace
+
+int main() {
+  Database db;
+  SyntheticOptions opts;
+  opts.num_rows = 200'000;
+  Table* t = Unwrap(BuildSyntheticTable(&db, "T", opts));
+  SyntheticOptions o1 = opts;
+  o1.seed = 999;
+  o1.build_indexes = false;
+  Table* t1 = Unwrap(BuildSyntheticTable(&db, "T1", o1));
+  Unwrap(db.CreateIndex("T1_c1", "T1", std::vector<int>{kC1}, true));
+
+  StatisticsCatalog stats;
+  if (!stats.BuildAll(db.disk(), *t).ok()) return 1;
+  if (!stats.BuildAll(db.disk(), *t1).ok()) return 1;
+
+  const char* sql =
+      "SELECT COUNT(T.padding) FROM T1 JOIN T ON T1.C2 = T.C2 "
+      "WHERE T1.C1 < 4000";
+  BoundQuery bound = Unwrap(BindSql(db, sql));
+  std::printf("advising on: %s\n\n", sql);
+
+  OptimizerHints hints;
+  Optimizer opt(&db, &stats, &hints);
+  std::printf("join strategies as the optimizer costs them today:\n");
+  for (const JoinPlan& p : Unwrap(opt.EnumerateJoinPlans(bound.join))) {
+    std::printf("  %-22s cost=%-9s est inner DPC=%s (%s)\n",
+                JoinMethodName(p.method),
+                FormatDouble(p.est_cost, 1).c_str(),
+                FormatDouble(p.est_inner_dpc, 0).c_str(),
+                p.dpc_source.c_str());
+  }
+
+  FeedbackDriver driver(&db, &stats, {});
+  FeedbackOutcome out = Unwrap(driver.RunJoin(bound.join));
+
+  std::printf("\nexecuted %s with monitoring:\n",
+              out.plan_before.substr(0, out.plan_before.find('[')).c_str());
+  for (const MonitorRecord& m : out.feedback) {
+    std::printf("  %-28s est DPC %-8s actual DPC %-8s via %s\n",
+                m.expr_text.c_str(),
+                FormatDouble(m.estimated_dpc, 0).c_str(),
+                FormatDouble(m.actual_dpc, 0).c_str(),
+                m.mechanism.c_str());
+  }
+  std::printf("\nre-optimized with feedback:\n  before: %s\n  after:  %s\n",
+              out.plan_before.c_str(), out.plan_after.c_str());
+  std::printf("\nT = %.1f ms -> T' = %.1f ms  (SpeedUp %.1f%%, monitoring "
+              "overhead %.2f%%)\n",
+              out.time_before_ms, out.time_after_ms, out.speedup * 100,
+              out.monitor_overhead * 100);
+  std::printf(
+      "\nThe bitvector filter built from the outer's join keys acted as a\n"
+      "derived semi-join predicate in T's scan, counting exactly the pages\n"
+      "an INL join would fetch — without ever running the INL join.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Quickstart: create a database, load a table, run SQL, and read the
+// statistics-xml-style run report with actual distinct page counts.
+//
+//   build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/monitor_manager.h"
+#include "exec/executor.h"
+#include "optimizer/optimizer.h"
+#include "sql/binder.h"
+
+using namespace dpcf;
+
+namespace {
+void Die(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  std::exit(1);
+}
+
+template <typename T>
+T Unwrap(Result<T> result) {
+  if (!result.ok()) Die(result.status());
+  return std::move(result).value();
+}
+}  // namespace
+
+int main() {
+  // 1. A database is a simulated disk + buffer pool + catalog.
+  Database db;
+
+  // 2. Define and load a table: orders clustered by id, with a ship_date
+  //    column correlated with the load order (Example 1 in the paper).
+  Schema schema({Column::Int64("id"), Column::Int64("ship_date"),
+                 Column::Int64("state"), Column::Char("details", 64)});
+  Table* sales = Unwrap(db.CreateTable("Sales", schema,
+                                       TableOrganization::kClustered, 0));
+  {
+    TableBuilder builder(sales);
+    Rng rng(7);
+    for (int64_t i = 0; i < 50'000; ++i) {
+      if (!builder
+               .AddRow({Value::Int64(i), Value::Int64(i / 150),
+                        Value::Int64(rng.NextInt(0, 49)),
+                        Value::String("order")})
+               .ok()) {
+        return 1;
+      }
+    }
+    Status st = builder.Finish();
+    if (!st.ok()) Die(st);
+  }
+  Unwrap(db.CreateIndex("Sales_id", "Sales", std::vector<int>{0}, true));
+  Unwrap(db.CreateIndex("Sales_shipdate", "Sales", std::vector<int>{1}));
+  std::printf("loaded Sales: %lld rows on %u pages (%u rows/page)\n\n",
+              static_cast<long long>(sales->row_count()),
+              sales->page_count(), sales->rows_per_page());
+
+  // 3. Build statistics and parse + bind a SQL query.
+  StatisticsCatalog stats;
+  Status st = stats.BuildAll(db.disk(), *sales);
+  if (!st.ok()) Die(st);
+  BoundQuery query = Unwrap(BindSql(
+      db, "SELECT COUNT(details) FROM Sales WHERE ship_date < 30"));
+
+  // 4. Optimize and show the chosen plan (with its DPC estimate).
+  OptimizerHints hints;
+  Optimizer opt(&db, &stats, &hints);
+  AccessPathPlan plan = Unwrap(opt.OptimizeSingleTable(query.single));
+  std::printf("chosen plan: %s\n\n", plan.Describe().c_str());
+
+  // 5. Execute with page-count monitoring and print the run report.
+  st = db.ColdCache();
+  if (!st.ok()) Die(st);
+  ExecContext ctx(db.buffer_pool());
+  MonitorManager mm(&db);
+  InstrumentedHooks hooks = Unwrap(mm.ForSingleTable(plan, query.single));
+  OperatorPtr root =
+      Unwrap(BuildSingleTableExec(plan, query.single, hooks.hooks));
+  RunResult result = Unwrap(ExecutePlan(root.get(), &ctx));
+
+  std::printf("COUNT = %lld\n\n",
+              static_cast<long long>(result.output[0][0].AsInt64()));
+  std::printf("%s\n", result.stats.ToXml().c_str());
+  std::printf(
+      "Note the PageCount elements: the optimizer's Yao estimate for\n"
+      "ship_date<30 assumes random placement, but the dates are loaded in\n"
+      "order — the actual distinct page count is far smaller.\n");
+  return 0;
+}

@@ -1,0 +1,16 @@
+#include "common/hash.h"
+
+namespace dpcf {
+
+uint64_t HashBytes(std::string_view bytes, uint64_t seed) {
+  // FNV-1a 64-bit, seeded by perturbing the offset basis.
+  uint64_t h = 0xcbf29ce484222325ULL ^ Mix64(seed);
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  // Final avalanche so short strings still fill the high bits.
+  return Mix64(h);
+}
+
+}  // namespace dpcf

@@ -1,0 +1,125 @@
+#include "common/random.h"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "common/hash.h"
+
+namespace dpcf {
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  // SplitMix64 seeding, as recommended by the xoshiro authors.
+  uint64_t sm = seed;
+  for (auto& s : s_) {
+    sm += 0x9e3779b97f4a7c15ULL;
+    s = Mix64(sm);
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless method.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t t = -bound % bound;
+    while (l < t) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+std::vector<int64_t> IdentityPermutation(int64_t n) {
+  std::vector<int64_t> v(static_cast<size_t>(n));
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+std::vector<int64_t> RandomPermutation(int64_t n, Rng* rng) {
+  auto v = IdentityPermutation(n);
+  Shuffle(&v, rng);
+  return v;
+}
+
+std::vector<int64_t> WindowShuffledPermutation(int64_t n, int64_t window,
+                                               Rng* rng) {
+  auto v = IdentityPermutation(n);
+  if (window <= 1) return v;
+  for (int64_t start = 0; start < n; start += window) {
+    int64_t end = std::min(n, start + window);
+    for (int64_t i = end - start; i > 1; --i) {
+      int64_t j = static_cast<int64_t>(rng->NextBounded(i));
+      std::swap(v[static_cast<size_t>(start + i - 1)],
+                v[static_cast<size_t>(start + j)]);
+    }
+  }
+  return v;
+}
+
+ZipfDistribution::ZipfDistribution(int64_t n, double s) : n_(n), s_(s) {
+  assert(n >= 1);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  threshold_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -s_));
+}
+
+double ZipfDistribution::H(double x) const {
+  // Integral of x^-s: (x^(1-s) - 1) / (1 - s); log(x) when s == 1.
+  if (s_ == 1.0) return std::log(x);
+  return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+}
+
+double ZipfDistribution::HInverse(double x) const {
+  if (s_ == 1.0) return std::exp(x);
+  return std::pow(1.0 + x * (1.0 - s_), 1.0 / (1.0 - s_));
+}
+
+int64_t ZipfDistribution::Sample(Rng* rng) {
+  if (s_ <= 0.0) return rng->NextInt(1, n_);
+  // Hörmann's rejection-inversion.
+  while (true) {
+    double u = h_n_ + rng->NextDouble() * (h_x1_ - h_n_);
+    double x = HInverse(u);
+    int64_t k = static_cast<int64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    if (k - x <= threshold_ ||
+        u >= H(static_cast<double>(k) + 0.5) -
+                 std::pow(static_cast<double>(k), -s_)) {
+      return k;
+    }
+  }
+}
+
+}  // namespace dpcf

@@ -1,0 +1,84 @@
+// Deterministic random-number utilities.
+//
+// All stochastic behaviour in the library (Bernoulli page sampling, workload
+// generation, permutations, Zipf skew) flows through Xoshiro256** seeded
+// explicitly, so every test and benchmark is reproducible bit-for-bit.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace dpcf {
+
+/// Xoshiro256** PRNG (Blackman & Vigna). Fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, bound) without modulo bias (Lemire reduction).
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Bernoulli trial with success probability p.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Fisher-Yates shuffle of v in place.
+template <typename T>
+void Shuffle(std::vector<T>* v, Rng* rng) {
+  for (size_t i = v->size(); i > 1; --i) {
+    size_t j = rng->NextBounded(i);
+    std::swap((*v)[i - 1], (*v)[j]);
+  }
+}
+
+/// Returns the identity permutation [0, n).
+std::vector<int64_t> IdentityPermutation(int64_t n);
+
+/// Returns a uniformly random permutation of [0, n).
+std::vector<int64_t> RandomPermutation(int64_t n, Rng* rng);
+
+/// Returns a permutation of [0, n) shuffled only within consecutive windows
+/// of `window` elements. window=1 is the identity; window>=n is a full
+/// shuffle. This is how the synthetic generator produces columns with
+/// intermediate correlation to the clustering key (paper Section V-B.1).
+std::vector<int64_t> WindowShuffledPermutation(int64_t n, int64_t window,
+                                               Rng* rng);
+
+/// Zipf(N, s) sampler over {1..n} using rejection-inversion (Hörmann), O(1)
+/// per draw after O(1) setup. s=0 degenerates to uniform.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(int64_t n, double s);
+
+  int64_t Sample(Rng* rng);
+
+  int64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  int64_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double threshold_;
+};
+
+}  // namespace dpcf

@@ -1,0 +1,28 @@
+// Small string/formatting helpers shared by the library, the "statistics
+// xml"-style reports and the benchmark harnesses.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dpcf {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Joins parts with a separator.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Escapes a string for embedding in the XML-ish run reports.
+std::string XmlEscape(const std::string& s);
+
+/// Formats a double with `digits` significant decimals, trimming zeros.
+std::string FormatDouble(double v, int digits = 4);
+
+/// Formats n with thousands separators ("1,234,567") for report output.
+std::string FormatCount(int64_t n);
+
+}  // namespace dpcf

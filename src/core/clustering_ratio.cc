@@ -1,0 +1,43 @@
+#include "core/clustering_ratio.h"
+
+#include "optimizer/yao.h"
+
+namespace dpcf {
+
+Result<ClusteringRatioResult> ComputeClusteringRatio(DiskManager* disk,
+                                                     const Table& table,
+                                                     const Predicate& pred) {
+  ClusteringRatioResult r;
+  const HeapFile* file = table.file();
+  const Schema* schema = &table.schema();
+  for (PageNo p = 0; p < file->page_count(); ++p) {
+    const char* page = disk->RawPage(PageId{file->segment(), p});
+    uint32_t n = HeapFile::PageRowCount(page);
+    bool page_hit = false;
+    for (uint16_t s = 0; s < n; ++s) {
+      RowView row(file->RowInPage(page, s), schema);
+      bool pass = true;
+      for (const PredicateAtom& a : pred.atoms()) {
+        if (!a.Eval(row)) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) {
+        ++r.qualifying_rows;
+        page_hit = true;
+      }
+    }
+    if (page_hit) ++r.actual_pages;
+  }
+  r.lower_bound =
+      PageCountLowerBound(table.rows_per_page(), r.qualifying_rows);
+  r.upper_bound = PageCountUpperBound(table.page_count(), r.qualifying_rows);
+  if (r.upper_bound > r.lower_bound) {
+    r.ratio = static_cast<double>(r.actual_pages - r.lower_bound) /
+              static_cast<double>(r.upper_bound - r.lower_bound);
+  }
+  return r;
+}
+
+}  // namespace dpcf

@@ -1,0 +1,55 @@
+#include "core/distinct_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace dpcf {
+
+ReservoirDistinctEstimator::ReservoirDistinctEstimator(uint32_t capacity,
+                                                       uint64_t seed)
+    : capacity_(std::max<uint32_t>(1, capacity)), rng_(seed) {
+  sample_.reserve(capacity_);
+}
+
+void ReservoirDistinctEstimator::Add(uint64_t value) {
+  ++rows_seen_;
+  if (sample_.size() < capacity_) {
+    sample_.push_back(value);
+    return;
+  }
+  // Vitter's Algorithm R: element i replaces a random slot w.p. k/i.
+  uint64_t j = rng_.NextBounded(static_cast<uint64_t>(rows_seen_));
+  if (j < capacity_) {
+    sample_[static_cast<size_t>(j)] = value;
+  }
+}
+
+double ReservoirDistinctEstimator::Estimate() const {
+  if (sample_.empty()) return 0;
+  std::map<uint64_t, int64_t> freq;
+  for (uint64_t v : sample_) ++freq[v];
+  int64_t f1 = 0;
+  int64_t f_rest = 0;
+  for (const auto& [v, c] : freq) {
+    if (c == 1) {
+      ++f1;
+    } else {
+      ++f_rest;
+    }
+  }
+  if (rows_seen_ <= static_cast<int64_t>(capacity_)) {
+    // The sample IS the stream: the count is exact.
+    return static_cast<double>(f1 + f_rest);
+  }
+  const double scale = std::sqrt(static_cast<double>(rows_seen_) /
+                                 static_cast<double>(sample_.size()));
+  return scale * static_cast<double>(f1) + static_cast<double>(f_rest);
+}
+
+void ReservoirDistinctEstimator::Reset() {
+  rows_seen_ = 0;
+  sample_.clear();
+}
+
+}  // namespace dpcf

@@ -1,0 +1,101 @@
+#include "core/dpc_histogram.h"
+
+#include <algorithm>
+
+#include "optimizer/yao.h"
+
+namespace dpcf {
+
+void DpcHistogram::Observe(int64_t lo, int64_t hi, double dpc,
+                           double rows) {
+  if (hi < lo || rows <= 0) return;
+  for (Observation& o : observations_) {
+    if (o.lo == lo && o.hi == hi) {
+      o.dpc = dpc;
+      o.rows = rows;
+      o.sequence = next_sequence_++;
+      return;
+    }
+  }
+  if (observations_.size() >= max_observations_) {
+    auto stalest = std::min_element(
+        observations_.begin(), observations_.end(),
+        [](const Observation& a, const Observation& b) {
+          return a.sequence < b.sequence;
+        });
+    observations_.erase(stalest);
+  }
+  observations_.push_back(
+      Observation{lo, hi, dpc, rows, next_sequence_++});
+}
+
+const DpcHistogram::Observation* DpcHistogram::BestOverlap(
+    int64_t lo, int64_t hi) const {
+  const Observation* best = nullptr;
+  double best_score = 0;
+  for (const Observation& o : observations_) {
+    const double olo = static_cast<double>(std::max(lo, o.lo));
+    const double ohi = static_cast<double>(std::min(hi, o.hi));
+    if (olo > ohi) continue;
+    // Jaccard-style overlap: prefer observations whose range is close to
+    // the queried one; break ties towards fresher facts.
+    const double inter = ohi - olo + 1;
+    const double uni = static_cast<double>(std::max(hi, o.hi)) -
+                       static_cast<double>(std::min(lo, o.lo)) + 1;
+    const double score = inter / uni;
+    if (best == nullptr || score > best_score ||
+        (score == best_score && o.sequence > best->sequence)) {
+      best = &o;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+std::optional<double> DpcHistogram::DensityFor(int64_t lo,
+                                               int64_t hi) const {
+  const Observation* best = BestOverlap(lo, hi);
+  if (best == nullptr || best->rows <= 0) return std::nullopt;
+  return std::max(best->dpc, 1.0) / best->rows;
+}
+
+std::optional<double> DpcHistogram::Estimate(int64_t lo, int64_t hi,
+                                             double est_rows) const {
+  auto density = DensityFor(lo, hi);
+  if (!density.has_value()) return std::nullopt;
+  double est = est_rows * *density;
+  // Clamp to the hard bounds: ceil(rows/m) <= DPC <= min(rows, P). An
+  // estimated row count beyond the table's capacity can push the naive LB
+  // above UB; the page count can still never exceed UB.
+  const double ub = static_cast<double>(PageCountUpperBound(
+      table_pages_, static_cast<int64_t>(est_rows)));
+  const double lb = std::min(
+      ub, static_cast<double>(PageCountLowerBound(
+              rows_per_page_, static_cast<int64_t>(est_rows))));
+  return std::clamp(est, lb, ub);
+}
+
+void DpcHistogramCatalog::Observe(const Table& table, int col, int64_t lo,
+                                  int64_t hi, double dpc, double rows) {
+  auto [it, inserted] = histograms_.try_emplace(
+      std::make_pair(&table, col), table.page_count(),
+      table.rows_per_page());
+  it->second.Observe(lo, hi, dpc, rows);
+}
+
+const DpcHistogram* DpcHistogramCatalog::Get(const Table& table,
+                                             int col) const {
+  auto it = histograms_.find({&table, col});
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::optional<double> DpcHistogramCatalog::Estimate(const Table& table,
+                                                    int col, int64_t lo,
+                                                    int64_t hi,
+                                                    double est_rows) const {
+  const DpcHistogram* h = Get(table, col);
+  if (h == nullptr) return std::nullopt;
+  return h->Estimate(lo, hi, est_rows);
+}
+
+}  // namespace dpcf

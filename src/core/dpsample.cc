@@ -1,0 +1,143 @@
+#include "core/dpsample.h"
+
+#include <cassert>
+
+namespace dpcf {
+
+const char* ScanMonitorModeName(ScanMonitorMode mode) {
+  switch (mode) {
+    case ScanMonitorMode::kPrefixExact:
+      return "prefix-exact";
+    case ScanMonitorMode::kFullExact:
+      return "full-exact";
+    case ScanMonitorMode::kSampled:
+      return "dpsample";
+  }
+  return "?";
+}
+
+ScanMonitorBundle::ScanMonitorBundle(Predicate pushed, const Schema* schema,
+                                     double sample_fraction, uint64_t seed)
+    : pushed_(std::move(pushed)),
+      schema_(schema),
+      sample_fraction_(sample_fraction),
+      rng_(seed) {
+  assert(sample_fraction_ > 0.0 && sample_fraction_ <= 1.0);
+}
+
+Status ScanMonitorBundle::AddRequest(ScanExprRequest request) {
+  Entry e;
+  e.mode = ScanMonitorMode::kSampled;
+  if (request.bitvector_slot < 0 && request.expr.IsPrefixOf(pushed_)) {
+    // Free exact counting: the scan's own evaluation already tells us
+    // whether the first prefix_len atoms held.
+    e.mode = ScanMonitorMode::kPrefixExact;
+    e.prefix_len = request.expr.size();
+  } else if (sample_fraction_ >= 1.0) {
+    e.mode = ScanMonitorMode::kFullExact;
+  }
+  if (request.bitvector_slot >= 0 && request.bv_col < 0) {
+    return Status::InvalidArgument(
+        "bitvector request needs the probe column (bv_col)");
+  }
+  e.request = std::move(request);
+  entries_.push_back(std::move(e));
+  return Status::OK();
+}
+
+bool ScanMonitorBundle::HasSampledRequests() const {
+  for (const Entry& e : entries_) {
+    if (e.mode != ScanMonitorMode::kPrefixExact) return true;
+  }
+  return false;
+}
+
+void ScanMonitorBundle::BeginPage(CpuStats* cpu) {
+  (void)cpu;
+  ++pages_seen_;
+  // One Bernoulli draw per page, shared by all non-prefix requests — the
+  // analog of turning short-circuiting off for the whole sampled page.
+  page_sampled_ = sample_fraction_ >= 1.0 || rng_.NextBernoulli(sample_fraction_);
+  if (page_sampled_) ++pages_sampled_;
+  for (Entry& e : entries_) e.counter.BeginPage();
+}
+
+void ScanMonitorBundle::OnRow(
+    const RowView& row, uint32_t leading_true, CpuStats* cpu,
+    const std::vector<const BitvectorFilter*>& filter_slots) {
+  for (Entry& e : entries_) {
+    if (e.mode == ScanMonitorMode::kPrefixExact) {
+      // One comparison per row (paper III-B) — charged as cheap monitor
+      // bookkeeping.
+      ++cpu->monitor_row_ops;
+      if (leading_true >= e.prefix_len) e.counter.OnRowSatisfies();
+      continue;
+    }
+    if (!page_sampled_) continue;
+    // Short-circuiting is off for this row: evaluate the full requested
+    // expression and charge every atom.
+    bool pass = e.request.expr.EvalNoShortCircuit(row, cpu);
+    if (e.request.bitvector_slot >= 0) {
+      const BitvectorFilter* filter =
+          static_cast<size_t>(e.request.bitvector_slot) < filter_slots.size()
+              ? filter_slots[static_cast<size_t>(e.request.bitvector_slot)]
+              : nullptr;
+      ++cpu->monitor_hash_ops;
+      pass = pass && filter != nullptr &&
+             filter->MayContain(
+                 row.GetInt64(static_cast<size_t>(e.request.bv_col)));
+    }
+    if (pass) e.counter.OnRowSatisfies();
+  }
+}
+
+void ScanMonitorBundle::EndPage() {
+  for (Entry& e : entries_) {
+    if (e.mode == ScanMonitorMode::kPrefixExact || page_sampled_) {
+      e.counter.EndPage();
+    } else {
+      // Unsampled page: discard the flag without counting the page as
+      // inspected (the estimator divides by the sampled fraction).
+      e.counter.BeginPage();
+    }
+  }
+  page_sampled_ = false;
+}
+
+std::vector<ScanExprResult> ScanMonitorBundle::Finish() const {
+  std::vector<ScanExprResult> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    ScanExprResult r;
+    r.label = e.request.label;
+    r.expr_text = e.request.expr.ToString(*schema_);
+    if (e.request.bitvector_slot >= 0) {
+      std::string bv = "bitvector(" +
+                       schema_->column(static_cast<size_t>(e.request.bv_col))
+                           .name +
+                       ")";
+      r.expr_text = r.expr_text == "TRUE" ? bv : r.expr_text + " AND " + bv;
+    }
+    r.mode = e.mode;
+    r.pages_seen = pages_seen_;
+    if (e.mode == ScanMonitorMode::kPrefixExact) {
+      r.sample_fraction = 1.0;
+      r.pages_sampled = pages_seen_;
+      r.dpc = static_cast<double>(e.counter.pages_satisfying());
+      r.cardinality = static_cast<double>(e.counter.rows_satisfying());
+    } else {
+      r.sample_fraction = sample_fraction_;
+      r.pages_sampled = pages_sampled_;
+      // DPSample step 7: PageCount / f (unbiased under Bernoulli page
+      // sampling). The same scaling applies to the satisfying-row count.
+      double f_effective = sample_fraction_ >= 1.0 ? 1.0 : sample_fraction_;
+      r.dpc = static_cast<double>(e.counter.pages_satisfying()) / f_effective;
+      r.cardinality =
+          static_cast<double>(e.counter.rows_satisfying()) / f_effective;
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace dpcf

@@ -1,0 +1,118 @@
+// Scan-side page-count monitoring: exact prefix counting and the DPSample
+// Bernoulli page-sampling algorithm (paper Fig 4).
+//
+// A scan plan is given a set of *requested expressions* — the predicate
+// expressions whose distinct page counts the optimizer would need to cost
+// alternative index plans. The bundle classifies each request:
+//
+//  * a prefix of the pushed-down conjunction: satisfied-row knowledge falls
+//    out of the scan's own short-circuit evaluation, so counting is exact
+//    and free (one flag + one counter);
+//  * anything else (non-prefix sub-expressions, other columns, derived
+//    semi-join predicates from a bitvector filter): evaluated only on a
+//    Bernoulli sample of pages — short-circuiting is "turned off" only for
+//    rows on sampled pages, bounding the overhead. The estimator
+//    PageCount/f is unbiased with Chernoff-style concentration.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/bitvector_filter.h"
+#include "core/grouped_page_counter.h"
+#include "exec/predicate.h"
+#include "storage/io_stats.h"
+
+namespace dpcf {
+
+/// One expression whose DPC should be monitored during a scan.
+struct ScanExprRequest {
+  /// Feedback-store key, e.g. "T: C3<250000" or "T: JOIN(T.C2=T1.C1)".
+  std::string label;
+  /// Conjunction of atoms on the scanned table (may be empty when the
+  /// request is purely a bitvector semi-join predicate).
+  Predicate expr;
+  /// When >= 0, the request additionally demands that the value of column
+  /// `bv_col` hashes into the bitvector filter registered in this
+  /// ExecContext slot (Hash/Merge-join page counting, paper Fig 5).
+  int bitvector_slot = -1;
+  int bv_col = -1;
+};
+
+enum class ScanMonitorMode : uint8_t {
+  kPrefixExact,  // free: derived from the scan's own evaluation
+  kFullExact,    // every page inspected (sample fraction 1.0)
+  kSampled,      // DPSample with f < 1
+};
+
+const char* ScanMonitorModeName(ScanMonitorMode mode);
+
+/// Outcome of one monitored expression after the scan completes.
+struct ScanExprResult {
+  std::string label;
+  std::string expr_text;
+  ScanMonitorMode mode = ScanMonitorMode::kPrefixExact;
+  double sample_fraction = 1.0;
+  /// Estimated (exact when mode != kSampled) distinct page count.
+  double dpc = 0;
+  /// Estimated (exact when mode != kSampled) satisfying-row count.
+  double cardinality = 0;
+  int64_t pages_seen = 0;
+  int64_t pages_sampled = 0;
+};
+
+/// Per-scan monitor state. Drive it in lockstep with the scan:
+///   BeginPage() / OnRow(row, leading_true) per row / EndPage(),
+/// then Finish() once the scan ends.
+class ScanMonitorBundle {
+ public:
+  /// `pushed` is the scan's own conjunction (used for prefix detection;
+  /// the bundle keeps a copy), `sample_fraction` the DPSample f used for
+  /// all non-prefix requests.
+  ScanMonitorBundle(Predicate pushed, const Schema* schema,
+                    double sample_fraction, uint64_t seed);
+
+  Status AddRequest(ScanExprRequest request);
+
+  size_t num_requests() const { return entries_.size(); }
+  double sample_fraction() const { return sample_fraction_; }
+
+  /// True if at least one request needs per-row evaluation on sampled
+  /// pages (i.e. monitoring is not free for this scan).
+  bool HasSampledRequests() const;
+
+  void BeginPage(CpuStats* cpu);
+  /// `leading_true`: how many leading atoms of the pushed conjunction the
+  /// scan's own (short-circuited) evaluation found TRUE for this row.
+  /// `filter_slots` resolves bitvector slot references; entries may be
+  /// null until the corresponding join build phase has run.
+  void OnRow(const RowView& row, uint32_t leading_true, CpuStats* cpu,
+             const std::vector<const BitvectorFilter*>& filter_slots);
+  void EndPage();
+
+  std::vector<ScanExprResult> Finish() const;
+
+ private:
+  struct Entry {
+    ScanExprRequest request;
+    ScanMonitorMode mode;
+    size_t prefix_len = 0;  // for kPrefixExact
+    GroupedPageCounter counter;
+  };
+
+  Predicate pushed_;
+  const Schema* schema_;
+  double sample_fraction_;
+  Rng rng_;
+  std::vector<Entry> entries_;
+  bool page_sampled_ = false;
+  int64_t pages_seen_ = 0;
+  int64_t pages_sampled_ = 0;
+};
+
+}  // namespace dpcf

@@ -1,0 +1,342 @@
+#include "core/feedback_driver.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace dpcf {
+
+int64_t ExactCardinality(DiskManager* disk, const Table& table,
+                         const Predicate& pred) {
+  int64_t count = 0;
+  const HeapFile* file = table.file();
+  const Schema* schema = &table.schema();
+  for (PageNo p = 0; p < file->page_count(); ++p) {
+    const char* page = disk->RawPage(PageId{file->segment(), p});
+    uint32_t n = HeapFile::PageRowCount(page);
+    for (uint16_t s = 0; s < n; ++s) {
+      RowView row(file->RowInPage(page, s), schema);
+      bool pass = true;
+      for (const PredicateAtom& a : pred.atoms()) {
+        if (!a.Eval(row)) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) ++count;
+    }
+  }
+  return count;
+}
+
+Result<ExactJoinCardinalities> ExactJoinCardinality(DiskManager* disk,
+                                                    const JoinQuery& query) {
+  ExactJoinCardinalities out;
+  // Multiset of filtered outer keys.
+  std::unordered_map<int64_t, int64_t> outer_keys;
+  {
+    const Table& t = *query.outer_table;
+    const HeapFile* file = t.file();
+    for (PageNo p = 0; p < file->page_count(); ++p) {
+      const char* page = disk->RawPage(PageId{file->segment(), p});
+      uint32_t n = HeapFile::PageRowCount(page);
+      for (uint16_t s = 0; s < n; ++s) {
+        RowView row(file->RowInPage(page, s), &t.schema());
+        bool pass = true;
+        for (const PredicateAtom& a : query.outer_pred.atoms()) {
+          if (!a.Eval(row)) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) {
+          ++outer_keys[row.GetInt64(static_cast<size_t>(query.outer_col))];
+        }
+      }
+    }
+  }
+  {
+    const Table& t = *query.inner_table;
+    const HeapFile* file = t.file();
+    for (PageNo p = 0; p < file->page_count(); ++p) {
+      const char* page = disk->RawPage(PageId{file->segment(), p});
+      uint32_t n = HeapFile::PageRowCount(page);
+      for (uint16_t s = 0; s < n; ++s) {
+        RowView row(file->RowInPage(page, s), &t.schema());
+        auto it = outer_keys.find(
+            row.GetInt64(static_cast<size_t>(query.inner_col)));
+        if (it == outer_keys.end()) continue;
+        ++out.semi_join_rows;
+        bool pass = true;
+        for (const PredicateAtom& a : query.inner_pred.atoms()) {
+          if (!a.Eval(row)) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass) out.join_rows += it->second;
+      }
+    }
+  }
+  return out;
+}
+
+Status FeedbackDriver::InjectSelectionCardinalities(Table* table,
+                                                    const Predicate& pred) {
+  if (pred.empty()) return Status::OK();
+  DiskManager* disk = db_->disk();
+  // Full conjunction…
+  hints_.SetCardinality(
+      SelPredKey(*table, pred),
+      static_cast<double>(ExactCardinality(disk, *table, pred)));
+  // …and the sargable expression of every index the optimizer could seek.
+  for (Index* index : db_->catalog().IndexesForTable(table)) {
+    if (auto range = BuildIndexRange(pred, index)) {
+      std::string key = SelPredKey(*table, range->sargable);
+      if (!hints_.Cardinality(key).has_value()) {
+        hints_.SetCardinality(
+            key, static_cast<double>(
+                     ExactCardinality(disk, *table, range->sargable)));
+      }
+    }
+  }
+  // Pairwise sargable combinations (index intersections).
+  std::vector<Predicate> sargables;
+  for (Index* index : db_->catalog().IndexesForTable(table)) {
+    if (index->is_clustered_key()) continue;
+    if (auto range = BuildIndexRange(pred, index)) {
+      sargables.push_back(range->sargable);
+    }
+  }
+  for (size_t i = 0; i < sargables.size(); ++i) {
+    for (size_t j = i + 1; j < sargables.size(); ++j) {
+      Predicate combined = sargables[i];
+      for (const PredicateAtom& a : sargables[j].atoms()) combined.Add(a);
+      std::string key = SelPredKey(*table, combined);
+      if (!hints_.Cardinality(key).has_value()) {
+        hints_.SetCardinality(
+            key, static_cast<double>(
+                     ExactCardinality(disk, *table, combined)));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status FeedbackDriver::InjectJoinCardinalities(const JoinQuery& query) {
+  DPCF_RETURN_IF_ERROR(
+      InjectSelectionCardinalities(query.outer_table, query.outer_pred));
+  DPCF_RETURN_IF_ERROR(
+      InjectSelectionCardinalities(query.inner_table, query.inner_pred));
+  DPCF_ASSIGN_OR_RETURN(ExactJoinCardinalities exact,
+                        ExactJoinCardinality(db_->disk(), query));
+  hints_.SetCardinality(
+      JoinPredKey(*query.outer_table, query.outer_col, *query.inner_table,
+                  query.inner_col),
+      static_cast<double>(exact.join_rows));
+  return Status::OK();
+}
+
+namespace {
+void ExtractCount(const RunResult& result, int64_t* count_result) {
+  if (count_result == nullptr) return;
+  *count_result = result.output.empty() || result.output[0].empty()
+                      ? -1
+                      : result.output[0][0].AsInt64();
+}
+}  // namespace
+
+Result<RunStatistics> FeedbackDriver::ExecuteSingle(
+    const AccessPathPlan& path, const SingleTableQuery& query,
+    bool monitored, std::vector<MonitoredExpr>* entries,
+    int64_t* count_result) {
+  DPCF_RETURN_IF_ERROR(db_->ColdCache());
+  ExecContext ctx(db_->buffer_pool(), options_.exec_seed);
+  PlanMonitorHooks hooks;
+  hooks.scan_sample_fraction = options_.monitor.scan_sample_fraction;
+  hooks.seed = options_.monitor.seed;
+  if (monitored) {
+    MonitorManager mm(db_, options_.monitor);
+    DPCF_ASSIGN_OR_RETURN(InstrumentedHooks ih,
+                          mm.ForSingleTable(path, query));
+    hooks = std::move(ih.hooks);
+    if (entries != nullptr) *entries = std::move(ih.entries);
+  }
+  DPCF_ASSIGN_OR_RETURN(OperatorPtr root,
+                        BuildSingleTableExec(path, query, hooks));
+  DPCF_ASSIGN_OR_RETURN(RunResult result,
+                        ExecutePlan(root.get(), &ctx, options_.cost_params));
+  ExtractCount(result, count_result);
+  return result.stats;
+}
+
+Result<RunStatistics> FeedbackDriver::ExecuteJoin(
+    const JoinPlan& plan, const JoinQuery& query, bool monitored,
+    std::vector<MonitoredExpr>* entries, int64_t* count_result) {
+  DPCF_RETURN_IF_ERROR(db_->ColdCache());
+  ExecContext ctx(db_->buffer_pool(), options_.exec_seed);
+  PlanMonitorHooks hooks;
+  hooks.scan_sample_fraction = options_.monitor.scan_sample_fraction;
+  hooks.seed = options_.monitor.seed;
+  if (monitored) {
+    MonitorManager mm(db_, options_.monitor);
+    DPCF_ASSIGN_OR_RETURN(InstrumentedHooks ih,
+                          mm.ForJoin(plan, query, &ctx));
+    hooks = std::move(ih.hooks);
+    if (entries != nullptr) *entries = std::move(ih.entries);
+  }
+  DPCF_ASSIGN_OR_RETURN(OperatorPtr root,
+                        BuildJoinExec(plan, query, hooks));
+  DPCF_ASSIGN_OR_RETURN(RunResult result,
+                        ExecutePlan(root.get(), &ctx, options_.cost_params));
+  ExtractCount(result, count_result);
+  return result.stats;
+}
+
+void FeedbackDriver::AttachEstimates(
+    const Optimizer& opt, const std::vector<MonitoredExpr>& entries,
+    const JoinQuery* join_query, RunStatistics* stats) {
+  for (MonitorRecord& rec : stats->monitors) {
+    auto it = std::find_if(entries.begin(), entries.end(),
+                           [&rec](const MonitoredExpr& e) {
+                             return e.label == rec.label;
+                           });
+    if (it == entries.end()) continue;
+    if (it->is_join && join_query != nullptr) {
+      double outer_rows = opt.cardinality().EstimateRows(
+          *join_query->outer_table, join_query->outer_pred);
+      // Join predicate only — the inner selection is not part of the
+      // monitored expression (paper Section IV).
+      double semi_est = opt.cardinality().EstimateJoinRows(
+          *join_query->outer_table, outer_rows, join_query->outer_col,
+          *join_query->inner_table,
+          static_cast<double>(join_query->inner_table->row_count()),
+          join_query->inner_col);
+      semi_est = std::min(
+          semi_est,
+          static_cast<double>(join_query->inner_table->row_count()));
+      rec.estimated_cardinality = semi_est;
+      rec.estimated_dpc =
+          opt.EstimateJoinDpc(*join_query, semi_est, nullptr);
+    } else {
+      double est_rows = opt.cardinality().EstimateRows(*it->table, it->expr);
+      rec.estimated_cardinality = est_rows;
+      rec.estimated_dpc =
+          opt.EstimateDpc(*it->table, it->expr, est_rows, nullptr);
+    }
+  }
+}
+
+void FeedbackDriver::LearnDpcHistograms(
+    const std::vector<MonitoredExpr>& entries, const RunStatistics& stats) {
+  for (const MonitorRecord& rec : stats.monitors) {
+    for (const MonitoredExpr& e : entries) {
+      if (e.label != rec.label || e.is_join || e.expr.empty()) continue;
+      const int col = e.expr.atoms()[0].col();
+      auto range = ExtractColumnRange(e.expr, col);
+      if (!range.has_value() || range->atoms.size() != e.expr.size()) {
+        continue;  // not a pure single-column range
+      }
+      if (rec.actual_cardinality <= 0) continue;
+      dpc_histograms_.Observe(*e.table, col, range->lo, range->hi,
+                              rec.actual_dpc, rec.actual_cardinality);
+    }
+  }
+}
+
+Result<FeedbackOutcome> FeedbackDriver::RunSingleTable(
+    const SingleTableQuery& query) {
+  FeedbackOutcome out;
+  if (options_.inject_accurate_cardinalities) {
+    DPCF_RETURN_IF_ERROR(
+        InjectSelectionCardinalities(query.table, query.pred));
+  }
+  Optimizer opt(db_, stats_, &hints_, options_.cost_params,
+                options_.learn_dpc_histograms ? &dpc_histograms_ : nullptr);
+
+  DPCF_ASSIGN_OR_RETURN(AccessPathPlan before,
+                        opt.OptimizeSingleTable(query));
+  out.plan_before = before.Describe();
+
+  DPCF_ASSIGN_OR_RETURN(out.baseline_run,
+                        ExecuteSingle(before, query, false, nullptr,
+                                      &out.count_result));
+  std::vector<MonitoredExpr> entries;
+  DPCF_ASSIGN_OR_RETURN(out.monitored_run,
+                        ExecuteSingle(before, query, true, &entries));
+  AttachEstimates(opt, entries, nullptr, &out.monitored_run);
+  out.feedback = out.monitored_run.monitors;
+
+  store_.RecordRun(out.monitored_run);
+  store_.ApplyToHints(&hints_);
+  if (options_.learn_dpc_histograms) {
+    LearnDpcHistograms(entries, out.monitored_run);
+  }
+
+  DPCF_ASSIGN_OR_RETURN(AccessPathPlan after,
+                        opt.OptimizeSingleTable(query));
+  out.plan_after = after.Describe();
+  out.plan_changed = after.Signature() != before.Signature();
+
+  DPCF_ASSIGN_OR_RETURN(out.improved_run,
+                        ExecuteSingle(after, query, false, nullptr));
+
+  out.time_before_ms = out.baseline_run.simulated_ms;
+  out.time_after_ms = out.improved_run.simulated_ms;
+  if (out.time_before_ms > 0) {
+    out.speedup =
+        (out.time_before_ms - out.time_after_ms) / out.time_before_ms;
+    out.monitor_overhead =
+        (out.monitored_run.simulated_ms - out.time_before_ms) /
+        out.time_before_ms;
+  }
+  return out;
+}
+
+Result<FeedbackOutcome> FeedbackDriver::RunJoin(const JoinQuery& query) {
+  FeedbackOutcome out;
+  if (options_.inject_accurate_cardinalities) {
+    DPCF_RETURN_IF_ERROR(InjectJoinCardinalities(query));
+  }
+  Optimizer opt(db_, stats_, &hints_, options_.cost_params,
+                options_.learn_dpc_histograms ? &dpc_histograms_ : nullptr);
+
+  DPCF_ASSIGN_OR_RETURN(JoinPlan before, opt.OptimizeJoin(query));
+  out.plan_before = before.Describe();
+
+  DPCF_ASSIGN_OR_RETURN(out.baseline_run,
+                        ExecuteJoin(before, query, false, nullptr,
+                                    &out.count_result));
+  std::vector<MonitoredExpr> entries;
+  DPCF_ASSIGN_OR_RETURN(out.monitored_run,
+                        ExecuteJoin(before, query, true, &entries));
+  AttachEstimates(opt, entries, &query, &out.monitored_run);
+  out.feedback = out.monitored_run.monitors;
+
+  store_.RecordRun(out.monitored_run);
+  store_.ApplyToHints(&hints_);
+  if (options_.learn_dpc_histograms) {
+    LearnDpcHistograms(entries, out.monitored_run);
+  }
+
+  DPCF_ASSIGN_OR_RETURN(JoinPlan after, opt.OptimizeJoin(query));
+  out.plan_after = after.Describe();
+  out.plan_changed = after.Signature() != before.Signature();
+
+  DPCF_ASSIGN_OR_RETURN(out.improved_run,
+                        ExecuteJoin(after, query, false, nullptr));
+
+  out.time_before_ms = out.baseline_run.simulated_ms;
+  out.time_after_ms = out.improved_run.simulated_ms;
+  if (out.time_before_ms > 0) {
+    out.speedup =
+        (out.time_before_ms - out.time_after_ms) / out.time_before_ms;
+    out.monitor_overhead =
+        (out.monitored_run.simulated_ms - out.time_before_ms) /
+        out.time_before_ms;
+  }
+  return out;
+}
+
+}  // namespace dpcf

@@ -1,0 +1,126 @@
+// FeedbackDriver: the paper's evaluation methodology as a reusable library
+// component (Section V-B).
+//
+// For a query Q:
+//   1. (optionally) inject *accurate cardinalities*, computed exactly, so
+//      any plan change is attributable to page counts alone;
+//   2. optimize → plan P; execute P on a cold cache → time T;
+//   3. execute P again with monitoring on → actual DPC per relevant
+//      expression (and the monitoring overhead);
+//   4. feed the observed DPCs back as optimizer hints; re-optimize → P′;
+//   5. execute P′ on a cold cache → time T′; report SpeedUp = (T − T′)/T.
+//
+// Times are simulated milliseconds from the deterministic device model;
+// wall-clock times are recorded alongside for the overhead experiments.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/feedback_store.h"
+#include "core/monitor_manager.h"
+#include "core/run_statistics.h"
+#include "exec/executor.h"
+#include "optimizer/optimizer.h"
+
+namespace dpcf {
+
+struct FeedbackRunOptions {
+  MonitorOptions monitor;
+  /// Inject exact cardinalities before optimizing (paper methodology:
+  /// isolates DPC effects from cardinality errors).
+  bool inject_accurate_cardinalities = true;
+  /// Additionally fold single-column-range observations into self-tuning
+  /// DPC histograms so feedback generalizes to *different* bounds on the
+  /// same column (paper Section II-C / VI extension).
+  bool learn_dpc_histograms = true;
+  SimCostParams cost_params;
+  uint64_t exec_seed = 0x5eed;
+};
+
+/// Everything the methodology produces for one query.
+struct FeedbackOutcome {
+  std::string plan_before;
+  std::string plan_after;
+  bool plan_changed = false;
+
+  RunStatistics baseline_run;   // P, unmonitored, cold cache
+  RunStatistics monitored_run;  // P, monitored, cold cache
+  RunStatistics improved_run;   // P′, unmonitored, cold cache
+
+  double time_before_ms = 0;  // T
+  double time_after_ms = 0;   // T′
+  double speedup = 0;         // (T − T′) / T
+  /// (T_monitored − T) / T in simulated time.
+  double monitor_overhead = 0;
+
+  /// Monitor observations with optimizer estimates attached.
+  std::vector<MonitorRecord> feedback;
+
+  /// The query's result (the COUNT value), from the baseline run; -1 when
+  /// the query returned no row.
+  int64_t count_result = -1;
+};
+
+/// Exact row count of a predicate by raw table walk (diagnostic-time).
+int64_t ExactCardinality(DiskManager* disk, const Table& table,
+                         const Predicate& pred);
+
+struct ExactJoinCardinalities {
+  int64_t join_rows = 0;  // |σ(outer) ⋈ σ(inner)|
+  /// Inner rows matching some (filtered) outer key, ignoring the inner
+  /// selection — the fetch stream of an INL join (paper Section IV).
+  int64_t semi_join_rows = 0;
+};
+Result<ExactJoinCardinalities> ExactJoinCardinality(DiskManager* disk,
+                                                    const JoinQuery& query);
+
+class FeedbackDriver {
+ public:
+  FeedbackDriver(Database* db, StatisticsCatalog* stats,
+                 FeedbackRunOptions options = {})
+      : db_(db), stats_(stats), options_(options) {}
+
+  Result<FeedbackOutcome> RunSingleTable(const SingleTableQuery& query);
+  Result<FeedbackOutcome> RunJoin(const JoinQuery& query);
+
+  /// Feedback accumulated across queries (reusable for similar queries).
+  FeedbackStore* store() { return &store_; }
+  OptimizerHints* hints() { return &hints_; }
+  DpcHistogramCatalog* dpc_histograms() { return &dpc_histograms_; }
+  Database* db() const { return db_; }
+  const FeedbackRunOptions& options() const { return options_; }
+
+ private:
+  Status InjectSelectionCardinalities(Table* table, const Predicate& pred);
+  Status InjectJoinCardinalities(const JoinQuery& query);
+
+  Result<RunStatistics> ExecuteSingle(const AccessPathPlan& path,
+                                      const SingleTableQuery& query,
+                                      bool monitored,
+                                      std::vector<MonitoredExpr>* entries,
+                                      int64_t* count_result = nullptr);
+  Result<RunStatistics> ExecuteJoin(const JoinPlan& plan,
+                                    const JoinQuery& query, bool monitored,
+                                    std::vector<MonitoredExpr>* entries,
+                                    int64_t* count_result = nullptr);
+
+  void AttachEstimates(const Optimizer& opt,
+                       const std::vector<MonitoredExpr>& entries,
+                       const JoinQuery* join_query, RunStatistics* stats);
+
+  /// Folds single-column-range monitor observations into the self-tuning
+  /// DPC histograms.
+  void LearnDpcHistograms(const std::vector<MonitoredExpr>& entries,
+                          const RunStatistics& stats);
+
+  Database* db_;
+  StatisticsCatalog* stats_;
+  FeedbackRunOptions options_;
+  OptimizerHints hints_;
+  FeedbackStore store_;
+  DpcHistogramCatalog dpc_histograms_;
+};
+
+}  // namespace dpcf

@@ -1,0 +1,47 @@
+#include "core/feedback_store.h"
+
+namespace dpcf {
+
+void FeedbackStore::Record(const MonitorRecord& record) {
+  FeedbackEntry e;
+  e.key = record.label;
+  e.expr_text = record.expr_text;
+  e.mechanism = record.mechanism;
+  e.cardinality = record.actual_cardinality;
+  e.dpc = record.actual_dpc;
+  e.exact = record.exact;
+  e.sequence = next_sequence_++;
+  entries_[e.key] = std::move(e);
+}
+
+void FeedbackStore::RecordRun(const RunStatistics& stats) {
+  for (const MonitorRecord& m : stats.monitors) Record(m);
+}
+
+std::optional<FeedbackEntry> FeedbackStore::Lookup(
+    const std::string& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+void FeedbackStore::ApplyToHints(OptimizerHints* hints) const {
+  for (const auto& [key, e] : entries_) {
+    hints->SetDpc(key, e.dpc);
+    if (e.exact) hints->SetCardinality(key, e.cardinality);
+  }
+}
+
+std::vector<FeedbackEntry> FeedbackStore::Entries() const {
+  std::vector<FeedbackEntry> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, e] : entries_) out.push_back(e);
+  return out;
+}
+
+void FeedbackStore::Clear() {
+  entries_.clear();
+  next_sequence_ = 0;
+}
+
+}  // namespace dpcf

@@ -1,0 +1,57 @@
+// FeedbackStore: the (expression, cardinality, distinct page count) cache
+// (paper Section II-C, after the LEO-style framework of [17]).
+//
+// Monitored executions deposit their observations here, keyed by the same
+// canonical expression strings the optimizer uses for hint lookup, so
+// feedback gathered from one query benefits future queries with the same
+// (sub-)expressions: ApplyToHints() turns the store's contents into
+// optimizer injections.
+
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/run_statistics.h"
+#include "optimizer/cardinality.h"
+
+namespace dpcf {
+
+struct FeedbackEntry {
+  std::string key;
+  std::string expr_text;
+  std::string mechanism;
+  double cardinality = 0;
+  double dpc = 0;
+  bool exact = false;
+  /// Monotonic sequence number of the recording run (freshest wins).
+  int64_t sequence = 0;
+};
+
+class FeedbackStore {
+ public:
+  /// Records one observation; a newer observation for the same key
+  /// replaces the older one.
+  void Record(const MonitorRecord& record);
+
+  /// Records every monitor observation of a run.
+  void RecordRun(const RunStatistics& stats);
+
+  std::optional<FeedbackEntry> Lookup(const std::string& key) const;
+
+  /// Injects every stored DPC (and, for exact observations, cardinality)
+  /// into `hints`.
+  void ApplyToHints(OptimizerHints* hints) const;
+
+  size_t size() const { return entries_.size(); }
+  std::vector<FeedbackEntry> Entries() const;
+  void Clear();
+
+ private:
+  std::map<std::string, FeedbackEntry> entries_;
+  int64_t next_sequence_ = 0;
+};
+
+}  // namespace dpcf

@@ -1,0 +1,3 @@
+#include "core/grouped_page_counter.h"
+
+// Header-only counter; TU kept so the module participates in the build.

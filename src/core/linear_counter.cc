@@ -1,0 +1,47 @@
+#include "core/linear_counter.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace dpcf {
+
+LinearCounter::LinearCounter(uint32_t numbits, uint64_t seed) : seed_(seed) {
+  numbits_ = std::max<uint32_t>(64, (numbits + 63) & ~63u);
+  words_.assign(numbits_ / 64, 0);
+}
+
+uint32_t LinearCounter::BitsSet() const {
+  uint32_t n = 0;
+  for (uint64_t w : words_) n += static_cast<uint32_t>(std::popcount(w));
+  return n;
+}
+
+bool LinearCounter::saturated() const { return BitsSet() == numbits_; }
+
+double LinearCounter::Estimate() const {
+  uint32_t set = BitsSet();
+  uint32_t numzero = numbits_ - set;
+  if (numzero == 0) {
+    // Saturated bitmap: the true count exceeds what the map can resolve.
+    return static_cast<double>(numbits_) *
+           std::log(static_cast<double>(numbits_));
+  }
+  return static_cast<double>(numbits_) *
+         -std::log(static_cast<double>(numzero) /
+                   static_cast<double>(numbits_));
+}
+
+void LinearCounter::Reset() {
+  std::fill(words_.begin(), words_.end(), 0);
+}
+
+uint32_t RecommendedLinearCounterBits(int64_t expected_distinct) {
+  // Whang et al. table: a load factor around 8-12 keeps the standard error
+  // near 1%; we round to the next multiple of 64 with sane clamps.
+  int64_t bits = std::max<int64_t>(1024, expected_distinct / 4);
+  bits = std::min<int64_t>(bits, int64_t{1} << 24);
+  return static_cast<uint32_t>((bits + 63) & ~int64_t{63});
+}
+
+}  // namespace dpcf

@@ -1,0 +1,186 @@
+#include "core/monitor_manager.h"
+
+#include <algorithm>
+
+#include "optimizer/cardinality.h"
+
+namespace dpcf {
+
+namespace {
+/// The configured fraction, raised so at least min_sampled_pages pages are
+/// expected to be sampled on small tables.
+double EffectiveFraction(const MonitorOptions& options, const Table& table) {
+  double f = options.scan_sample_fraction;
+  if (options.min_sampled_pages > 0 && table.page_count() > 0) {
+    f = std::max(f, static_cast<double>(options.min_sampled_pages) /
+                        static_cast<double>(table.page_count()));
+  }
+  return std::min(1.0, f);
+}
+}  // namespace
+
+void MonitorManager::SelectionRequests(
+    Table* table, const Predicate& pred,
+    std::vector<ScanExprRequest>* requests,
+    std::vector<MonitoredExpr>* entries) const {
+  if (pred.empty()) return;
+  auto add = [&](const Predicate& expr) {
+    std::string label = SelPredKey(*table, expr);
+    bool dup = std::any_of(
+        requests->begin(), requests->end(),
+        [&label](const ScanExprRequest& r) { return r.label == label; });
+    if (dup) return;
+    ScanExprRequest req;
+    req.label = label;
+    req.expr = expr;
+    requests->push_back(req);
+    entries->push_back(MonitoredExpr{label, table, expr, false, -1, -1,
+                                     nullptr});
+  };
+  // One expression per index whose leading column the predicate constrains
+  // (what an Index Seek on that index would fetch)…
+  for (Index* index : db_->catalog().IndexesForTable(table)) {
+    if (index->is_clustered_key()) continue;
+    if (auto range = BuildIndexRange(pred, index)) {
+      add(range->sargable);
+    }
+  }
+  // …plus the full conjunction (free when it is the pushed predicate).
+  add(pred);
+}
+
+Result<InstrumentedHooks> MonitorManager::ForSingleTable(
+    const AccessPathPlan& path, const SingleTableQuery& query) const {
+  InstrumentedHooks out;
+  out.hooks.scan_sample_fraction = EffectiveFraction(options_, *query.table);
+  out.hooks.inner_scan_sample_fraction = out.hooks.scan_sample_fraction;
+  out.hooks.seed = options_.seed;
+  if (!options_.enabled) return out;
+
+  switch (path.kind) {
+    case AccessKind::kTableScan:
+    case AccessKind::kClusteredRange:
+      SelectionRequests(query.table, query.pred,
+                        &out.hooks.outer_scan_requests, &out.entries);
+      break;
+    case AccessKind::kIndexSeek:
+    case AccessKind::kIndexIntersection: {
+      // The fetch stream carries rows satisfying the seek expression; the
+      // residual-qualified stream carries the full expression.
+      Predicate seek_expr;
+      for (const IndexRange& r : path.ranges) {
+        for (const PredicateAtom& a : r.sargable.atoms()) {
+          seek_expr.Add(a);
+        }
+      }
+      FetchMonitorRequest seek_req;
+      seek_req.label = SelPredKey(*query.table, seek_expr);
+      seek_req.passing_residual_only = false;
+      seek_req.mechanism = options_.fetch_mechanism;
+      seek_req.numbits = options_.linear_counter_bits;
+      seek_req.reservoir_capacity = options_.reservoir_capacity;
+      seek_req.seed = options_.seed;
+      out.hooks.fetch_requests.push_back(seek_req);
+      out.entries.push_back(MonitoredExpr{seek_req.label, query.table,
+                                          seek_expr, false, -1, -1,
+                                          nullptr});
+      if (!path.residual.empty()) {
+        FetchMonitorRequest full_req;
+        full_req.label = SelPredKey(*query.table, query.pred);
+        full_req.passing_residual_only = true;
+        full_req.mechanism = options_.fetch_mechanism;
+        full_req.numbits = options_.linear_counter_bits;
+        full_req.reservoir_capacity = options_.reservoir_capacity;
+        full_req.seed = options_.seed + 1;
+        out.hooks.fetch_requests.push_back(full_req);
+        out.entries.push_back(MonitoredExpr{full_req.label, query.table,
+                                            query.pred, false, -1, -1,
+                                            nullptr});
+      }
+      break;
+    }
+    case AccessKind::kCoveringScan:
+      // Leaf-only scan: base-table PIDs are never touched, nothing to
+      // monitor (Section II-B's limitation).
+      break;
+  }
+  return out;
+}
+
+Result<InstrumentedHooks> MonitorManager::ForJoin(const JoinPlan& plan,
+                                                  const JoinQuery& query,
+                                                  ExecContext* ctx) const {
+  InstrumentedHooks out;
+  out.hooks.scan_sample_fraction =
+      EffectiveFraction(options_, *query.outer_table);
+  out.hooks.inner_scan_sample_fraction =
+      EffectiveFraction(options_, *query.inner_table);
+  out.hooks.seed = options_.seed;
+  if (!options_.enabled) return out;
+
+  const std::string join_label =
+      JoinPredKey(*query.outer_table, query.outer_col, *query.inner_table,
+                  query.inner_col);
+  MonitoredExpr join_entry;
+  join_entry.label = join_label;
+  join_entry.table = query.inner_table;
+  join_entry.is_join = true;
+  join_entry.outer_col = query.outer_col;
+  join_entry.inner_col = query.inner_col;
+  join_entry.outer_table = query.outer_table;
+
+  // Selection expressions on the outer side's scan (if it is a scan).
+  if (plan.outer_path.kind == AccessKind::kTableScan ||
+      plan.outer_path.kind == AccessKind::kClusteredRange) {
+    SelectionRequests(query.outer_table, query.outer_pred,
+                      &out.hooks.outer_scan_requests, &out.entries);
+  }
+
+  switch (plan.method) {
+    case JoinMethod::kIndexNestedLoops: {
+      FetchMonitorRequest req;
+      req.label = join_label;
+      req.passing_residual_only = false;
+      req.mechanism = options_.fetch_mechanism;
+      req.numbits = options_.linear_counter_bits;
+      req.reservoir_capacity = options_.reservoir_capacity;
+      req.seed = options_.seed;
+      out.hooks.fetch_requests.push_back(req);
+      out.entries.push_back(join_entry);
+      break;
+    }
+    case JoinMethod::kHashJoin:
+    case JoinMethod::kMergeJoin: {
+      const bool scan_probe =
+          plan.inner_path.kind == AccessKind::kTableScan ||
+          plan.inner_path.kind == AccessKind::kClusteredRange;
+      if (scan_probe) {
+        SelectionRequests(query.inner_table, query.inner_pred,
+                          &out.hooks.inner_scan_requests, &out.entries);
+      }
+      // A merge join whose inner side sorts drains the inner scan before
+      // any outer key is hashed — the filter cannot be used there.
+      const bool filter_usable =
+          scan_probe && (plan.method == JoinMethod::kHashJoin ||
+                         !plan.sort_inner);
+      if (filter_usable) {
+        BitvectorSpec spec;
+        spec.slot = ctx->AllocateFilterSlot();
+        spec.numbits = options_.bitvector_bits;
+        spec.seed = options_.seed;
+        spec.mode = options_.bitvector_mode;
+        out.hooks.bitvector = spec;
+        ScanExprRequest req;
+        req.label = join_label;
+        req.bitvector_slot = spec.slot;
+        req.bv_col = query.inner_col;
+        out.hooks.inner_scan_requests.push_back(req);
+        out.entries.push_back(join_entry);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace dpcf

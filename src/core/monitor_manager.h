@@ -1,0 +1,98 @@
+// MonitorManager: decides WHICH expressions to monitor for a given plan and
+// wires the corresponding mechanisms into the physical plan.
+//
+// Given a chosen plan, the relevant expressions are the ones the optimizer
+// would need to cost the *alternative* plans (paper Section II-B):
+//  * for every non-clustered index on a scanned table whose leading column
+//    is constrained, the sargable sub-expression on that index's columns
+//    (costing the alternative Index Seek);
+//  * the full pushed conjunction (costing the current plan / intersections);
+//  * for index plans, the seek expression and the full expression, counted
+//    in the Fetch operator by linear counting;
+//  * for joins, DPC(inner, join-pred): linear counting when the plan is
+//    INL, bitvector filtering + DPSample when it is Hash or Merge.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/dpsample.h"
+#include "exec/exec_context.h"
+#include "optimizer/plan.h"
+#include "table/catalog.h"
+
+namespace dpcf {
+
+struct MonitorOptions {
+  bool enabled = true;
+  /// DPSample f for non-prefix scan expressions.
+  double scan_sample_fraction = 0.01;
+  /// Floor on expected sampled pages: on small tables the fraction is
+  /// raised to min_sampled_pages / page_count so estimates stay usable
+  /// (f alone is tuned for the paper's million-page tables).
+  int64_t min_sampled_pages = 96;
+  /// Fetch-stream distinct counting: the paper's linear counting, or the
+  /// reservoir+GEE alternative it names (compared in
+  /// bench_ablation_estimators).
+  DistinctCountMechanism fetch_mechanism =
+      DistinctCountMechanism::kLinearCounting;
+  uint32_t linear_counter_bits = 1 << 14;
+  uint32_t reservoir_capacity = 1 << 10;
+  uint32_t bitvector_bits = 1 << 20;
+  /// Direct bit addressing is exact while the join-key domain fits in
+  /// bitvector_bits (paper's exactness condition); kHashed for sparse
+  /// domains.
+  BitvectorMode bitvector_mode = BitvectorMode::kDirect;
+  uint64_t seed = 0x5eed;
+};
+
+/// What a monitor label refers to — kept alongside the hooks so the
+/// diagnosis layer can recompute the optimizer's estimate for the same
+/// expression and show estimated vs actual.
+struct MonitoredExpr {
+  std::string label;  // == feedback/hint key
+  Table* table = nullptr;
+  Predicate expr;     // selection expression (empty for pure join preds)
+  bool is_join = false;
+  /// For join expressions: the join query columns.
+  int outer_col = -1;
+  int inner_col = -1;
+  Table* outer_table = nullptr;
+};
+
+/// Hooks plus the catalog of what they measure.
+struct InstrumentedHooks {
+  PlanMonitorHooks hooks;
+  std::vector<MonitoredExpr> entries;
+};
+
+class MonitorManager {
+ public:
+  explicit MonitorManager(Database* db, MonitorOptions options = {})
+      : db_(db), options_(options) {}
+
+  const MonitorOptions& options() const { return options_; }
+
+  /// Monitoring hooks for a single-table plan.
+  Result<InstrumentedHooks> ForSingleTable(const AccessPathPlan& path,
+                                           const SingleTableQuery& query) const;
+
+  /// Monitoring hooks for a join plan. Allocates the bitvector slot in
+  /// `ctx` when the method needs one.
+  Result<InstrumentedHooks> ForJoin(const JoinPlan& plan,
+                                    const JoinQuery& query,
+                                    ExecContext* ctx) const;
+
+  /// Scan requests for the selection expressions relevant on `table`
+  /// (one per usable non-clustered index, plus the full conjunction).
+  void SelectionRequests(Table* table, const Predicate& pred,
+                         std::vector<ScanExprRequest>* requests,
+                         std::vector<MonitoredExpr>* entries) const;
+
+ private:
+  Database* db_;
+  MonitorOptions options_;
+};
+
+}  // namespace dpcf

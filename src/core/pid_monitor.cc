@@ -1,0 +1,34 @@
+#include "core/pid_monitor.h"
+
+#include "common/string_util.h"
+
+namespace dpcf {
+
+const char* DistinctCountMechanismName(DistinctCountMechanism m) {
+  switch (m) {
+    case DistinctCountMechanism::kLinearCounting:
+      return "linear-counting";
+    case DistinctCountMechanism::kReservoirSampling:
+      return "reservoir+gee";
+  }
+  return "?";
+}
+
+MonitorRecord PidStreamMonitor::MakeRecord(const std::string& table) const {
+  MonitorRecord rec;
+  rec.table = table;
+  rec.label = request_.label;
+  rec.expr_text = request_.label;
+  if (request_.mechanism == DistinctCountMechanism::kLinearCounting) {
+    rec.mechanism = StrFormat("linear-counting(%ub)", counter_.numbits());
+  } else {
+    rec.mechanism =
+        StrFormat("reservoir+gee(%u)", reservoir_.capacity());
+  }
+  rec.actual_dpc = Estimate();
+  rec.actual_cardinality = static_cast<double>(rows_);
+  rec.exact = false;
+  return rec;
+}
+
+}  // namespace dpcf

@@ -1,0 +1,60 @@
+#include "core/run_statistics.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace dpcf {
+
+double MonitorRecord::DpcErrorFactor() const {
+  if (estimated_dpc < 0) return 0;
+  double actual = std::max(actual_dpc, 1.0);
+  double est = std::max(estimated_dpc, 1.0);
+  return est >= actual ? est / actual : actual / est;
+}
+
+std::string RunStatistics::ToXml() const {
+  std::string out;
+  out += "<RunStatistics>\n";
+  out += StrFormat("  <Plan rows=\"%lld\">%s</Plan>\n",
+                   static_cast<long long>(rows_returned),
+                   XmlEscape(plan_text).c_str());
+  out += StrFormat(
+      "  <Io logical=\"%lld\" physicalSeq=\"%lld\" physicalRand=\"%lld\" "
+      "hits=\"%lld\"/>\n",
+      static_cast<long long>(io.logical_reads),
+      static_cast<long long>(io.physical_seq_reads),
+      static_cast<long long>(io.physical_rand_reads),
+      static_cast<long long>(io.buffer_hits));
+  out += StrFormat(
+      "  <Cpu rows=\"%lld\" predicateAtoms=\"%lld\" monitorHashes=\"%lld\" "
+      "hashOps=\"%lld\"/>\n",
+      static_cast<long long>(cpu.rows_processed),
+      static_cast<long long>(cpu.predicate_atom_evals),
+      static_cast<long long>(cpu.monitor_hash_ops),
+      static_cast<long long>(cpu.hash_table_ops));
+  out += StrFormat("  <SimulatedTime ms=\"%s\"/>\n",
+                   FormatDouble(simulated_ms, 3).c_str());
+  for (const MonitorRecord& m : monitors) {
+    out += StrFormat(
+        "  <PageCount table=\"%s\" expression=\"%s\" mechanism=\"%s\" "
+        "actualDpc=\"%s\" actualCard=\"%s\" exact=\"%s\"",
+        XmlEscape(m.table).c_str(), XmlEscape(m.expr_text).c_str(),
+        XmlEscape(m.mechanism).c_str(), FormatDouble(m.actual_dpc, 2).c_str(),
+        FormatDouble(m.actual_cardinality, 2).c_str(),
+        m.exact ? "true" : "false");
+    if (m.estimated_dpc >= 0) {
+      out += StrFormat(" estimatedDpc=\"%s\"",
+                       FormatDouble(m.estimated_dpc, 2).c_str());
+    }
+    if (m.estimated_cardinality >= 0) {
+      out += StrFormat(" estimatedCard=\"%s\"",
+                       FormatDouble(m.estimated_cardinality, 2).c_str());
+    }
+    out += "/>\n";
+  }
+  out += "</RunStatistics>\n";
+  return out;
+}
+
+}  // namespace dpcf

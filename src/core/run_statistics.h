@@ -1,0 +1,55 @@
+// Run statistics: the library's analog of SQL Server's "statistics xml"
+// mode (paper Section II-C / V-A).
+//
+// After a monitored execution, every page-count monitor contributes one
+// MonitorRecord with the *actual* distinct page count (and satisfying-row
+// cardinality) it observed, tagged with the mechanism that produced it. The
+// FeedbackDriver later pairs these with the optimizer's *estimated* values
+// so a DBA (or the injection interface) can diagnose estimation errors.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/io_stats.h"
+
+namespace dpcf {
+
+/// One (expression → page count) observation from a monitor.
+struct MonitorRecord {
+  std::string table;      // table whose pages were counted
+  std::string label;      // canonical feedback key for the expression
+  std::string expr_text;  // human-readable expression
+  std::string mechanism;  // "prefix-exact", "dpsample(f=0.01)",
+                          // "linear-counting(8192b)", "bitvector+dpsample"…
+  double actual_dpc = 0;
+  double actual_cardinality = 0;
+  bool exact = false;
+
+  /// Filled in by the diagnosis layer when an optimizer estimate exists.
+  double estimated_dpc = -1;
+  double estimated_cardinality = -1;
+
+  /// estimated/actual DPC ratio error, or 0 when no estimate is attached.
+  double DpcErrorFactor() const;
+};
+
+/// Everything measured about one execution of one plan.
+struct RunStatistics {
+  std::string plan_text;
+  int64_t rows_returned = 0;
+  IoStats io;
+  CpuStats cpu;
+  double simulated_ms = 0;
+  /// Wall-clock of the in-process execution; used for the overhead
+  /// experiments (Figs 7 and 9) alongside simulated time.
+  double wall_ms = 0;
+  std::vector<MonitorRecord> monitors;
+
+  /// XML-ish rendering in the spirit of SQL Server's statistics xml output.
+  std::string ToXml() const;
+};
+
+}  // namespace dpcf

@@ -1,0 +1,25 @@
+#include "exec/exec_context.h"
+
+#include "common/string_util.h"
+
+namespace dpcf {
+
+Status ExecContext::SetFilter(int slot,
+                              std::unique_ptr<BitvectorFilter> filter) {
+  if (slot < 0 || static_cast<size_t>(slot) >= filter_slots_.size()) {
+    return Status::InvalidArgument(StrFormat("bad filter slot %d", slot));
+  }
+  filter_slots_[static_cast<size_t>(slot)] = filter.get();
+  owned_filters_.push_back(std::move(filter));
+  return Status::OK();
+}
+
+BitvectorFilter* ExecContext::MutableFilter(int slot) {
+  if (slot < 0 || static_cast<size_t>(slot) >= filter_slots_.size()) {
+    return nullptr;
+  }
+  return const_cast<BitvectorFilter*>(
+      filter_slots_[static_cast<size_t>(slot)]);
+}
+
+}  // namespace dpcf

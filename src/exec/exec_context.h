@@ -1,0 +1,64 @@
+// Execution context: the runtime state shared by the operators of one plan,
+// and the RE/SE communication boundary.
+//
+// PageIds exist only below this boundary (scan / fetch operators); the
+// relational-engine operators (joins, aggregates) never see them. The one
+// sanctioned channel between the layers is the *filter slot table*: a
+// relational-engine join registers a BitvectorFilter in a pre-allocated slot
+// (the paper's SE→RE "callback" in reverse), and a storage-engine scan's
+// monitor bundle probes it as a derived semi-join predicate (Fig 5).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/bitvector_filter.h"
+#include "storage/buffer_pool.h"
+#include "storage/io_stats.h"
+
+namespace dpcf {
+
+/// Per-execution mutable state. Create one per plan run.
+class ExecContext {
+ public:
+  explicit ExecContext(BufferPool* pool, uint64_t seed = 0x5eed)
+      : pool_(pool), seed_(seed) {}
+
+  BufferPool* pool() const { return pool_; }
+  CpuStats* cpu() { return &cpu_; }
+  const CpuStats& cpu_stats() const { return cpu_; }
+  uint64_t seed() const { return seed_; }
+
+  /// Reserves a slot a join will later fill with its bitvector filter.
+  /// Called at plan-construction time so scans can reference the slot.
+  int AllocateFilterSlot() {
+    filter_slots_.push_back(nullptr);
+    return static_cast<int>(filter_slots_.size() - 1);
+  }
+
+  /// Registers `filter` (ownership transferred) into `slot`. The filter
+  /// becomes visible to scan monitors immediately — including the
+  /// partial-filter Merge Join variant, where bits keep being added while
+  /// the probe side is already scanning.
+  Status SetFilter(int slot, std::unique_ptr<BitvectorFilter> filter);
+
+  /// Mutable access for joins that grow a registered filter incrementally.
+  BitvectorFilter* MutableFilter(int slot);
+
+  const std::vector<const BitvectorFilter*>& filter_slots() const {
+    return filter_slots_;
+  }
+
+ private:
+  BufferPool* pool_;
+  uint64_t seed_;
+  CpuStats cpu_;
+  std::vector<const BitvectorFilter*> filter_slots_;
+  std::vector<std::unique_ptr<BitvectorFilter>> owned_filters_;
+};
+
+}  // namespace dpcf

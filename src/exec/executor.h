@@ -1,0 +1,29 @@
+// Plan driver: runs an operator tree to completion and gathers the
+// statistics-xml-style run report.
+
+#pragma once
+
+#include <vector>
+
+#include "core/run_statistics.h"
+#include "exec/operator.h"
+
+namespace dpcf {
+
+/// Output of one full execution.
+struct RunResult {
+  std::vector<Tuple> output;
+  RunStatistics stats;
+};
+
+/// Drives `root` open → drain → close. I/O is reported as the delta of the
+/// disk manager's counters across the run; simulated time uses `params`.
+/// The caller decides cache state (Database::ColdCache() beforehand for the
+/// paper's cold-cache runs).
+Result<RunResult> ExecutePlan(Operator* root, ExecContext* ctx,
+                              const SimCostParams& params = SimCostParams());
+
+/// Renders an operator tree one line per operator, children indented.
+std::string DescribeTree(const Operator& root);
+
+}  // namespace dpcf

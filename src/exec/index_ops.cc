@@ -1,0 +1,162 @@
+#include "exec/index_ops.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace dpcf {
+
+IndexSeekSource::IndexSeekSource(Index* index, BtreeKey lo, BtreeKey hi)
+    : index_(index), lo_(lo), hi_(hi) {}
+
+Status IndexSeekSource::Open(ExecContext* ctx) {
+  (void)ctx;
+  done_ = false;
+  DPCF_ASSIGN_OR_RETURN(it_, index_->tree()->SeekFirst(lo_));
+  return Status::OK();
+}
+
+Result<bool> IndexSeekSource::Next(ExecContext* ctx, Rid* rid) {
+  (void)ctx;
+  if (done_) return false;
+  if (!it_.Valid() || hi_ < it_.key()) {
+    done_ = true;
+    return false;
+  }
+  *rid = Rid::Unpack(it_.aux());
+  DPCF_RETURN_IF_ERROR(it_.Next());
+  return true;
+}
+
+Status IndexSeekSource::Close(ExecContext* ctx) {
+  (void)ctx;
+  it_ = BtreeIterator();
+  return Status::OK();
+}
+
+std::string IndexSeekSource::Describe() const {
+  return StrFormat("IndexSeek(%s, [%s..%s])", index_->name().c_str(),
+                   lo_.ToString().c_str(), hi_.ToString().c_str());
+}
+
+IndexIntersectionSource::IndexIntersectionSource(
+    std::vector<std::unique_ptr<IndexSeekSource>> inputs)
+    : inputs_(std::move(inputs)) {
+  assert(inputs_.size() >= 2);
+}
+
+Status IndexIntersectionSource::Open(ExecContext* ctx) {
+  rids_.clear();
+  pos_ = 0;
+  // Drain each seek into a sorted rid set, then intersect pairwise. The
+  // per-rid work is charged like hash/accumulator operations.
+  std::vector<uint64_t> acc;
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    std::vector<uint64_t> cur;
+    DPCF_RETURN_IF_ERROR(inputs_[i]->Open(ctx));
+    Rid rid;
+    while (true) {
+      auto more = inputs_[i]->Next(ctx, &rid);
+      if (!more.ok()) return more.status();
+      if (!*more) break;
+      cur.push_back(rid.Pack());
+      ++ctx->cpu()->hash_table_ops;
+    }
+    DPCF_RETURN_IF_ERROR(inputs_[i]->Close(ctx));
+    std::sort(cur.begin(), cur.end());
+    if (i == 0) {
+      acc = std::move(cur);
+    } else {
+      std::vector<uint64_t> merged;
+      std::set_intersection(acc.begin(), acc.end(), cur.begin(), cur.end(),
+                            std::back_inserter(merged));
+      acc = std::move(merged);
+    }
+  }
+  rids_ = std::move(acc);
+  return Status::OK();
+}
+
+Result<bool> IndexIntersectionSource::Next(ExecContext* ctx, Rid* rid) {
+  (void)ctx;
+  if (pos_ >= rids_.size()) return false;
+  *rid = Rid::Unpack(rids_[pos_++]);
+  return true;
+}
+
+Status IndexIntersectionSource::Close(ExecContext* ctx) {
+  (void)ctx;
+  rids_.clear();
+  return Status::OK();
+}
+
+std::string IndexIntersectionSource::Describe() const {
+  std::vector<std::string> parts;
+  parts.reserve(inputs_.size());
+  for (const auto& in : inputs_) parts.push_back(in->Describe());
+  return "IndexIntersection(" + Join(parts, ", ") + ")";
+}
+
+FetchOp::FetchOp(Table* table, std::unique_ptr<RidSource> source,
+                 Predicate residual, std::vector<int> projection,
+                 std::vector<FetchMonitorRequest> monitor_requests)
+    : table_(table),
+      source_(std::move(source)),
+      residual_(std::move(residual)),
+      projection_(std::move(projection)) {
+  monitors_.reserve(monitor_requests.size());
+  for (FetchMonitorRequest& req : monitor_requests) {
+    monitors_.emplace_back(std::move(req));
+  }
+}
+
+Status FetchOp::Open(ExecContext* ctx) { return source_->Open(ctx); }
+
+Result<bool> FetchOp::Next(ExecContext* ctx, Tuple* out) {
+  CpuStats* cpu = ctx->cpu();
+  Rid rid;
+  while (true) {
+    auto more = source_->Next(ctx, &rid);
+    if (!more.ok()) return more.status();
+    if (!*more) return false;
+
+    const char* row_bytes = nullptr;
+    auto guard = table_->file()->FetchRow(rid, &row_bytes);
+    if (!guard.ok()) return guard.status();
+    RowView row(row_bytes, &table_->schema());
+    ++cpu->rows_processed;
+
+    const uint64_t pid =
+        PageId{table_->segment(), rid.page_no}.Pack();
+    for (PidStreamMonitor& m : monitors_) {
+      if (!m.request().passing_residual_only) m.Add(pid, cpu);
+    }
+    if (!residual_.Eval(row, cpu)) continue;
+    for (PidStreamMonitor& m : monitors_) {
+      if (m.request().passing_residual_only) m.Add(pid, cpu);
+    }
+    out->clear();
+    out->reserve(projection_.size());
+    for (int col : projection_) {
+      out->push_back(row.GetValue(static_cast<size_t>(col)));
+    }
+    return true;
+  }
+}
+
+Status FetchOp::Close(ExecContext* ctx) { return source_->Close(ctx); }
+
+std::string FetchOp::Describe() const {
+  return StrFormat("Fetch(%s, residual=%s) <- %s", table_->name().c_str(),
+                   residual_.ToString(table_->schema()).c_str(),
+                   source_->Describe().c_str());
+}
+
+void FetchOp::CollectMonitorRecords(std::vector<MonitorRecord>* out) const {
+  for (const PidStreamMonitor& m : monitors_) {
+    out->push_back(m.MakeRecord(table_->name()));
+  }
+}
+
+}  // namespace dpcf

@@ -1,0 +1,94 @@
+// Index plans: Index Seek, Index Intersection, and the Fetch operator.
+//
+// Index plans do not have the grouped-page-access property (Fig 2): the rid
+// stream coming out of an index revisits pages in arbitrary order, so DPC
+// monitoring in the Fetch operator uses probabilistic (linear) counting over
+// the PIDs of fetched rows (paper Section III-A, Fig 3).
+
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/pid_monitor.h"
+#include "exec/operator.h"
+#include "exec/predicate.h"
+#include "index/secondary_index.h"
+#include "table/catalog.h"
+
+namespace dpcf {
+
+/// Produces a stream of rids to fetch — the output of index lookup
+/// machinery, below the tuple-operator level.
+class RidSource {
+ public:
+  virtual ~RidSource() = default;
+  virtual Status Open(ExecContext* ctx) = 0;
+  /// False at end of stream.
+  virtual Result<bool> Next(ExecContext* ctx, Rid* rid) = 0;
+  virtual Status Close(ExecContext* ctx) = 0;
+  virtual std::string Describe() const = 0;
+};
+
+/// B+-tree range lookup [lo, hi] emitting rids in key order.
+class IndexSeekSource : public RidSource {
+ public:
+  IndexSeekSource(Index* index, BtreeKey lo, BtreeKey hi);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Rid* rid) override;
+  Status Close(ExecContext* ctx) override;
+  std::string Describe() const override;
+
+  Index* index() const { return index_; }
+
+ private:
+  Index* index_;
+  BtreeKey lo_;
+  BtreeKey hi_;
+  BtreeIterator it_;
+  bool done_ = false;
+};
+
+/// Intersects the rid sets of two (or more) index seeks; emits the common
+/// rids in rid order, as a RID-intersection plan would.
+class IndexIntersectionSource : public RidSource {
+ public:
+  explicit IndexIntersectionSource(
+      std::vector<std::unique_ptr<IndexSeekSource>> inputs);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Rid* rid) override;
+  Status Close(ExecContext* ctx) override;
+  std::string Describe() const override;
+
+ private:
+  std::vector<std::unique_ptr<IndexSeekSource>> inputs_;
+  std::vector<uint64_t> rids_;
+  size_t pos_ = 0;
+};
+
+/// Looks up each rid in the base table, applies the residual conjunction,
+/// and emits projected tuples. Hosts the PID-stream page-count monitors
+/// (FetchMonitorRequest / PidStreamMonitor, core/pid_monitor.h).
+class FetchOp : public Operator {
+ public:
+  FetchOp(Table* table, std::unique_ptr<RidSource> source,
+          Predicate residual, std::vector<int> projection,
+          std::vector<FetchMonitorRequest> monitor_requests = {});
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Tuple* out) override;
+  Status Close(ExecContext* ctx) override;
+  std::string Describe() const override;
+  void CollectMonitorRecords(std::vector<MonitorRecord>* out) const override;
+
+ private:
+  Table* table_;
+  std::unique_ptr<RidSource> source_;
+  Predicate residual_;
+  std::vector<int> projection_;
+  std::vector<PidStreamMonitor> monitors_;
+};
+
+}  // namespace dpcf

@@ -1,0 +1,51 @@
+// Volcano-style operator interface.
+//
+// Operators emit materialized Tuples of their projected columns. Storage-
+// engine operators (scans, fetch) are the only ones that touch pages and
+// PIDs; relational-engine operators compose them. All fallible paths return
+// Status / Result.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/run_statistics.h"
+#include "exec/exec_context.h"
+#include "table/value.h"
+
+namespace dpcf {
+
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  virtual Status Open(ExecContext* ctx) = 0;
+
+  /// Produces the next tuple into *out. Returns false at end of stream.
+  virtual Result<bool> Next(ExecContext* ctx, Tuple* out) = 0;
+
+  virtual Status Close(ExecContext* ctx) = 0;
+
+  /// One-line description for plan rendering, e.g.
+  /// "TableScan(T, C3<250000)".
+  virtual std::string Describe() const = 0;
+
+  /// Appends this operator's page-count observations (valid after Close).
+  /// Implementations must recurse into their children.
+  virtual void CollectMonitorRecords(std::vector<MonitorRecord>* out) const {
+    (void)out;
+  }
+
+  /// Child operators, for plan rendering.
+  virtual std::vector<const Operator*> children() const { return {}; }
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Renders an operator tree, one operator per line, indented.
+std::string DescribeTree(const Operator& root);
+
+}  // namespace dpcf

@@ -1,0 +1,79 @@
+// Relational-engine operators: Sort, COUNT aggregation, tuple-level filter.
+// These run above the storage engine and never see PIDs.
+
+#pragma once
+
+#include <optional>
+
+#include "exec/operator.h"
+#include "exec/predicate.h"
+
+namespace dpcf {
+
+/// Blocking sort on one INT64 tuple position, ascending. Used to feed
+/// Merge Join (and is the case where the prebuilt bitvector applies: the
+/// first Next() implies the child was fully consumed).
+class SortOp : public Operator {
+ public:
+  SortOp(OperatorPtr child, int key_idx);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Tuple* out) override;
+  Status Close(ExecContext* ctx) override;
+  std::string Describe() const override;
+  void CollectMonitorRecords(std::vector<MonitorRecord>* out) const override;
+  std::vector<const Operator*> children() const override;
+
+ private:
+  OperatorPtr child_;
+  int key_idx_;
+  std::vector<Tuple> rows_;
+  size_t pos_ = 0;
+};
+
+/// COUNT(*) over the child: emits a single 1-column tuple.
+class AggregateCountOp : public Operator {
+ public:
+  explicit AggregateCountOp(OperatorPtr child);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Tuple* out) override;
+  Status Close(ExecContext* ctx) override;
+  std::string Describe() const override;
+  void CollectMonitorRecords(std::vector<MonitorRecord>* out) const override;
+  std::vector<const Operator*> children() const override;
+
+ private:
+  OperatorPtr child_;
+  int64_t count_ = 0;
+  bool emitted_ = false;
+};
+
+/// One comparison against a tuple position (not raw row bytes) — residual
+/// filtering in the relational engine.
+struct TupleAtom {
+  int idx = 0;
+  CmpOp op = CmpOp::kEq;
+  Value operand;
+
+  bool Eval(const Tuple& t) const;
+};
+
+/// Conjunctive filter over materialized tuples.
+class TupleFilterOp : public Operator {
+ public:
+  TupleFilterOp(OperatorPtr child, std::vector<TupleAtom> atoms);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Tuple* out) override;
+  Status Close(ExecContext* ctx) override;
+  std::string Describe() const override;
+  void CollectMonitorRecords(std::vector<MonitorRecord>* out) const override;
+  std::vector<const Operator*> children() const override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<TupleAtom> atoms_;
+};
+
+}  // namespace dpcf

@@ -1,0 +1,307 @@
+#include "exec/scan_ops.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace dpcf {
+
+namespace {
+void MaterializeProjection(const RowView& row,
+                           const std::vector<int>& projection, Tuple* out) {
+  out->clear();
+  out->reserve(projection.size());
+  for (int col : projection) {
+    out->push_back(row.GetValue(static_cast<size_t>(col)));
+  }
+}
+}  // namespace
+
+TableScanOp::TableScanOp(Table* table, Predicate pushed,
+                         std::vector<int> projection,
+                         std::unique_ptr<ScanMonitorBundle> monitors)
+    : table_(table),
+      pushed_(std::move(pushed)),
+      projection_(std::move(projection)),
+      monitors_(std::move(monitors)) {}
+
+Status TableScanOp::Open(ExecContext* ctx) {
+  (void)ctx;
+  page_idx_ = 0;
+  row_idx_ = 0;
+  rows_in_page_ = 0;
+  page_open_ = false;
+  done_ = false;
+  return Status::OK();
+}
+
+Result<bool> TableScanOp::Next(ExecContext* ctx, Tuple* out) {
+  if (done_) return false;
+  const HeapFile* file = table_->file();
+  const Schema* schema = &table_->schema();
+  CpuStats* cpu = ctx->cpu();
+  const uint32_t num_atoms = static_cast<uint32_t>(pushed_.size());
+  while (true) {
+    if (!page_open_) {
+      if (page_idx_ >= file->page_count()) {
+        done_ = true;
+        return false;
+      }
+      auto guard = ctx->pool()->Fetch(PageId{file->segment(), page_idx_});
+      if (!guard.ok()) return guard.status();
+      guard_ = std::move(guard).value();
+      rows_in_page_ = HeapFile::PageRowCount(guard_.data());
+      row_idx_ = 0;
+      page_open_ = true;
+      if (monitors_ != nullptr) monitors_->BeginPage(cpu);
+    }
+    while (row_idx_ < rows_in_page_) {
+      RowView row(file->RowInPage(guard_.data(),
+                                  static_cast<uint16_t>(row_idx_)),
+                  schema);
+      ++row_idx_;
+      ++cpu->rows_processed;
+      uint32_t leading = pushed_.EvalLeading(row, cpu);
+      if (monitors_ != nullptr) {
+        monitors_->OnRow(row, leading, cpu, ctx->filter_slots());
+      }
+      if (leading == num_atoms) {
+        MaterializeProjection(row, projection_, out);
+        return true;
+      }
+    }
+    if (monitors_ != nullptr) monitors_->EndPage();
+    guard_.Release();
+    page_open_ = false;
+    ++page_idx_;
+  }
+}
+
+Status TableScanOp::Close(ExecContext* ctx) {
+  (void)ctx;
+  // A drained scan already closed its last page; an abandoned one has not.
+  if (page_open_) {
+    if (monitors_ != nullptr) monitors_->EndPage();
+    guard_.Release();
+    page_open_ = false;
+  }
+  return Status::OK();
+}
+
+std::string TableScanOp::Describe() const {
+  return StrFormat("%s(%s, %s)",
+                   table_->organization() == TableOrganization::kClustered
+                       ? "ClusteredIndexScan"
+                       : "TableScan",
+                   table_->name().c_str(),
+                   pushed_.ToString(table_->schema()).c_str());
+}
+
+void TableScanOp::CollectMonitorRecords(
+    std::vector<MonitorRecord>* out) const {
+  if (monitors_ == nullptr) return;
+  for (const ScanExprResult& r : monitors_->Finish()) {
+    MonitorRecord rec;
+    rec.table = table_->name();
+    rec.label = r.label;
+    rec.expr_text = r.expr_text;
+    rec.mechanism =
+        r.mode == ScanMonitorMode::kSampled
+            ? StrFormat("dpsample(f=%s)",
+                        FormatDouble(r.sample_fraction, 4).c_str())
+            : ScanMonitorModeName(r.mode);
+    rec.actual_dpc = r.dpc;
+    rec.actual_cardinality = r.cardinality;
+    rec.exact = r.mode != ScanMonitorMode::kSampled;
+    out->push_back(std::move(rec));
+  }
+}
+
+ClusteredRangeScanOp::ClusteredRangeScanOp(
+    Table* table, Index* cluster_index, int64_t lo, int64_t hi,
+    Predicate pushed, std::vector<int> projection,
+    std::unique_ptr<ScanMonitorBundle> monitors)
+    : table_(table),
+      cluster_index_(cluster_index),
+      lo_(lo),
+      hi_(hi),
+      cluster_col_(table->cluster_key_col()),
+      pushed_(std::move(pushed)),
+      projection_(std::move(projection)),
+      monitors_(std::move(monitors)) {
+  assert(cluster_col_ >= 0 && "range scan requires a clustered table");
+}
+
+Status ClusteredRangeScanOp::Open(ExecContext* ctx) {
+  (void)ctx;
+  row_idx_ = 0;
+  rows_in_page_ = 0;
+  page_open_ = false;
+  done_ = false;
+  // Locate the first data page holding a key >= lo via the clustered-key
+  // index (charges the descent I/O, like a real clustered seek).
+  DPCF_ASSIGN_OR_RETURN(BtreeIterator it,
+                        cluster_index_->tree()->SeekFirst(BtreeKey::Min(lo_)));
+  if (!it.Valid() || it.key().k1 > hi_) {
+    done_ = true;
+    return Status::OK();
+  }
+  page_idx_ = Rid::Unpack(it.aux()).page_no;
+  return Status::OK();
+}
+
+Result<bool> ClusteredRangeScanOp::Next(ExecContext* ctx, Tuple* out) {
+  if (done_) return false;
+  const HeapFile* file = table_->file();
+  const Schema* schema = &table_->schema();
+  CpuStats* cpu = ctx->cpu();
+  const uint32_t num_atoms = static_cast<uint32_t>(pushed_.size());
+  while (true) {
+    if (!page_open_) {
+      if (page_idx_ >= file->page_count()) {
+        done_ = true;
+        return false;
+      }
+      auto guard = ctx->pool()->Fetch(PageId{file->segment(), page_idx_});
+      if (!guard.ok()) return guard.status();
+      guard_ = std::move(guard).value();
+      rows_in_page_ = HeapFile::PageRowCount(guard_.data());
+      row_idx_ = 0;
+      page_open_ = true;
+      if (monitors_ != nullptr) monitors_->BeginPage(cpu);
+    }
+    while (row_idx_ < rows_in_page_) {
+      RowView row(file->RowInPage(guard_.data(),
+                                  static_cast<uint16_t>(row_idx_)),
+                  schema);
+      // Keys are sorted: past hi means the range (and the scan) is done.
+      if (row.GetInt64(static_cast<size_t>(cluster_col_)) > hi_) {
+        if (monitors_ != nullptr) monitors_->EndPage();
+        guard_.Release();
+        page_open_ = false;
+        done_ = true;
+        return false;
+      }
+      ++row_idx_;
+      ++cpu->rows_processed;
+      uint32_t leading = pushed_.EvalLeading(row, cpu);
+      if (monitors_ != nullptr) {
+        monitors_->OnRow(row, leading, cpu, ctx->filter_slots());
+      }
+      if (leading == num_atoms) {
+        MaterializeProjection(row, projection_, out);
+        return true;
+      }
+    }
+    if (monitors_ != nullptr) monitors_->EndPage();
+    guard_.Release();
+    page_open_ = false;
+    ++page_idx_;
+  }
+}
+
+Status ClusteredRangeScanOp::Close(ExecContext* ctx) {
+  (void)ctx;
+  if (page_open_) {
+    if (monitors_ != nullptr) monitors_->EndPage();
+    guard_.Release();
+    page_open_ = false;
+  }
+  return Status::OK();
+}
+
+std::string ClusteredRangeScanOp::Describe() const {
+  return StrFormat("ClusteredRangeScan(%s, %s in [%lld,%lld], %s)",
+                   table_->name().c_str(),
+                   table_->schema().column(
+                       static_cast<size_t>(cluster_col_)).name.c_str(),
+                   static_cast<long long>(lo_), static_cast<long long>(hi_),
+                   pushed_.ToString(table_->schema()).c_str());
+}
+
+void ClusteredRangeScanOp::CollectMonitorRecords(
+    std::vector<MonitorRecord>* out) const {
+  if (monitors_ == nullptr) return;
+  for (const ScanExprResult& r : monitors_->Finish()) {
+    MonitorRecord rec;
+    rec.table = table_->name();
+    rec.label = r.label;
+    rec.expr_text = r.expr_text;
+    rec.mechanism =
+        r.mode == ScanMonitorMode::kSampled
+            ? StrFormat("dpsample(f=%s)",
+                        FormatDouble(r.sample_fraction, 4).c_str())
+            : ScanMonitorModeName(r.mode);
+    rec.actual_dpc = r.dpc;
+    rec.actual_cardinality = r.cardinality;
+    rec.exact = r.mode != ScanMonitorMode::kSampled;
+    out->push_back(std::move(rec));
+  }
+}
+
+CoveringIndexScanOp::CoveringIndexScanOp(Index* index, Predicate pushed,
+                                         std::vector<int> projection)
+    : index_(index),
+      pushed_(std::move(pushed)),
+      projection_(std::move(projection)) {
+#ifndef NDEBUG
+  for (const PredicateAtom& a : pushed_.atoms()) {
+    assert(index_->Covers({a.col()}) && "atom column not covered");
+    assert(!a.is_string());
+  }
+  for (int c : projection_) assert(index_->Covers({c}));
+#endif
+}
+
+Status CoveringIndexScanOp::Open(ExecContext* ctx) {
+  (void)ctx;
+  done_ = false;
+  DPCF_ASSIGN_OR_RETURN(it_, index_->tree()->Begin());
+  return Status::OK();
+}
+
+bool CoveringIndexScanOp::EvalEntry(const BtreeKey& key,
+                                    CpuStats* cpu) const {
+  for (const PredicateAtom& a : pushed_.atoms()) {
+    ++cpu->predicate_atom_evals;
+    int64_t v = a.col() == index_->key_cols()[0] ? key.k1 : key.k2;
+    if (!a.EvalInt(v)) return false;
+  }
+  return true;
+}
+
+Result<bool> CoveringIndexScanOp::Next(ExecContext* ctx, Tuple* out) {
+  if (done_) return false;
+  CpuStats* cpu = ctx->cpu();
+  while (it_.Valid()) {
+    BtreeKey key = it_.key();
+    ++cpu->rows_processed;
+    bool pass = EvalEntry(key, cpu);
+    DPCF_RETURN_IF_ERROR(it_.Next());
+    if (pass) {
+      out->clear();
+      out->reserve(projection_.size());
+      for (int col : projection_) {
+        out->push_back(Value::Int64(
+            col == index_->key_cols()[0] ? key.k1 : key.k2));
+      }
+      return true;
+    }
+  }
+  done_ = true;
+  return false;
+}
+
+Status CoveringIndexScanOp::Close(ExecContext* ctx) {
+  (void)ctx;
+  it_ = BtreeIterator();
+  return Status::OK();
+}
+
+std::string CoveringIndexScanOp::Describe() const {
+  return StrFormat("CoveringIndexScan(%s, %s)", index_->name().c_str(),
+                   pushed_.ToString(index_->table()->schema()).c_str());
+}
+
+}  // namespace dpcf

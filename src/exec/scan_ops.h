@@ -1,0 +1,108 @@
+// Scan plans: heap / clustered-index scan, clustered range scan, and
+// covering-index scan. These are the storage-engine operators with the
+// grouped-page-access property (paper Fig 2), so their page-count monitoring
+// is exact (prefix expressions) or DPSample-based (everything else).
+
+#pragma once
+
+#include <memory>
+
+#include "core/dpsample.h"
+#include "exec/operator.h"
+#include "index/secondary_index.h"
+#include "table/catalog.h"
+
+namespace dpcf {
+
+/// Full sequential scan of a heap or clustered table with a pushed-down,
+/// short-circuited conjunction and optional page-count monitoring.
+class TableScanOp : public Operator {
+ public:
+  TableScanOp(Table* table, Predicate pushed, std::vector<int> projection,
+              std::unique_ptr<ScanMonitorBundle> monitors = nullptr);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Tuple* out) override;
+  Status Close(ExecContext* ctx) override;
+  std::string Describe() const override;
+  void CollectMonitorRecords(std::vector<MonitorRecord>* out) const override;
+
+  const ScanMonitorBundle* monitors() const { return monitors_.get(); }
+
+ private:
+  Table* table_;
+  Predicate pushed_;
+  std::vector<int> projection_;
+  std::unique_ptr<ScanMonitorBundle> monitors_;
+
+  PageGuard guard_;
+  PageNo page_idx_ = 0;
+  uint32_t row_idx_ = 0;
+  uint32_t rows_in_page_ = 0;
+  bool page_open_ = false;
+  bool done_ = false;
+};
+
+/// Range scan of a clustered table: seeks the clustered-key index for the
+/// first data page of [lo, hi] on the clustering column and scans data pages
+/// sequentially until the key range is exhausted. The pushed conjunction
+/// must include the range atoms (boundary pages carry out-of-range rows).
+class ClusteredRangeScanOp : public Operator {
+ public:
+  ClusteredRangeScanOp(Table* table, Index* cluster_index, int64_t lo,
+                       int64_t hi, Predicate pushed,
+                       std::vector<int> projection,
+                       std::unique_ptr<ScanMonitorBundle> monitors = nullptr);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Tuple* out) override;
+  Status Close(ExecContext* ctx) override;
+  std::string Describe() const override;
+  void CollectMonitorRecords(std::vector<MonitorRecord>* out) const override;
+
+ private:
+  Table* table_;
+  Index* cluster_index_;
+  int64_t lo_;
+  int64_t hi_;
+  int cluster_col_;
+  Predicate pushed_;
+  std::vector<int> projection_;
+  std::unique_ptr<ScanMonitorBundle> monitors_;
+
+  PageGuard guard_;
+  PageNo page_idx_ = 0;
+  uint32_t row_idx_ = 0;
+  uint32_t rows_in_page_ = 0;
+  bool page_open_ = false;
+  bool done_ = false;
+};
+
+/// Scan of index leaf pages for queries whose referenced columns are all
+/// index key columns. Emits projected key columns; atoms must reference key
+/// columns only. Cannot observe base-table page counts (it never touches
+/// the table), which is why the paper's monitors target the other plans.
+class CoveringIndexScanOp : public Operator {
+ public:
+  /// `projection` and predicate atoms use *table* column indexes, which
+  /// must appear in index->key_cols().
+  CoveringIndexScanOp(Index* index, Predicate pushed,
+                      std::vector<int> projection);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Tuple* out) override;
+  Status Close(ExecContext* ctx) override;
+  std::string Describe() const override;
+
+ private:
+  /// Evaluates the pushed atoms against the current index entry.
+  bool EvalEntry(const BtreeKey& key, CpuStats* cpu) const;
+
+  Index* index_;
+  Predicate pushed_;
+  std::vector<int> projection_;
+  BtreeIterator it_;
+  bool done_ = false;
+};
+
+}  // namespace dpcf

@@ -1,0 +1,628 @@
+#include "index/btree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace dpcf {
+
+namespace {
+
+// On-page node format. All offsets are 8-byte aligned; entries are POD and
+// accessed in place.
+struct NodeHeader {
+  uint16_t is_leaf;
+  uint16_t level;  // 0 for leaves, parent = child level + 1
+  uint32_t count;
+  PageNo next;  // leaf chain; kInvalidPageNo when none / internal node
+  PageNo prev;
+};
+static_assert(sizeof(NodeHeader) == 16);
+
+struct LeafEntry {
+  int64_t k1;
+  int64_t k2;
+  uint64_t aux;
+};
+static_assert(sizeof(LeafEntry) == 24);
+
+struct InternalEntry {
+  int64_t k1;
+  int64_t k2;
+  uint64_t aux;
+  uint32_t child;
+  uint32_t pad;
+};
+static_assert(sizeof(InternalEntry) == 32);
+
+NodeHeader* Header(char* page) { return reinterpret_cast<NodeHeader*>(page); }
+const NodeHeader* Header(const char* page) {
+  return reinterpret_cast<const NodeHeader*>(page);
+}
+LeafEntry* LeafEntries(char* page) {
+  return reinterpret_cast<LeafEntry*>(page + sizeof(NodeHeader));
+}
+const LeafEntry* LeafEntries(const char* page) {
+  return reinterpret_cast<const LeafEntry*>(page + sizeof(NodeHeader));
+}
+InternalEntry* InternalEntries(char* page) {
+  return reinterpret_cast<InternalEntry*>(page + sizeof(NodeHeader));
+}
+const InternalEntry* InternalEntries(const char* page) {
+  return reinterpret_cast<const InternalEntry*>(page + sizeof(NodeHeader));
+}
+
+BtreeEntry ToEntry(const LeafEntry& e) {
+  return BtreeEntry{{e.k1, e.k2}, e.aux};
+}
+BtreeEntry ToEntry(const InternalEntry& e) {
+  return BtreeEntry{{e.k1, e.k2}, e.aux};
+}
+
+// First index i in the leaf with entries[i] >= target; count if none.
+uint32_t LeafLowerBound(const char* page, const BtreeEntry& target) {
+  const NodeHeader* h = Header(page);
+  const LeafEntry* es = LeafEntries(page);
+  uint32_t lo = 0, hi = h->count;
+  while (lo < hi) {
+    uint32_t mid = lo + (hi - lo) / 2;
+    if (ToEntry(es[mid]) < target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// Child slot for descending towards `target`: the last separator <= target,
+// clamped to slot 0 (the first separator acts as -infinity).
+uint32_t InternalChildSlot(const char* page, const BtreeEntry& target) {
+  const NodeHeader* h = Header(page);
+  const InternalEntry* es = InternalEntries(page);
+  uint32_t lo = 0, hi = h->count;  // first separator > target
+  while (lo < hi) {
+    uint32_t mid = lo + (hi - lo) / 2;
+    if (target < ToEntry(es[mid])) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo == 0 ? 0 : lo - 1;
+}
+
+}  // namespace
+
+std::string BtreeKey::ToString() const {
+  if (k2 == 0) return std::to_string(k1);
+  return "(" + std::to_string(k1) + "," + std::to_string(k2) + ")";
+}
+
+Btree::Btree(BufferPool* pool, SegmentId segment, std::string name)
+    : pool_(pool), segment_(segment), name_(std::move(name)) {
+  size_t usable = pool_->disk()->page_size() - sizeof(NodeHeader);
+  leaf_capacity_ = static_cast<uint32_t>(usable / sizeof(LeafEntry));
+  internal_capacity_ = static_cast<uint32_t>(usable / sizeof(InternalEntry));
+  assert(leaf_capacity_ >= 2 && internal_capacity_ >= 2);
+}
+
+Result<Btree> Btree::Create(BufferPool* pool, std::string name) {
+  SegmentId segment = pool->disk()->CreateSegment("index:" + name);
+  Btree tree(pool, segment, std::move(name));
+  PageId pid;
+  auto guard = pool->NewPage(segment, &pid);
+  if (!guard.ok()) return guard.status();
+  NodeHeader* h = Header(guard->mutable_data());
+  h->is_leaf = 1;
+  h->level = 0;
+  h->count = 0;
+  h->next = kInvalidPageNo;
+  h->prev = kInvalidPageNo;
+  tree.root_ = pid.page_no;
+  tree.height_ = 1;
+  return tree;
+}
+
+Status Btree::FindLeaf(const BtreeKey& lo, PageNo* leaf) const {
+  // The minimal entry with key >= lo is >= {lo, 0}? No: aux is unsigned and
+  // keys with equal (k1,k2) differ only in aux >= 0, so {lo, aux=0} is the
+  // smallest possible entry with this key.
+  BtreeEntry target{lo, 0};
+  PageNo node = root_;
+  for (uint32_t level = height_; level > 1; --level) {
+    auto guard = pool_->Fetch(PageId{segment_, node});
+    if (!guard.ok()) return guard.status();
+    const char* page = guard->data();
+    assert(!Header(page)->is_leaf);
+    uint32_t slot = InternalChildSlot(page, target);
+    node = InternalEntries(page)[slot].child;
+  }
+  *leaf = node;
+  return Status::OK();
+}
+
+Result<BtreeIterator> Btree::SeekFirst(const BtreeKey& lo) {
+  PageNo leaf;
+  DPCF_RETURN_IF_ERROR(FindLeaf(lo, &leaf));
+  auto guard = pool_->Fetch(PageId{segment_, leaf});
+  if (!guard.ok()) return guard.status();
+  BtreeIterator it;
+  it.pool_ = pool_;
+  it.segment_ = segment_;
+  it.guard_ = std::move(guard).value();
+  it.leaf_ = leaf;
+  it.leaf_count_ = Header(it.guard_.data())->count;
+  it.idx_ = LeafLowerBound(it.guard_.data(), BtreeEntry{lo, 0});
+  DPCF_RETURN_IF_ERROR(it.LoadCurrent());
+  return it;
+}
+
+Result<BtreeIterator> Btree::Begin() {
+  return SeekFirst(BtreeKey{INT64_MIN, INT64_MIN});
+}
+
+Status BtreeIterator::LoadCurrent() {
+  // Skip trailing positions and (possibly lazily emptied) leaves.
+  while (idx_ >= leaf_count_) {
+    PageNo next = Header(guard_.data())->next;
+    if (next == kInvalidPageNo) {
+      valid_ = false;
+      guard_.Release();
+      return Status::OK();
+    }
+    auto g = pool_->Fetch(PageId{segment_, next});
+    if (!g.ok()) return g.status();
+    guard_ = std::move(g).value();
+    leaf_ = next;
+    leaf_count_ = Header(guard_.data())->count;
+    idx_ = 0;
+  }
+  entry_ = ToEntry(LeafEntries(guard_.data())[idx_]);
+  valid_ = true;
+  return Status::OK();
+}
+
+Status BtreeIterator::Next() {
+  assert(valid_);
+  ++idx_;
+  return LoadCurrent();
+}
+
+Status Btree::Insert(const BtreeEntry& entry) {
+  std::optional<SplitResult> split;
+  DPCF_RETURN_IF_ERROR(InsertRec(root_, height_ - 1, entry, &split));
+  if (split.has_value()) {
+    DPCF_RETURN_IF_ERROR(GrowRoot(*split));
+  }
+  ++entry_count_;
+  return Status::OK();
+}
+
+Status Btree::InsertRec(PageNo node, uint32_t level, const BtreeEntry& entry,
+                        std::optional<SplitResult>* split) {
+  split->reset();
+  auto guard_r = pool_->Fetch(PageId{segment_, node});
+  if (!guard_r.ok()) return guard_r.status();
+  PageGuard guard = std::move(guard_r).value();
+
+  if (level == 0) {
+    char* page = guard.mutable_data();
+    NodeHeader* h = Header(page);
+    LeafEntry* es = LeafEntries(page);
+    uint32_t pos = LeafLowerBound(page, entry);
+    if (pos < h->count && ToEntry(es[pos]) == entry) {
+      return Status::AlreadyExists("duplicate btree entry " +
+                                   entry.key.ToString());
+    }
+    if (h->count < leaf_capacity_) {
+      std::memmove(es + pos + 1, es + pos,
+                   sizeof(LeafEntry) * (h->count - pos));
+      es[pos] = LeafEntry{entry.key.k1, entry.key.k2, entry.aux};
+      ++h->count;
+      return Status::OK();
+    }
+    // Split the leaf: upper half moves to a new right sibling.
+    PageId right_pid;
+    auto right_r = pool_->NewPage(segment_, &right_pid);
+    if (!right_r.ok()) return right_r.status();
+    PageGuard right_guard = std::move(right_r).value();
+    char* rpage = right_guard.mutable_data();
+    NodeHeader* rh = Header(rpage);
+    LeafEntry* res = LeafEntries(rpage);
+    uint32_t mid = h->count / 2;
+    rh->is_leaf = 1;
+    rh->level = 0;
+    rh->count = h->count - mid;
+    rh->next = h->next;
+    rh->prev = node;
+    std::memcpy(res, es + mid, sizeof(LeafEntry) * rh->count);
+    h->count = mid;
+    if (rh->next != kInvalidPageNo) {
+      auto nbr = pool_->Fetch(PageId{segment_, rh->next});
+      if (!nbr.ok()) return nbr.status();
+      Header(nbr->mutable_data())->prev = right_pid.page_no;
+    }
+    h->next = right_pid.page_no;
+    // Insert into whichever half owns the entry.
+    if (entry < ToEntry(res[0])) {
+      uint32_t p = LeafLowerBound(page, entry);
+      std::memmove(es + p + 1, es + p, sizeof(LeafEntry) * (h->count - p));
+      es[p] = LeafEntry{entry.key.k1, entry.key.k2, entry.aux};
+      ++h->count;
+    } else {
+      uint32_t p = LeafLowerBound(rpage, entry);
+      std::memmove(res + p + 1, res + p, sizeof(LeafEntry) * (rh->count - p));
+      res[p] = LeafEntry{entry.key.k1, entry.key.k2, entry.aux};
+      ++rh->count;
+    }
+    *split = SplitResult{ToEntry(res[0]), right_pid.page_no};
+    return Status::OK();
+  }
+
+  // Internal node: descend, then absorb a child split if one happened.
+  uint32_t slot = InternalChildSlot(guard.data(), entry);
+  if (slot == 0 && entry < ToEntry(InternalEntries(guard.data())[0])) {
+    // Keep separators exact lower bounds of their subtrees: an insert
+    // below the leftmost separator lowers it, so separators emitted by
+    // later child-0 splits can never sort before slot 0.
+    InternalEntry* es0 = InternalEntries(guard.mutable_data());
+    es0[0].k1 = entry.key.k1;
+    es0[0].k2 = entry.key.k2;
+    es0[0].aux = entry.aux;
+  }
+  PageNo child = InternalEntries(guard.data())[slot].child;
+  std::optional<SplitResult> child_split;
+  DPCF_RETURN_IF_ERROR(InsertRec(child, level - 1, entry, &child_split));
+  if (!child_split.has_value()) return Status::OK();
+
+  char* page = guard.mutable_data();
+  NodeHeader* h = Header(page);
+  InternalEntry* es = InternalEntries(page);
+  InternalEntry sep{child_split->separator.key.k1,
+                    child_split->separator.key.k2, child_split->separator.aux,
+                    child_split->right, 0};
+  uint32_t pos = slot + 1;
+  if (h->count < internal_capacity_) {
+    std::memmove(es + pos + 1, es + pos,
+                 sizeof(InternalEntry) * (h->count - pos));
+    es[pos] = sep;
+    ++h->count;
+    return Status::OK();
+  }
+  // Split this internal node the same way (first-key separators: no key is
+  // pushed up and removed; the right node's first separator is copied up).
+  PageId right_pid;
+  auto right_r = pool_->NewPage(segment_, &right_pid);
+  if (!right_r.ok()) return right_r.status();
+  PageGuard right_guard = std::move(right_r).value();
+  char* rpage = right_guard.mutable_data();
+  NodeHeader* rh = Header(rpage);
+  InternalEntry* res = InternalEntries(rpage);
+  uint32_t mid = h->count / 2;
+  rh->is_leaf = 0;
+  rh->level = static_cast<uint16_t>(level);
+  rh->count = h->count - mid;
+  rh->next = kInvalidPageNo;
+  rh->prev = kInvalidPageNo;
+  std::memcpy(res, es + mid, sizeof(InternalEntry) * rh->count);
+  h->count = mid;
+  if (BtreeEntry{{sep.k1, sep.k2}, sep.aux} < ToEntry(res[0])) {
+    uint32_t p = pos;  // still valid: pos <= mid here
+    assert(p <= h->count);
+    std::memmove(es + p + 1, es + p, sizeof(InternalEntry) * (h->count - p));
+    es[p] = sep;
+    ++h->count;
+  } else {
+    uint32_t p = pos - mid;
+    assert(p <= rh->count);
+    std::memmove(res + p + 1, res + p,
+                 sizeof(InternalEntry) * (rh->count - p));
+    res[p] = sep;
+    ++rh->count;
+  }
+  *split = SplitResult{ToEntry(res[0]), right_pid.page_no};
+  return Status::OK();
+}
+
+Status Btree::GrowRoot(const SplitResult& split) {
+  // Fetch the old root's first entry to build the left separator.
+  BtreeEntry left_sep;
+  {
+    auto guard = pool_->Fetch(PageId{segment_, root_});
+    if (!guard.ok()) return guard.status();
+    const char* page = guard->data();
+    const NodeHeader* h = Header(page);
+    assert(h->count > 0);
+    left_sep = h->is_leaf ? ToEntry(LeafEntries(page)[0])
+                          : ToEntry(InternalEntries(page)[0]);
+  }
+  PageId pid;
+  auto guard = pool_->NewPage(segment_, &pid);
+  if (!guard.ok()) return guard.status();
+  char* page = guard->mutable_data();
+  NodeHeader* h = Header(page);
+  h->is_leaf = 0;
+  h->level = static_cast<uint16_t>(height_);
+  h->count = 2;
+  h->next = kInvalidPageNo;
+  h->prev = kInvalidPageNo;
+  InternalEntry* es = InternalEntries(page);
+  es[0] = InternalEntry{left_sep.key.k1, left_sep.key.k2, left_sep.aux,
+                        root_, 0};
+  es[1] = InternalEntry{split.separator.key.k1, split.separator.key.k2,
+                        split.separator.aux, split.right, 0};
+  root_ = pid.page_no;
+  ++height_;
+  return Status::OK();
+}
+
+Status Btree::Delete(const BtreeEntry& entry) {
+  PageNo leaf;
+  DPCF_RETURN_IF_ERROR(FindLeaf(entry.key, &leaf));
+  // Walk the leaf chain while the key could still be present (duplicates of
+  // a key never span a separator gap, but equal keys may span leaves).
+  while (leaf != kInvalidPageNo) {
+    auto guard = pool_->Fetch(PageId{segment_, leaf});
+    if (!guard.ok()) return guard.status();
+    const char* cpage = guard->data();
+    const NodeHeader* ch = Header(cpage);
+    uint32_t pos = LeafLowerBound(cpage, entry);
+    if (pos < ch->count) {
+      if (ToEntry(LeafEntries(cpage)[pos]) == entry) {
+        char* page = guard->mutable_data();
+        NodeHeader* h = Header(page);
+        LeafEntry* es = LeafEntries(page);
+        std::memmove(es + pos, es + pos + 1,
+                     sizeof(LeafEntry) * (h->count - pos - 1));
+        --h->count;
+        --entry_count_;
+        return Status::OK();
+      }
+      break;  // positioned at an entry > target: not present
+    }
+    leaf = ch->next;
+  }
+  return Status::NotFound("btree entry " + entry.key.ToString());
+}
+
+Status Btree::BulkLoad(const std::vector<BtreeEntry>& sorted,
+                       double fill_fraction) {
+  if (entry_count_ != 0) {
+    return Status::InvalidArgument("BulkLoad requires an empty tree");
+  }
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    if (!(sorted[i - 1] < sorted[i])) {
+      return Status::InvalidArgument(StrFormat(
+          "BulkLoad input not strictly ascending at position %zu", i));
+    }
+  }
+  if (sorted.empty()) return Status::OK();
+
+  uint32_t leaf_fill = std::max<uint32_t>(
+      1, std::min<uint32_t>(
+             leaf_capacity_,
+             static_cast<uint32_t>(leaf_capacity_ * fill_fraction)));
+  uint32_t internal_fill = std::max<uint32_t>(
+      2, std::min<uint32_t>(
+             internal_capacity_,
+             static_cast<uint32_t>(internal_capacity_ * fill_fraction)));
+
+  // Level 0: fill leaves left to right, chaining them.
+  struct NodeRef {
+    BtreeEntry first;
+    PageNo page;
+  };
+  std::vector<NodeRef> level_nodes;
+  {
+    PageNo prev = kInvalidPageNo;
+    PageGuard prev_guard;
+    size_t i = 0;
+    while (i < sorted.size()) {
+      uint32_t n = static_cast<uint32_t>(
+          std::min<size_t>(leaf_fill, sorted.size() - i));
+      PageId pid;
+      auto guard_r = pool_->NewPage(segment_, &pid);
+      if (!guard_r.ok()) return guard_r.status();
+      PageGuard guard = std::move(guard_r).value();
+      char* page = guard.mutable_data();
+      NodeHeader* h = Header(page);
+      h->is_leaf = 1;
+      h->level = 0;
+      h->count = n;
+      h->next = kInvalidPageNo;
+      h->prev = prev;
+      LeafEntry* es = LeafEntries(page);
+      for (uint32_t j = 0; j < n; ++j) {
+        const BtreeEntry& e = sorted[i + j];
+        es[j] = LeafEntry{e.key.k1, e.key.k2, e.aux};
+      }
+      if (prev != kInvalidPageNo) {
+        Header(prev_guard.mutable_data())->next = pid.page_no;
+      }
+      level_nodes.push_back(NodeRef{sorted[i], pid.page_no});
+      prev = pid.page_no;
+      prev_guard = std::move(guard);
+      i += n;
+    }
+  }
+
+  // Upper levels until a single root remains.
+  uint16_t level = 1;
+  while (level_nodes.size() > 1) {
+    std::vector<NodeRef> next_nodes;
+    size_t i = 0;
+    while (i < level_nodes.size()) {
+      uint32_t n = static_cast<uint32_t>(
+          std::min<size_t>(internal_fill, level_nodes.size() - i));
+      // Avoid a trailing single-child node: borrow one from this node.
+      if (level_nodes.size() - i - n == 1) n -= 1;
+      PageId pid;
+      auto guard_r = pool_->NewPage(segment_, &pid);
+      if (!guard_r.ok()) return guard_r.status();
+      PageGuard guard = std::move(guard_r).value();
+      char* page = guard.mutable_data();
+      NodeHeader* h = Header(page);
+      h->is_leaf = 0;
+      h->level = level;
+      h->count = n;
+      h->next = kInvalidPageNo;
+      h->prev = kInvalidPageNo;
+      InternalEntry* es = InternalEntries(page);
+      for (uint32_t j = 0; j < n; ++j) {
+        const NodeRef& ref = level_nodes[i + j];
+        es[j] = InternalEntry{ref.first.key.k1, ref.first.key.k2,
+                              ref.first.aux, ref.page, 0};
+      }
+      next_nodes.push_back(NodeRef{level_nodes[i].first, pid.page_no});
+      i += n;
+    }
+    level_nodes = std::move(next_nodes);
+    ++level;
+  }
+
+  // Retire the placeholder empty root created by Create(): simply repoint.
+  root_ = level_nodes[0].page;
+  height_ = level;
+  entry_count_ = static_cast<int64_t>(sorted.size());
+  return Status::OK();
+}
+
+Status Btree::CollectRange(const BtreeKey& lo, const BtreeKey& hi,
+                           std::vector<uint64_t>* out) {
+  DPCF_ASSIGN_OR_RETURN(BtreeIterator it, SeekFirst(lo));
+  while (it.Valid() && it.key() <= hi) {
+    out->push_back(it.aux());
+    DPCF_RETURN_IF_ERROR(it.Next());
+  }
+  return Status::OK();
+}
+
+Status Btree::CheckNode(PageNo node, uint32_t level,
+                        const std::optional<BtreeEntry>& lower,
+                        const std::optional<BtreeEntry>& upper,
+                        int64_t* entries_seen, PageNo* leftmost_leaf) const {
+  auto guard_r = pool_->Fetch(PageId{segment_, node});
+  if (!guard_r.ok()) return guard_r.status();
+  PageGuard guard = std::move(guard_r).value();
+  const char* page = guard.data();
+  const NodeHeader* h = Header(page);
+  const bool expect_leaf = (level == 0);
+  if (static_cast<bool>(h->is_leaf) != expect_leaf) {
+    return Status::Corruption(StrFormat("node %u: is_leaf=%u at level %u",
+                                        node, h->is_leaf, level));
+  }
+  if (h->level != level) {
+    return Status::Corruption(StrFormat("node %u: level %u, expected %u",
+                                        node, h->level, level));
+  }
+  auto in_bounds = [&](const BtreeEntry& e) {
+    if (lower.has_value() && e < *lower) return false;
+    if (upper.has_value() && !(e < *upper)) return false;
+    return true;
+  };
+  if (h->is_leaf) {
+    if (level == 0 && leftmost_leaf != nullptr &&
+        *leftmost_leaf == kInvalidPageNo) {
+      *leftmost_leaf = node;
+    }
+    const LeafEntry* es = LeafEntries(page);
+    for (uint32_t i = 0; i < h->count; ++i) {
+      BtreeEntry e = ToEntry(es[i]);
+      if (i > 0 && !(ToEntry(es[i - 1]) < e)) {
+        return Status::Corruption(
+            StrFormat("leaf %u: entries out of order at %u", node, i));
+      }
+      if (!in_bounds(e)) {
+        return Status::Corruption(
+            StrFormat("leaf %u: entry %u outside separator bounds", node, i));
+      }
+    }
+    *entries_seen += h->count;
+    return Status::OK();
+  }
+  const InternalEntry* es = InternalEntries(page);
+  if (h->count == 0) {
+    return Status::Corruption(StrFormat("internal node %u is empty", node));
+  }
+  for (uint32_t i = 0; i < h->count; ++i) {
+    BtreeEntry sep = ToEntry(es[i]);
+    if (i > 0 && !(ToEntry(es[i - 1]) < sep)) {
+      return Status::Corruption(
+          StrFormat("internal %u: separators out of order at %u", node, i));
+    }
+    // Child i covers [sep_i, sep_{i+1}). Slot 0's separator acts as -inf
+    // (lookups clamp to the first child), so the leftmost child's lower
+    // bound is the inherited one, not its separator.
+    std::optional<BtreeEntry> child_lower =
+        (i == 0) ? lower : std::optional<BtreeEntry>(sep);
+    std::optional<BtreeEntry> child_upper =
+        (i + 1 < h->count) ? std::optional<BtreeEntry>(ToEntry(es[i + 1]))
+                           : upper;
+    PageNo leftmost = (leftmost_leaf != nullptr && i == 0)
+                          ? *leftmost_leaf
+                          : kInvalidPageNo;
+    PageNo* lm = (leftmost_leaf != nullptr && i == 0) ? leftmost_leaf
+                                                      : nullptr;
+    (void)leftmost;
+    DPCF_RETURN_IF_ERROR(CheckNode(es[i].child, level - 1, child_lower,
+                                   child_upper, entries_seen, lm));
+  }
+  return Status::OK();
+}
+
+Status Btree::CheckInvariants() const {
+  int64_t entries_seen = 0;
+  PageNo leftmost_leaf = kInvalidPageNo;
+  DPCF_RETURN_IF_ERROR(CheckNode(root_, height_ - 1, std::nullopt,
+                                 std::nullopt, &entries_seen,
+                                 &leftmost_leaf));
+  if (entries_seen != entry_count_) {
+    return Status::Corruption(
+        StrFormat("entry count mismatch: tree reports %lld, found %lld",
+                  static_cast<long long>(entry_count_),
+                  static_cast<long long>(entries_seen)));
+  }
+  // Leaf chain: complete, ordered, consistent prev pointers.
+  int64_t chain_entries = 0;
+  std::optional<BtreeEntry> last;
+  PageNo prev = kInvalidPageNo;
+  PageNo cur = leftmost_leaf;
+  while (cur != kInvalidPageNo) {
+    auto guard = pool_->Fetch(PageId{segment_, cur});
+    if (!guard.ok()) return guard.status();
+    const char* page = guard->data();
+    const NodeHeader* h = Header(page);
+    if (!h->is_leaf) {
+      return Status::Corruption(
+          StrFormat("leaf chain reached internal node %u", cur));
+    }
+    if (h->prev != prev) {
+      return Status::Corruption(
+          StrFormat("leaf %u: prev=%u, expected %u", cur, h->prev, prev));
+    }
+    const LeafEntry* es = LeafEntries(page);
+    for (uint32_t i = 0; i < h->count; ++i) {
+      BtreeEntry e = ToEntry(es[i]);
+      if (last.has_value() && !(*last < e)) {
+        return Status::Corruption(
+            StrFormat("leaf chain out of order at leaf %u entry %u", cur, i));
+      }
+      last = e;
+    }
+    chain_entries += h->count;
+    prev = cur;
+    cur = h->next;
+  }
+  if (chain_entries != entry_count_) {
+    return Status::Corruption(StrFormat(
+        "leaf chain holds %lld entries, tree reports %lld",
+        static_cast<long long>(chain_entries),
+        static_cast<long long>(entry_count_)));
+  }
+  return Status::OK();
+}
+
+}  // namespace dpcf

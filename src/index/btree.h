@@ -1,0 +1,161 @@
+// Paged B+-tree.
+//
+// Backs every index in the engine: secondary (non-clustered) indexes map
+// (key [, second key column], rid) to the table row, and the clustered key
+// index maps the clustering key to its rid so range scans can locate their
+// starting data page. Nodes live in buffer-pool pages, so index traversal
+// I/O is charged to the run like any other page access.
+//
+// Keys are composite (k1, k2) int64 pairs — wide enough for the one- and
+// two-column indexes the paper's experiments use. Duplicate keys are
+// supported by treating the stored (k1, k2, aux) triple as the full
+// comparison key (aux carries the packed Rid, which is unique per row).
+//
+// Supported operations: point/range seek via iterators, single insert with
+// node splits, lazy leaf delete (no rebalancing — the workloads are
+// read-mostly; underfull leaves merely waste space), and linear bulk load
+// for initial index build. CheckInvariants() validates ordering, separator
+// and leaf-chain invariants for the test suite.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+
+namespace dpcf {
+
+/// Composite index key. Single-column indexes keep k2 = 0.
+struct BtreeKey {
+  int64_t k1 = 0;
+  int64_t k2 = 0;
+
+  bool operator==(const BtreeKey&) const = default;
+  auto operator<=>(const BtreeKey&) const = default;
+
+  /// Smallest/largest keys with a given leading column — used to turn a
+  /// range predicate on the leading column into a full composite range.
+  static BtreeKey Min(int64_t k1) { return BtreeKey{k1, INT64_MIN}; }
+  static BtreeKey Max(int64_t k1) { return BtreeKey{k1, INT64_MAX}; }
+
+  std::string ToString() const;
+};
+
+/// One index entry: composite key plus auxiliary payload (packed Rid).
+struct BtreeEntry {
+  BtreeKey key;
+  uint64_t aux = 0;
+
+  bool operator==(const BtreeEntry&) const = default;
+  auto operator<=>(const BtreeEntry&) const = default;
+};
+
+/// Forward iterator over leaf entries in key order. Holds a pin on the
+/// current leaf page; Next() follows the leaf chain (charging I/O).
+class BtreeIterator {
+ public:
+  BtreeIterator() = default;
+
+  bool Valid() const { return valid_; }
+  const BtreeKey& key() const { return entry_.key; }
+  uint64_t aux() const { return entry_.aux; }
+  const BtreeEntry& entry() const { return entry_; }
+
+  /// Page number of the current leaf (for leaf-page grouping).
+  PageNo leaf_page() const { return leaf_; }
+
+  /// Advances to the next entry; clears Valid() at the end of the index.
+  Status Next();
+
+ private:
+  friend class Btree;
+
+  Status LoadCurrent();
+
+  BufferPool* pool_ = nullptr;
+  SegmentId segment_ = kInvalidSegment;
+  PageGuard guard_;
+  PageNo leaf_ = kInvalidPageNo;
+  uint32_t idx_ = 0;
+  uint32_t leaf_count_ = 0;
+  BtreeEntry entry_;
+  bool valid_ = false;
+};
+
+/// Paged B+-tree over one buffer-pool segment.
+class Btree {
+ public:
+  /// Creates an empty tree (root = empty leaf) in a fresh segment.
+  static Result<Btree> Create(BufferPool* pool, std::string name);
+
+  /// Inserts one entry. Duplicate full (key, aux) triples are rejected
+  /// with AlreadyExists.
+  Status Insert(const BtreeEntry& entry);
+
+  /// Removes the exact (key, aux) entry from its leaf (lazy delete: no
+  /// rebalancing). NotFound if absent.
+  Status Delete(const BtreeEntry& entry);
+
+  /// Bulk-loads entries into an empty tree. `sorted` must be strictly
+  /// ascending by (key, aux). `fill_fraction` controls leaf occupancy.
+  Status BulkLoad(const std::vector<BtreeEntry>& sorted,
+                  double fill_fraction = 1.0);
+
+  /// Positions an iterator at the first entry with key >= lo.
+  Result<BtreeIterator> SeekFirst(const BtreeKey& lo);
+
+  /// Iterator from the smallest entry.
+  Result<BtreeIterator> Begin();
+
+  /// Convenience: collects aux values of all entries with lo <= key <= hi.
+  Status CollectRange(const BtreeKey& lo, const BtreeKey& hi,
+                      std::vector<uint64_t>* out);
+
+  int64_t entry_count() const { return entry_count_; }
+  uint32_t height() const { return height_; }
+  uint32_t page_count() const {
+    return pool_->disk()->SegmentPageCount(segment_);
+  }
+  SegmentId segment() const { return segment_; }
+  const std::string& name() const { return name_; }
+
+  uint32_t leaf_capacity() const { return leaf_capacity_; }
+  uint32_t internal_capacity() const { return internal_capacity_; }
+
+  /// Verifies structural invariants (ordering within nodes, separator
+  /// bounds, leaf chain completeness and global order, entry count).
+  Status CheckInvariants() const;
+
+ private:
+  Btree(BufferPool* pool, SegmentId segment, std::string name);
+
+  struct SplitResult {
+    BtreeEntry separator;  // first entry of the new right sibling
+    PageNo right;
+  };
+
+  Status InsertRec(PageNo node, uint32_t level, const BtreeEntry& entry,
+                   std::optional<SplitResult>* split);
+  Status GrowRoot(const SplitResult& split);
+  Status FindLeaf(const BtreeKey& lo, PageNo* leaf) const;
+
+  Status CheckNode(PageNo node, uint32_t level,
+                   const std::optional<BtreeEntry>& lower,
+                   const std::optional<BtreeEntry>& upper,
+                   int64_t* entries_seen, PageNo* leftmost_leaf) const;
+
+  BufferPool* pool_;
+  SegmentId segment_;
+  std::string name_;
+  PageNo root_ = kInvalidPageNo;
+  uint32_t height_ = 1;  // levels including the leaf level
+  int64_t entry_count_ = 0;
+  uint32_t leaf_capacity_ = 0;
+  uint32_t internal_capacity_ = 0;
+};
+
+}  // namespace dpcf

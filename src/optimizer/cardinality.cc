@@ -1,0 +1,115 @@
+#include "optimizer/cardinality.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace dpcf {
+
+namespace {
+constexpr double kDefaultAtomSelectivity = 0.1;
+}
+
+std::string SelPredKey(const Table& table, const Predicate& pred) {
+  return table.name() + "|" + pred.CanonicalKey(table.schema());
+}
+
+std::string JoinPredKey(const Table& a, int col_a, const Table& b,
+                        int col_b) {
+  std::string lhs =
+      a.name() + "." + a.schema().column(static_cast<size_t>(col_a)).name;
+  std::string rhs =
+      b.name() + "." + b.schema().column(static_cast<size_t>(col_b)).name;
+  if (rhs < lhs) std::swap(lhs, rhs);
+  return "JOIN(" + lhs + "=" + rhs + ")";
+}
+
+Status StatisticsCatalog::Build(DiskManager* disk, const Table& table,
+                                int col, int num_buckets) {
+  DPCF_ASSIGN_OR_RETURN(Histogram h,
+                        Histogram::Build(disk, table, col, num_buckets));
+  histograms_[{&table, col}] = std::move(h);
+  return Status::OK();
+}
+
+Status StatisticsCatalog::BuildAll(DiskManager* disk, const Table& table,
+                                   int num_buckets) {
+  for (size_t c = 0; c < table.schema().num_columns(); ++c) {
+    if (table.schema().column(c).type != ValueType::kInt64) continue;
+    DPCF_RETURN_IF_ERROR(
+        Build(disk, table, static_cast<int>(c), num_buckets));
+  }
+  return Status::OK();
+}
+
+const Histogram* StatisticsCatalog::Get(const Table& table, int col) const {
+  auto it = histograms_.find({&table, col});
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+double CardinalityEstimator::AtomSelectivity(
+    const Table& table, const PredicateAtom& atom) const {
+  const double rows = static_cast<double>(table.row_count());
+  if (rows == 0) return 0;
+  if (atom.is_string()) return kDefaultAtomSelectivity;
+  const Histogram* h = stats_->Get(table, atom.col());
+  if (h == nullptr || h->row_count() == 0) return kDefaultAtomSelectivity;
+  const int64_t v = atom.int_operand();
+  double est_rows = 0;
+  switch (atom.op()) {
+    case CmpOp::kEq:
+      est_rows = h->EstimateEq(v);
+      break;
+    case CmpOp::kNe:
+      est_rows = static_cast<double>(h->row_count()) - h->EstimateEq(v);
+      break;
+    case CmpOp::kLt:
+      est_rows = h->EstimateRange(h->min_value(), v - 1);
+      break;
+    case CmpOp::kLe:
+      est_rows = h->EstimateRange(h->min_value(), v);
+      break;
+    case CmpOp::kGt:
+      est_rows = h->EstimateRange(v + 1, h->max_value());
+      break;
+    case CmpOp::kGe:
+      est_rows = h->EstimateRange(v, h->max_value());
+      break;
+  }
+  return std::clamp(est_rows / static_cast<double>(h->row_count()), 0.0,
+                    1.0);
+}
+
+double CardinalityEstimator::EstimateRows(const Table& table,
+                                          const Predicate& pred) const {
+  if (hints_ != nullptr) {
+    if (auto hint = hints_->Cardinality(SelPredKey(table, pred))) {
+      return *hint;
+    }
+  }
+  double sel = 1.0;
+  for (const PredicateAtom& a : pred.atoms()) {
+    sel *= AtomSelectivity(table, a);
+  }
+  return sel * static_cast<double>(table.row_count());
+}
+
+double CardinalityEstimator::EstimateJoinRows(const Table& a, double a_rows,
+                                              int col_a, const Table& b,
+                                              double b_rows,
+                                              int col_b) const {
+  if (hints_ != nullptr) {
+    if (auto hint =
+            hints_->Cardinality(JoinPredKey(a, col_a, b, col_b))) {
+      return *hint;
+    }
+  }
+  const Histogram* ha = stats_->Get(a, col_a);
+  const Histogram* hb = stats_->Get(b, col_b);
+  double ndv_a = ha != nullptr ? ha->distinct_count() : a_rows;
+  double ndv_b = hb != nullptr ? hb->distinct_count() : b_rows;
+  double denom = std::max({ndv_a, ndv_b, 1.0});
+  return a_rows * b_rows / denom;
+}
+
+}  // namespace dpcf

@@ -1,0 +1,83 @@
+// Optimizer cost model.
+//
+// Costs are in the same simulated-millisecond units the execution simulator
+// charges, built from the SimCostParams device constants. The decisive term
+// for the paper's experiments is `dpc × rand_read_ms` in the index-seek and
+// INL-join formulas: when the analytical DPC (Yao) is wrong, the ranking of
+// Table Scan vs Index Seek and Hash vs INL flips — which is exactly the
+// failure execution feedback corrects.
+
+#pragma once
+
+#include <cstdint>
+
+#include "index/secondary_index.h"
+#include "storage/io_stats.h"
+#include "table/table.h"
+
+namespace dpcf {
+
+class CostModel {
+ public:
+  explicit CostModel(SimCostParams params = SimCostParams())
+      : p_(params) {}
+
+  const SimCostParams& params() const { return p_; }
+
+  /// Full sequential scan: every page streamed, every row processed,
+  /// `atoms_per_row` predicate evaluations expected per row (short-circuit
+  /// average, estimated by the caller).
+  double TableScan(const Table& table, double atoms_per_row) const;
+
+  /// Clustered range scan touching `pages` data pages / `rows` rows, plus
+  /// the clustered-key descent.
+  double ClusteredRange(const Index& cluster_index, double pages,
+                        double rows, double atoms_per_row) const;
+
+  /// Index seek fetching `seek_rows` rids whose rows live on `dpc`
+  /// distinct pages; each fetched page is a random I/O. Residual atoms are
+  /// evaluated per fetched row.
+  double IndexSeek(const Index& index, double seek_rows, double dpc,
+                   double residual_atoms) const;
+
+  /// Two index seeks + rid intersection + fetch of the intersection.
+  double IndexIntersection(const Index& a, double a_rows, const Index& b,
+                           double b_rows, double intersection_rows,
+                           double dpc, double residual_atoms) const;
+
+  /// Covering index scan: leaf pages streamed.
+  double CoveringScan(const Index& index, double atoms_per_row) const;
+
+  /// Hash join on already-costed inputs.
+  double HashJoin(double outer_cost, double outer_rows, double inner_cost,
+                  double inner_rows, double join_rows) const;
+
+  /// Merge join; `sort_outer`/`sort_inner` add n·log n CPU.
+  double MergeJoin(double outer_cost, double outer_rows, double inner_cost,
+                   double inner_rows, double join_rows, bool sort_outer,
+                   bool sort_inner) const;
+
+  /// INL join: per outer row an index lookup on the inner; `dpc` distinct
+  /// inner pages fetched randomly; `match_rows` total fetches.
+  double InlJoin(double outer_cost, double outer_rows,
+                 const Index& inner_index, double dpc,
+                 double match_rows) const;
+
+  /// Leaf pages an index range of `rows` entries spans.
+  double LeafPages(const Index& index, double rows) const;
+
+  /// I/O for fetching `dpc` distinct pages holding `rows` rows. When the
+  /// page count sits at its lower bound (rows/m) the qualifying rows are
+  /// co-clustered and the fetches stream sequentially; otherwise each page
+  /// is a random access. Analytical (Yao) DPC values never hit the
+  /// clustered branch — only accurate fed-back counts do, which is part of
+  /// why correcting them changes plan choice.
+  double FetchIo(double dpc, double rows, uint32_t rows_per_page) const;
+
+ private:
+  double SeekDescent(const Index& index) const;
+
+  SimCostParams p_;
+};
+
+}  // namespace dpcf

@@ -1,0 +1,57 @@
+// Equi-depth histograms over INT64 columns.
+//
+// The cardinality side of the optimizer. The paper deliberately *injects
+// accurate cardinalities* in its experiments to isolate page-count errors;
+// we support both: histogram-based estimates here, and exact injection via
+// OptimizerHints. Histograms estimate row counts only — the paper's central
+// observation is that no cardinality statistic captures on-disk clustering,
+// which is why DPC needs execution feedback.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "table/table.h"
+
+namespace dpcf {
+
+/// Equi-depth histogram with per-bucket distinct counts.
+class Histogram {
+ public:
+  /// Empty histogram (no statistics); estimates are zero.
+  Histogram() = default;
+
+  /// Builds from all values of `col` in `table` (raw page walk; statistics
+  /// creation is DDL-time work, not charged as query I/O).
+  static Result<Histogram> Build(DiskManager* disk, const Table& table,
+                                 int col, int num_buckets = 100);
+
+  /// Builds directly from a value vector (testing / synthetic stats).
+  static Histogram FromValues(std::vector<int64_t> values, int num_buckets);
+
+  /// Estimated number of rows with lo <= value <= hi.
+  double EstimateRange(int64_t lo, int64_t hi) const;
+
+  /// Estimated number of rows with value == v.
+  double EstimateEq(int64_t v) const;
+
+  int64_t row_count() const { return row_count_; }
+  double distinct_count() const { return distinct_total_; }
+  int64_t min_value() const { return min_; }
+  int64_t max_value() const { return max_; }
+  size_t num_buckets() const { return upper_.size(); }
+
+ private:
+  // Bucket i covers (upper_[i-1], upper_[i]] (first bucket from min_).
+  std::vector<int64_t> upper_;
+  std::vector<int64_t> rows_;      // rows per bucket
+  std::vector<double> distinct_;   // distinct values per bucket
+  int64_t row_count_ = 0;
+  double distinct_total_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+}  // namespace dpcf

@@ -1,0 +1,330 @@
+#include "optimizer/optimizer.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "optimizer/yao.h"
+
+namespace dpcf {
+
+double Optimizer::EstimateDpc(const Table& table, const Predicate& expr,
+                              double est_rows, std::string* source) const {
+  if (hints_ != nullptr) {
+    if (auto hint = hints_->Dpc(SelPredKey(table, expr))) {
+      if (source != nullptr) *source = "hint";
+      return *hint;
+    }
+  }
+  // Self-tuning DPC histogram: applicable when the expression is a pure
+  // range on a single column whose clustering density was learned from an
+  // earlier monitored execution.
+  if (dpc_histograms_ != nullptr && !expr.empty()) {
+    const int col = expr.atoms()[0].col();
+    if (auto range = ExtractColumnRange(expr, col);
+        range.has_value() && range->atoms.size() == expr.size()) {
+      if (auto est = dpc_histograms_->Estimate(table, col, range->lo,
+                                               range->hi, est_rows)) {
+        if (source != nullptr) *source = "dpc-histogram";
+        return *est;
+      }
+    }
+  }
+  if (source != nullptr) *source = "yao";
+  return YaoEstimate(table.page_count(), table.rows_per_page(),
+                     static_cast<int64_t>(est_rows));
+}
+
+double Optimizer::EstimateJoinDpc(const JoinQuery& query,
+                                  double semi_join_rows,
+                                  std::string* source) const {
+  if (hints_ != nullptr) {
+    if (auto hint = hints_->Dpc(
+            JoinPredKey(*query.outer_table, query.outer_col,
+                        *query.inner_table, query.inner_col))) {
+      if (source != nullptr) *source = "hint";
+      return *hint;
+    }
+  }
+  if (source != nullptr) *source = "yao";
+  return YaoEstimate(query.inner_table->page_count(),
+                     query.inner_table->rows_per_page(),
+                     static_cast<int64_t>(semi_join_rows));
+}
+
+double Optimizer::ExpectedAtomEvals(const Table& table,
+                                    const Predicate& pred) const {
+  if (pred.empty()) return 0;
+  double evals = 0;
+  double reach = 1.0;  // probability evaluation reaches atom i
+  for (const PredicateAtom& a : pred.atoms()) {
+    evals += reach;
+    reach *= card_.AtomSelectivity(table, a);
+  }
+  return evals;
+}
+
+Result<std::vector<AccessPathPlan>> Optimizer::EnumerateAccessPaths(
+    const SingleTableQuery& query) const {
+  Table* table = query.table;
+  if (table == nullptr) return Status::InvalidArgument("query has no table");
+  std::vector<AccessPathPlan> paths;
+
+  const double full_rows = card_.EstimateRows(*table, query.pred);
+  const double atoms_per_row = ExpectedAtomEvals(*table, query.pred);
+
+  // Referenced columns, for covering-index eligibility.
+  std::vector<int> referenced;
+  for (const PredicateAtom& a : query.pred.atoms()) {
+    referenced.push_back(a.col());
+  }
+  if (!query.count_star) {
+    referenced.insert(referenced.end(), query.projection.begin(),
+                      query.projection.end());
+  } else if (query.count_col >= 0) {
+    referenced.push_back(query.count_col);
+  }
+
+  // 1. Table scan — always available.
+  {
+    AccessPathPlan p;
+    p.kind = AccessKind::kTableScan;
+    p.table = table;
+    p.full_pred = query.pred;
+    p.est_rows = full_rows;
+    p.est_seek_rows = static_cast<double>(table->row_count());
+    p.est_dpc = 0;
+    p.dpc_source = "n/a";
+    p.est_cost = cost_.TableScan(*table, atoms_per_row);
+    paths.push_back(std::move(p));
+  }
+
+  std::vector<IndexRange> seek_ranges;  // reused for intersections
+  for (Index* index : db_->catalog().IndexesForTable(table)) {
+    auto range = BuildIndexRange(query.pred, index);
+
+    if (index->is_clustered_key()) {
+      // 2. Clustered range scan when the clustering column is constrained.
+      if (!range.has_value()) continue;
+      auto bounds = ExtractColumnRange(query.pred, index->leading_col());
+      AccessPathPlan p;
+      p.kind = AccessKind::kClusteredRange;
+      p.table = table;
+      p.full_pred = query.pred;
+      p.ranges = {*range};
+      p.cluster_lo = bounds->lo;
+      p.cluster_hi = bounds->hi;
+      double range_rows = card_.EstimateRows(*table, range->sargable);
+      p.ranges[0].est_rows = range_rows;
+      double pages =
+          std::min<double>(table->page_count(),
+                           range_rows / std::max<uint32_t>(
+                                            1, table->rows_per_page()) +
+                               1);
+      p.est_rows = full_rows;
+      p.est_seek_rows = range_rows;
+      p.est_dpc = pages;  // contiguous, fetched sequentially
+      p.dpc_source = "contiguous";
+      p.est_cost = cost_.ClusteredRange(*index, pages, range_rows,
+                                        atoms_per_row);
+      paths.push_back(std::move(p));
+      continue;
+    }
+
+    // 3. Covering-index scan (all referenced columns are key columns).
+    if (!referenced.empty() && index->Covers(referenced)) {
+      AccessPathPlan p;
+      p.kind = AccessKind::kCoveringScan;
+      p.table = table;
+      p.full_pred = query.pred;
+      IndexRange r;
+      r.index = index;
+      r.lo = BtreeKey{INT64_MIN, INT64_MIN};
+      r.hi = BtreeKey{INT64_MAX, INT64_MAX};
+      p.ranges = {r};
+      p.est_rows = full_rows;
+      p.est_seek_rows = static_cast<double>(index->tree()->entry_count());
+      p.est_dpc = 0;
+      p.dpc_source = "n/a";
+      p.est_cost = cost_.CoveringScan(*index, atoms_per_row);
+      paths.push_back(std::move(p));
+    }
+
+    // 4. Index seek.
+    if (!range.has_value()) continue;
+    range->est_rows = card_.EstimateRows(*table, range->sargable);
+    AccessPathPlan p;
+    p.kind = AccessKind::kIndexSeek;
+    p.table = table;
+    p.full_pred = query.pred;
+    p.ranges = {*range};
+    p.residual = RemoveAtoms(query.pred, range->sargable);
+    p.est_rows = full_rows;
+    p.est_seek_rows = range->est_rows;
+    p.est_dpc =
+        EstimateDpc(*table, range->sargable, range->est_rows, &p.dpc_source);
+    p.est_cost =
+        cost_.IndexSeek(*index, range->est_rows, p.est_dpc,
+                        static_cast<double>(p.residual.size()));
+    seek_ranges.push_back(*range);
+    paths.push_back(std::move(p));
+  }
+
+  // 5. Index intersections over pairs of seekable non-clustered indexes.
+  for (size_t i = 0; i < seek_ranges.size(); ++i) {
+    for (size_t j = i + 1; j < seek_ranges.size(); ++j) {
+      const IndexRange& a = seek_ranges[i];
+      const IndexRange& b = seek_ranges[j];
+      Predicate combined = a.sargable;
+      for (const PredicateAtom& atom : b.sargable.atoms()) {
+        combined.Add(atom);
+      }
+      AccessPathPlan p;
+      p.kind = AccessKind::kIndexIntersection;
+      p.table = table;
+      p.full_pred = query.pred;
+      p.ranges = {a, b};
+      p.residual = RemoveAtoms(query.pred, combined);
+      double combined_rows = card_.EstimateRows(*table, combined);
+      p.est_rows = full_rows;
+      p.est_seek_rows = combined_rows;
+      p.est_dpc =
+          EstimateDpc(*table, combined, combined_rows, &p.dpc_source);
+      p.est_cost = cost_.IndexIntersection(
+          *a.index, a.est_rows, *b.index, b.est_rows, combined_rows,
+          p.est_dpc, static_cast<double>(p.residual.size()));
+      paths.push_back(std::move(p));
+    }
+  }
+  return paths;
+}
+
+Result<AccessPathPlan> Optimizer::OptimizeSingleTable(
+    const SingleTableQuery& query) const {
+  DPCF_ASSIGN_OR_RETURN(std::vector<AccessPathPlan> paths,
+                        EnumerateAccessPaths(query));
+  auto best = std::min_element(paths.begin(), paths.end(),
+                               [](const AccessPathPlan& a,
+                                  const AccessPathPlan& b) {
+                                 return a.est_cost < b.est_cost;
+                               });
+  return *best;
+}
+
+Result<std::vector<JoinPlan>> Optimizer::EnumerateJoinPlans(
+    const JoinQuery& query) const {
+  if (query.outer_table == nullptr || query.inner_table == nullptr) {
+    return Status::InvalidArgument("join query missing a table");
+  }
+  SingleTableQuery outer_q{query.outer_table, query.outer_pred, false, -1,
+                           {query.outer_col}};
+  if (query.outer_count_col >= 0) {
+    outer_q.projection.push_back(query.outer_count_col);
+  }
+  SingleTableQuery inner_q{query.inner_table, query.inner_pred, false, -1,
+                           {query.inner_col}};
+  if (query.inner_count_col >= 0) {
+    inner_q.projection.push_back(query.inner_count_col);
+  }
+  DPCF_ASSIGN_OR_RETURN(AccessPathPlan outer_path,
+                        OptimizeSingleTable(outer_q));
+  DPCF_ASSIGN_OR_RETURN(AccessPathPlan inner_path,
+                        OptimizeSingleTable(inner_q));
+
+  const double outer_rows = outer_path.est_rows;
+  const double inner_rows = inner_path.est_rows;
+  const double join_rows = card_.EstimateJoinRows(
+      *query.outer_table, outer_rows, query.outer_col, *query.inner_table,
+      inner_rows, query.inner_col);
+
+  std::vector<JoinPlan> plans;
+
+  // Hash join: build on the (filtered) outer, probe the inner.
+  {
+    JoinPlan p;
+    p.method = JoinMethod::kHashJoin;
+    p.outer_path = outer_path;
+    p.inner_path = inner_path;
+    p.est_join_rows = join_rows;
+    // The inner DPC is reported for diagnosis even though hash join does
+    // not pay it.
+    double semi_rows = std::min(join_rows,
+                                static_cast<double>(
+                                    query.inner_table->row_count()));
+    p.est_inner_dpc = EstimateJoinDpc(query, semi_rows, &p.dpc_source);
+    p.est_cost = cost_.HashJoin(outer_path.est_cost, outer_rows,
+                                inner_path.est_cost, inner_rows, join_rows);
+    plans.push_back(std::move(p));
+  }
+
+  // INL join: needs an index whose leading column is the inner join column.
+  for (Index* index : db_->catalog().IndexesForTable(query.inner_table)) {
+    if (index->leading_col() != query.inner_col) continue;
+    JoinPlan p;
+    p.method = JoinMethod::kIndexNestedLoops;
+    p.outer_path = outer_path;
+    p.inl_index = index;
+    p.est_join_rows = join_rows;
+    double semi_rows = std::min(join_rows,
+                                static_cast<double>(
+                                    query.inner_table->row_count()));
+    p.est_inner_dpc = EstimateJoinDpc(query, semi_rows, &p.dpc_source);
+    p.est_cost = cost_.InlJoin(outer_path.est_cost, outer_rows, *index,
+                               p.est_inner_dpc, join_rows);
+    plans.push_back(std::move(p));
+  }
+
+  // Merge join (sorting either side as needed).
+  {
+    JoinPlan p;
+    p.method = JoinMethod::kMergeJoin;
+    p.outer_path = outer_path;
+    p.inner_path = inner_path;
+    p.sort_outer = !PathEmitsSortedBy(outer_path, query.outer_col);
+    p.sort_inner = !PathEmitsSortedBy(inner_path, query.inner_col);
+    p.est_join_rows = join_rows;
+    double semi_rows = std::min(join_rows,
+                                static_cast<double>(
+                                    query.inner_table->row_count()));
+    p.est_inner_dpc = EstimateJoinDpc(query, semi_rows, &p.dpc_source);
+    // Early termination: a streaming (unsorted) inner stops once its join
+    // keys pass the outer's maximum. When the outer join column is range-
+    // bounded by the predicate, only the matching key prefix of the inner
+    // is consumed — cost the inner scan at that fraction.
+    double inner_cost = inner_path.est_cost;
+    double consumed_rows = inner_rows;
+    if (!p.sort_inner && inner_path.kind == AccessKind::kTableScan) {
+      if (auto bound = ExtractColumnRange(query.outer_pred,
+                                          query.outer_col);
+          bound.has_value() && bound->hi != INT64_MAX) {
+        const Histogram* h =
+            card_.stats()->Get(*query.inner_table, query.inner_col);
+        if (h != nullptr && h->row_count() > 0) {
+          double frac = std::clamp(
+              h->EstimateRange(h->min_value(), bound->hi) /
+                  static_cast<double>(h->row_count()),
+              0.0, 1.0);
+          inner_cost *= frac;
+          consumed_rows *= frac;
+        }
+      }
+    }
+    p.est_cost = cost_.MergeJoin(outer_path.est_cost, outer_rows,
+                                 inner_cost, consumed_rows, join_rows,
+                                 p.sort_outer, p.sort_inner);
+    plans.push_back(std::move(p));
+  }
+  return plans;
+}
+
+Result<JoinPlan> Optimizer::OptimizeJoin(const JoinQuery& query) const {
+  DPCF_ASSIGN_OR_RETURN(std::vector<JoinPlan> plans,
+                        EnumerateJoinPlans(query));
+  auto best = std::min_element(
+      plans.begin(), plans.end(),
+      [](const JoinPlan& a, const JoinPlan& b) {
+        return a.est_cost < b.est_cost;
+      });
+  return *best;
+}
+
+}  // namespace dpcf

@@ -1,0 +1,82 @@
+// Plan selection: access-path and join-method enumeration with costing.
+//
+// This is the component whose mistakes the paper diagnoses. Cardinalities
+// come from histograms (or injected hints); distinct page counts come from
+// the analytical Yao estimator — which assumes predicate columns are
+// independent of physical clustering — unless a DPC hint (typically sourced
+// from execution feedback) overrides it. Exposing EstimateDpc lets the
+// diagnosis layer show estimated-vs-actual page counts side by side.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/dpc_histogram.h"
+#include "optimizer/cardinality.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/plan.h"
+#include "table/catalog.h"
+
+namespace dpcf {
+
+class Optimizer {
+ public:
+  /// `dpc_histograms` (optional) supplies learned page-count densities:
+  /// the DPC estimate resolution order is exact hint → self-tuning DPC
+  /// histogram → analytical Yao formula.
+  Optimizer(Database* db, const StatisticsCatalog* stats,
+            const OptimizerHints* hints,
+            SimCostParams params = SimCostParams(),
+            const DpcHistogramCatalog* dpc_histograms = nullptr)
+      : db_(db),
+        hints_(hints),
+        dpc_histograms_(dpc_histograms),
+        card_(stats, hints),
+        cost_(params) {}
+
+  /// All costed access paths for a single-table query (Table Scan always
+  /// included), unordered.
+  Result<std::vector<AccessPathPlan>> EnumerateAccessPaths(
+      const SingleTableQuery& query) const;
+
+  /// Cheapest access path.
+  Result<AccessPathPlan> OptimizeSingleTable(
+      const SingleTableQuery& query) const;
+
+  /// All costed join strategies (Hash always included; INL when an index
+  /// exists on the inner join column; Merge with sorts as needed).
+  Result<std::vector<JoinPlan>> EnumerateJoinPlans(
+      const JoinQuery& query) const;
+
+  /// Cheapest join strategy.
+  Result<JoinPlan> OptimizeJoin(const JoinQuery& query) const;
+
+  /// DPC for a selection expression: hint if injected, else a learned
+  /// DPC-histogram density when available for the expression's column,
+  /// else Yao. `est_rows` is the expression's estimated cardinality;
+  /// `source` (may be null) receives "hint", "dpc-histogram" or "yao".
+  double EstimateDpc(const Table& table, const Predicate& expr,
+                     double est_rows, std::string* source) const;
+
+  /// DPC(inner, join-pred): hint for the canonical join key, else Yao on
+  /// the estimated semi-join cardinality.
+  double EstimateJoinDpc(const JoinQuery& query, double semi_join_rows,
+                         std::string* source) const;
+
+  /// Expected predicate-atom evaluations per scanned row under
+  /// short-circuiting (1 + Σ products of leading selectivities).
+  double ExpectedAtomEvals(const Table& table, const Predicate& pred) const;
+
+  const CardinalityEstimator& cardinality() const { return card_; }
+  const CostModel& cost_model() const { return cost_; }
+
+ private:
+  Database* db_;
+  const OptimizerHints* hints_;
+  const DpcHistogramCatalog* dpc_histograms_;
+  CardinalityEstimator card_;
+  CostModel cost_;
+};
+
+}  // namespace dpcf

@@ -1,0 +1,28 @@
+// Binder: resolves a parsed query against the catalog into the optimizer's
+// SingleTableQuery / JoinQuery structures.
+
+#pragma once
+
+#include "common/status.h"
+#include "optimizer/plan.h"
+#include "sql/parser.h"
+#include "table/catalog.h"
+
+namespace dpcf {
+
+/// A bound query: exactly one of `single` / `join` is meaningful.
+struct BoundQuery {
+  bool is_join = false;
+  SingleTableQuery single;
+  JoinQuery join;
+};
+
+/// Resolves table and column names, partitions WHERE atoms per table (the
+/// first FROM table becomes the outer/build side of a join), and converts
+/// literals to typed predicate atoms.
+Result<BoundQuery> BindQuery(const Database& db, const ParsedQuery& parsed);
+
+/// Parse + bind in one step.
+Result<BoundQuery> BindSql(const Database& db, const std::string& sql);
+
+}  // namespace dpcf

@@ -1,0 +1,158 @@
+#include "sql/parser.h"
+
+#include "common/string_util.h"
+
+namespace dpcf {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ParsedQuery> Parse() {
+    ParsedQuery q;
+    DPCF_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    DPCF_RETURN_IF_ERROR(ParseSelectList(&q));
+    DPCF_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    DPCF_ASSIGN_OR_RETURN(q.table0, ExpectIdentifier());
+    if (Cur().IsKeyword("JOIN")) {
+      Advance();
+      q.has_join = true;
+      DPCF_ASSIGN_OR_RETURN(q.table1, ExpectIdentifier());
+      DPCF_RETURN_IF_ERROR(ExpectKeyword("ON"));
+      DPCF_ASSIGN_OR_RETURN(q.join_left, ParseColumnRef());
+      DPCF_RETURN_IF_ERROR(ExpectSymbol("="));
+      DPCF_ASSIGN_OR_RETURN(q.join_right, ParseColumnRef());
+    }
+    if (Cur().IsKeyword("WHERE")) {
+      Advance();
+      while (true) {
+        DPCF_ASSIGN_OR_RETURN(SqlAtom atom, ParseAtom());
+        q.where.push_back(std::move(atom));
+        if (!Cur().IsKeyword("AND")) break;
+        Advance();
+      }
+    }
+    if (Cur().type != TokenType::kEnd) {
+      return Err("trailing input");
+    }
+    return q;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  void Advance() { ++pos_; }
+
+  Status Err(const std::string& what) const {
+    return Status::InvalidArgument(
+        StrFormat("parse error at offset %zu: %s (near \"%s\")",
+                  Cur().offset, what.c_str(), Cur().text.c_str()));
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!Cur().IsKeyword(kw)) return Err(StrFormat("expected %s", kw));
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectSymbol(const char* sym) {
+    if (!Cur().IsSymbol(sym)) return Err(StrFormat("expected '%s'", sym));
+    Advance();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier() {
+    if (Cur().type != TokenType::kIdentifier) {
+      return Err("expected identifier");
+    }
+    std::string name = Cur().text;
+    Advance();
+    return name;
+  }
+
+  Result<SqlColumnRef> ParseColumnRef() {
+    SqlColumnRef ref;
+    DPCF_ASSIGN_OR_RETURN(ref.column, ExpectIdentifier());
+    if (Cur().IsSymbol(".")) {
+      Advance();
+      ref.table = std::move(ref.column);
+      DPCF_ASSIGN_OR_RETURN(ref.column, ExpectIdentifier());
+    }
+    return ref;
+  }
+
+  Status ParseSelectList(ParsedQuery* q) {
+    if (Cur().IsKeyword("COUNT")) {
+      Advance();
+      DPCF_RETURN_IF_ERROR(ExpectSymbol("("));
+      q->count = true;
+      if (Cur().IsSymbol("*")) {
+        // Assign via a temporary: GCC 12's -Wrestrict false-positives on
+        // basic_string::operator=(const char*) here.
+        q->count_arg = std::string("*");
+        Advance();
+      } else {
+        DPCF_ASSIGN_OR_RETURN(SqlColumnRef ref, ParseColumnRef());
+        q->count_arg = ref.column;
+        q->count_arg_table = ref.table;
+      }
+      return ExpectSymbol(")");
+    }
+    while (true) {
+      DPCF_ASSIGN_OR_RETURN(SqlColumnRef ref, ParseColumnRef());
+      q->select_cols.push_back(std::move(ref));
+      if (!Cur().IsSymbol(",")) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Result<SqlAtom> ParseAtom() {
+    SqlAtom atom;
+    DPCF_ASSIGN_OR_RETURN(SqlColumnRef ref, ParseColumnRef());
+    atom.table = std::move(ref.table);
+    atom.column = std::move(ref.column);
+    if (Cur().type != TokenType::kSymbol) return Err("expected operator");
+    const std::string& sym = Cur().text;
+    if (sym == "=") {
+      atom.op = CmpOp::kEq;
+    } else if (sym == "<>") {
+      atom.op = CmpOp::kNe;
+    } else if (sym == "<") {
+      atom.op = CmpOp::kLt;
+    } else if (sym == "<=") {
+      atom.op = CmpOp::kLe;
+    } else if (sym == ">") {
+      atom.op = CmpOp::kGt;
+    } else if (sym == ">=") {
+      atom.op = CmpOp::kGe;
+    } else {
+      return Err("expected comparison operator");
+    }
+    Advance();
+    if (Cur().type == TokenType::kInteger) {
+      atom.is_string = false;
+      atom.ival = Cur().ival;
+    } else if (Cur().type == TokenType::kString) {
+      atom.is_string = true;
+      atom.sval = Cur().text;
+    } else {
+      return Err("expected literal");
+    }
+    Advance();
+    return atom;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ParsedQuery> ParseSql(const std::string& sql) {
+  DPCF_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  return Parser(std::move(tokens)).Parse();
+}
+
+}  // namespace dpcf

@@ -1,0 +1,49 @@
+// Recursive-descent parser producing an unbound AST.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/predicate.h"  // CmpOp
+#include "sql/tokenizer.h"
+
+namespace dpcf {
+
+/// One WHERE comparison, unbound: [table.]column <op> literal.
+struct SqlAtom {
+  std::string table;  // optional qualifier
+  std::string column;
+  CmpOp op = CmpOp::kEq;
+  bool is_string = false;
+  int64_t ival = 0;
+  std::string sval;
+};
+
+/// A column reference in the select list or join condition.
+struct SqlColumnRef {
+  std::string table;  // optional qualifier
+  std::string column;
+};
+
+struct ParsedQuery {
+  bool count = false;
+  std::string count_arg;        // "*" or a column name ("" when !count)
+  std::string count_arg_table;  // optional qualifier on COUNT(t.col)
+  std::vector<SqlColumnRef> select_cols;  // when !count
+
+  std::string table0;
+  std::string table1;  // empty unless joined
+  bool has_join = false;
+  SqlColumnRef join_left;
+  SqlColumnRef join_right;
+
+  std::vector<SqlAtom> where;
+};
+
+/// Parses the supported SELECT subset; errors carry byte offsets.
+Result<ParsedQuery> ParseSql(const std::string& sql);
+
+}  // namespace dpcf

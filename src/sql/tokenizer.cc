@@ -1,0 +1,110 @@
+#include "sql/tokenizer.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace dpcf {
+
+namespace {
+const char* kKeywords[] = {"SELECT", "FROM", "JOIN", "ON",
+                           "WHERE",  "AND",  "COUNT", "AS"};
+
+bool IsKeywordWord(const std::string& upper) {
+  return std::find(std::begin(kKeywords), std::end(kKeywords), upper) !=
+         std::end(kKeywords);
+}
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token t;
+    t.offset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '_')) {
+        ++j;
+      }
+      std::string word = sql.substr(i, j - i);
+      std::string upper = word;
+      std::transform(upper.begin(), upper.end(), upper.begin(),
+                     [](unsigned char ch) { return std::toupper(ch); });
+      if (IsKeywordWord(upper)) {
+        t.type = TokenType::kKeyword;
+        t.text = upper;
+      } else {
+        t.type = TokenType::kIdentifier;
+        t.text = word;
+      }
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i + 1;
+      while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) {
+        ++j;
+      }
+      t.type = TokenType::kInteger;
+      t.text = sql.substr(i, j - i);
+      try {
+        t.ival = std::stoll(t.text);
+      } catch (...) {
+        return Status::InvalidArgument(
+            StrFormat("integer literal out of range at offset %zu", i));
+      }
+      i = j;
+    } else if (c == '\'') {
+      size_t j = i + 1;
+      std::string s;
+      while (j < n && sql[j] != '\'') {
+        s += sql[j];
+        ++j;
+      }
+      if (j >= n) {
+        return Status::InvalidArgument(
+            StrFormat("unterminated string literal at offset %zu", i));
+      }
+      t.type = TokenType::kString;
+      t.text = std::move(s);
+      i = j + 1;
+    } else {
+      // Two-character operators first.
+      if (i + 1 < n) {
+        std::string two = sql.substr(i, 2);
+        if (two == "<>" || two == "<=" || two == ">=" || two == "!=") {
+          t.type = TokenType::kSymbol;
+          t.text = two == "!=" ? "<>" : two;
+          out.push_back(t);
+          i += 2;
+          continue;
+        }
+      }
+      static const std::string kSingles = "(),.*=<>";
+      if (kSingles.find(c) == std::string::npos) {
+        return Status::InvalidArgument(
+            StrFormat("unexpected character '%c' at offset %zu", c, i));
+      }
+      t.type = TokenType::kSymbol;
+      t.text = std::string(1, c);
+      ++i;
+    }
+    out.push_back(std::move(t));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  out.push_back(end);
+  return out;
+}
+
+}  // namespace dpcf

@@ -1,0 +1,41 @@
+// SQL tokenizer for the query subset the engine executes:
+//   SELECT COUNT(*) | COUNT(col) | col[, col…]
+//   FROM t [JOIN t2 ON a.x = b.y] [WHERE conj of comparisons]
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dpcf {
+
+enum class TokenType {
+  kIdentifier,  // unquoted name (case preserved)
+  kKeyword,     // SELECT, FROM, JOIN, ON, WHERE, AND, COUNT (upper-cased)
+  kInteger,
+  kString,      // 'quoted'
+  kSymbol,      // ( ) , . * = <> < <= > >=
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;  // keyword upper-cased; symbol literal; identifier raw
+  int64_t ival = 0;
+  size_t offset = 0;  // byte offset in the input, for error messages
+
+  bool IsKeyword(const char* kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsSymbol(const char* sym) const {
+    return type == TokenType::kSymbol && text == sym;
+  }
+};
+
+/// Splits `sql` into tokens (the terminating kEnd token included).
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace dpcf

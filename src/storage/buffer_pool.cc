@@ -1,0 +1,178 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace dpcf {
+
+PageGuard::PageGuard(BufferPool* pool, int32_t frame, char* data)
+    : pool_(pool), frame_(frame), data_(data) {}
+
+PageGuard::PageGuard(PageGuard&& o) noexcept
+    : pool_(o.pool_), frame_(o.frame_), data_(o.data_) {
+  o.pool_ = nullptr;
+  o.frame_ = -1;
+  o.data_ = nullptr;
+}
+
+PageGuard& PageGuard::operator=(PageGuard&& o) noexcept {
+  if (this != &o) {
+    Release();
+    pool_ = o.pool_;
+    frame_ = o.frame_;
+    data_ = o.data_;
+    o.pool_ = nullptr;
+    o.frame_ = -1;
+    o.data_ = nullptr;
+  }
+  return *this;
+}
+
+PageGuard::~PageGuard() { Release(); }
+
+char* PageGuard::mutable_data() {
+  assert(valid());
+  pool_->MarkDirty(frame_);
+  return data_;
+}
+
+void PageGuard::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+    frame_ = -1;
+    data_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(DiskManager* disk, size_t capacity_pages)
+    : disk_(disk) {
+  assert(capacity_pages > 0);
+  frames_.resize(capacity_pages);
+  free_frames_.reserve(capacity_pages);
+  for (size_t i = 0; i < capacity_pages; ++i) {
+    frames_[i].data = std::make_unique<char[]>(disk_->page_size());
+    frames_[i].lru_pos = lru_.end();
+    free_frames_.push_back(static_cast<int32_t>(capacity_pages - 1 - i));
+  }
+}
+
+int32_t BufferPool::AcquireFrame(Status* status) {
+  if (!free_frames_.empty()) {
+    int32_t f = free_frames_.back();
+    free_frames_.pop_back();
+    return f;
+  }
+  if (lru_.empty()) {
+    *status = Status::ResourceExhausted("all buffer-pool frames are pinned");
+    return -1;
+  }
+  int32_t victim = lru_.back();
+  lru_.pop_back();
+  Frame& fr = frames_[victim];
+  fr.in_lru = false;
+  page_table_.erase(fr.pid);
+  if (fr.dirty) {
+    Status st = disk_->WritePage(fr.pid, fr.data.get());
+    if (!st.ok()) {
+      *status = st;
+      return -1;
+    }
+    fr.dirty = false;
+  }
+  return victim;
+}
+
+Result<PageGuard> BufferPool::Fetch(PageId pid) {
+  IoStats* io = disk_->io_stats();
+  ++io->logical_reads;
+  auto it = page_table_.find(pid);
+  if (it != page_table_.end()) {
+    ++io->buffer_hits;
+    Frame& fr = frames_[it->second];
+    if (fr.in_lru) {
+      lru_.erase(fr.lru_pos);
+      fr.in_lru = false;
+      fr.lru_pos = lru_.end();
+    }
+    ++fr.pin_count;
+    return PageGuard(this, it->second, fr.data.get());
+  }
+  Status status = Status::OK();
+  int32_t f = AcquireFrame(&status);
+  if (f < 0) return status;
+  Frame& fr = frames_[f];
+  Status st = disk_->ReadPage(pid, fr.data.get());
+  if (!st.ok()) {
+    free_frames_.push_back(f);
+    return st;
+  }
+  fr.pid = pid;
+  fr.pin_count = 1;
+  fr.dirty = false;
+  page_table_[pid] = f;
+  return PageGuard(this, f, fr.data.get());
+}
+
+Result<PageGuard> BufferPool::NewPage(SegmentId segment, PageId* out_pid) {
+  Status status = Status::OK();
+  int32_t f = AcquireFrame(&status);
+  if (f < 0) return status;
+  PageNo no = disk_->AllocatePage(segment);
+  PageId pid{segment, no};
+  Frame& fr = frames_[f];
+  std::memset(fr.data.get(), 0, disk_->page_size());
+  fr.pid = pid;
+  fr.pin_count = 1;
+  fr.dirty = true;
+  page_table_[pid] = f;
+  *out_pid = pid;
+  return PageGuard(this, f, fr.data.get());
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& [pid, f] : page_table_) {
+    Frame& fr = frames_[f];
+    if (fr.dirty) {
+      DPCF_RETURN_IF_ERROR(disk_->WritePage(fr.pid, fr.data.get()));
+      fr.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::ColdReset() {
+  for (auto& [pid, f] : page_table_) {
+    if (frames_[f].pin_count > 0) {
+      return Status::InvalidArgument(StrFormat(
+          "ColdReset with pinned page %s", pid.ToString().c_str()));
+    }
+  }
+  DPCF_RETURN_IF_ERROR(FlushAll());
+  for (auto& [pid, f] : page_table_) {
+    Frame& fr = frames_[f];
+    fr.in_lru = false;
+    fr.lru_pos = lru_.end();
+    free_frames_.push_back(f);
+  }
+  page_table_.clear();
+  lru_.clear();
+  disk_->ResetReadHead();
+  return Status::OK();
+}
+
+void BufferPool::Unpin(int32_t frame) {
+  Frame& fr = frames_[frame];
+  assert(fr.pin_count > 0);
+  if (--fr.pin_count == 0) {
+    lru_.push_front(frame);
+    fr.lru_pos = lru_.begin();
+    fr.in_lru = true;
+  }
+}
+
+void BufferPool::MarkDirty(int32_t frame) { frames_[frame].dirty = true; }
+
+}  // namespace dpcf

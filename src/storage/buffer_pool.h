@@ -1,0 +1,106 @@
+// LRU buffer pool over the simulated disk.
+//
+// Every page access during query execution goes through Fetch(), which
+// charges a logical read and, on a miss, a physical read; this is exactly the
+// distinction the paper's DPC parameter drives ("each distinct page involves
+// a new logical I/O and, if absent from the buffer pool, a physical I/O").
+// ColdReset() empties the pool between measured runs to reproduce the
+// paper's cold-cache methodology.
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace dpcf {
+
+class BufferPool;
+
+/// RAII pin on a buffer-pool frame. Movable, not copyable; unpins on
+/// destruction. data() is valid while the guard is alive.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, int32_t frame, char* data);
+  PageGuard(PageGuard&& o) noexcept;
+  PageGuard& operator=(PageGuard&& o) noexcept;
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  ~PageGuard();
+
+  bool valid() const { return pool_ != nullptr; }
+  const char* data() const { return data_; }
+
+  /// Grants write access and marks the frame dirty (written back to the
+  /// disk manager on eviction or FlushAll()).
+  char* mutable_data();
+
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  int32_t frame_ = -1;
+  char* data_ = nullptr;
+};
+
+/// Fixed-capacity page cache with LRU replacement and pin counts.
+class BufferPool {
+ public:
+  /// `capacity_pages` frames are preallocated eagerly.
+  BufferPool(DiskManager* disk, size_t capacity_pages);
+
+  /// Pins the page, reading it from disk on a miss. Fails with
+  /// ResourceExhausted if every frame is pinned.
+  Result<PageGuard> Fetch(PageId pid);
+
+  /// Allocates a fresh zeroed page in `segment`, pins it, and returns the
+  /// guard together with its id via `out_pid`. No physical read is charged
+  /// (the page had no prior contents); the write is charged on eviction.
+  Result<PageGuard> NewPage(SegmentId segment, PageId* out_pid);
+
+  /// Writes back all dirty frames (keeps them cached).
+  Status FlushAll();
+
+  /// Writes back dirty frames and empties the pool: the next Fetch of any
+  /// page is a physical read. Fails if any page is still pinned.
+  Status ColdReset();
+
+  size_t capacity() const { return frames_.size(); }
+  size_t cached_pages() const { return page_table_.size(); }
+  DiskManager* disk() const { return disk_; }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    PageId pid;
+    std::unique_ptr<char[]> data;
+    int32_t pin_count = 0;
+    bool dirty = false;
+    // Position in lru_ when pin_count == 0; lru_.end() otherwise.
+    std::list<int32_t>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  /// Returns a usable frame index: a free frame, or the LRU victim
+  /// (written back if dirty). -1 if everything is pinned.
+  int32_t AcquireFrame(Status* status);
+
+  void Unpin(int32_t frame);
+  void MarkDirty(int32_t frame);
+
+  DiskManager* disk_;
+  std::vector<Frame> frames_;
+  std::vector<int32_t> free_frames_;
+  std::list<int32_t> lru_;  // front = most recent
+  std::unordered_map<PageId, int32_t, PageIdHash> page_table_;
+};
+
+}  // namespace dpcf

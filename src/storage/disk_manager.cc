@@ -1,0 +1,77 @@
+#include "storage/disk_manager.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace dpcf {
+
+DiskManager::DiskManager(size_t page_size) : page_size_(page_size) {}
+
+SegmentId DiskManager::CreateSegment(std::string name) {
+  segments_.push_back(Segment{std::move(name), {}});
+  return static_cast<SegmentId>(segments_.size() - 1);
+}
+
+PageNo DiskManager::AllocatePage(SegmentId segment) {
+  Segment& seg = segments_.at(segment);
+  auto page = std::make_unique<char[]>(page_size_);
+  std::memset(page.get(), 0, page_size_);
+  seg.pages.push_back(std::move(page));
+  return static_cast<PageNo>(seg.pages.size() - 1);
+}
+
+uint32_t DiskManager::SegmentPageCount(SegmentId segment) const {
+  return static_cast<uint32_t>(segments_.at(segment).pages.size());
+}
+
+const std::string& DiskManager::SegmentName(SegmentId segment) const {
+  return segments_.at(segment).name;
+}
+
+bool DiskManager::ValidPage(PageId pid) const {
+  return pid.segment < segments_.size() &&
+         pid.page_no < segments_[pid.segment].pages.size();
+}
+
+Status DiskManager::ReadPage(PageId pid, char* out) {
+  if (!ValidPage(pid)) {
+    return Status::OutOfRange(StrFormat("read of unknown page %s",
+                                        pid.ToString().c_str()));
+  }
+  const bool sequential = last_read_.valid() &&
+                          last_read_.segment == pid.segment &&
+                          pid.page_no == last_read_.page_no + 1;
+  if (sequential) {
+    ++io_stats_.physical_seq_reads;
+  } else {
+    ++io_stats_.physical_rand_reads;
+  }
+  last_read_ = pid;
+  std::memcpy(out, segments_[pid.segment].pages[pid.page_no].get(),
+              page_size_);
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId pid, const char* data) {
+  if (!ValidPage(pid)) {
+    return Status::OutOfRange(StrFormat("write of unknown page %s",
+                                        pid.ToString().c_str()));
+  }
+  ++io_stats_.physical_writes;
+  std::memcpy(segments_[pid.segment].pages[pid.page_no].get(), data,
+              page_size_);
+  return Status::OK();
+}
+
+char* DiskManager::RawPage(PageId pid) {
+  return segments_.at(pid.segment).pages.at(pid.page_no).get();
+}
+
+const char* DiskManager::RawPage(PageId pid) const {
+  return segments_.at(pid.segment).pages.at(pid.page_no).get();
+}
+
+void DiskManager::ResetReadHead() { last_read_ = PageId{}; }
+
+}  // namespace dpcf

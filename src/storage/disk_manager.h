@@ -1,0 +1,80 @@
+// Simulated disk.
+//
+// Substitutes for the physical storage stack underneath the buffer pool: it
+// holds every segment's pages in memory, and its only job besides byte
+// storage is to *classify* each read as sequential or random, which is what
+// the paper's evaluation ultimately measures (random fetches are what make a
+// mis-costed Index Seek slow). A single read head is modelled: a read is
+// sequential iff it targets the page immediately after the previous read in
+// the same segment.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/io_stats.h"
+#include "storage/page.h"
+
+namespace dpcf {
+
+/// In-memory simulated disk with per-segment page arrays and I/O accounting.
+///
+/// Thread-compatible (external synchronization); the library runs queries
+/// single-threaded as the paper's per-query monitors do.
+class DiskManager {
+ public:
+  explicit DiskManager(size_t page_size = kDefaultPageSize);
+
+  size_t page_size() const { return page_size_; }
+
+  /// Creates an empty segment and returns its id.
+  SegmentId CreateSegment(std::string name);
+
+  /// Appends a zeroed page to the segment; returns its page number.
+  /// Allocation is a metadata operation and is not charged as I/O.
+  PageNo AllocatePage(SegmentId segment);
+
+  /// Number of pages currently allocated in the segment.
+  uint32_t SegmentPageCount(SegmentId segment) const;
+
+  const std::string& SegmentName(SegmentId segment) const;
+
+  /// Physical read of a page into `out` (page_size bytes). Charged to
+  /// IoStats as sequential or random per the read-head model.
+  Status ReadPage(PageId pid, char* out);
+
+  /// Physical write of a page. Charged as a write.
+  Status WritePage(PageId pid, const char* data);
+
+  /// Direct pointer to page bytes, bypassing I/O accounting. For bulk
+  /// loaders and tests only; query execution must go through the
+  /// BufferPool so physical I/O is charged.
+  char* RawPage(PageId pid);
+  const char* RawPage(PageId pid) const;
+
+  IoStats* io_stats() { return &io_stats_; }
+  const IoStats& io_stats() const { return io_stats_; }
+
+  /// Forgets the read-head position (e.g. between measured runs) so the
+  /// first read of the next run is classified random, as on a cold device.
+  void ResetReadHead();
+
+ private:
+  struct Segment {
+    std::string name;
+    std::vector<std::unique_ptr<char[]>> pages;
+  };
+
+  bool ValidPage(PageId pid) const;
+
+  size_t page_size_;
+  std::vector<Segment> segments_;
+  IoStats io_stats_;
+  PageId last_read_;  // invalid when the head position is unknown
+};
+
+}  // namespace dpcf

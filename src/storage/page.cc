@@ -1,0 +1,4 @@
+#include "storage/page.h"
+
+// PageId is header-only; this translation unit exists so the build exposes a
+// stable object for the module and future non-inline additions.

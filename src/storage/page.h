@@ -1,0 +1,53 @@
+// Page identity and constants for the simulated storage engine.
+//
+// The database is a set of segments (one per heap/clustered table or index);
+// each segment is an array of fixed-size pages addressed by a PageNo. A
+// PageId is the global (segment, page_no) pair. PageIds are the quantity the
+// paper's monitors count: DPC(T, p) is the number of distinct data-segment
+// PageIds of T containing a row satisfying p.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/hash.h"
+
+namespace dpcf {
+
+using SegmentId = uint32_t;
+using PageNo = uint32_t;
+
+inline constexpr size_t kDefaultPageSize = 8192;
+inline constexpr SegmentId kInvalidSegment = UINT32_MAX;
+inline constexpr PageNo kInvalidPageNo = UINT32_MAX;
+
+/// Global page address: (segment, page number within segment).
+struct PageId {
+  SegmentId segment = kInvalidSegment;
+  PageNo page_no = kInvalidPageNo;
+
+  bool valid() const { return segment != kInvalidSegment; }
+
+  bool operator==(const PageId&) const = default;
+  auto operator<=>(const PageId&) const = default;
+
+  /// Packs into a single 64-bit value; used as hash input by the monitors.
+  uint64_t Pack() const {
+    return (static_cast<uint64_t>(segment) << 32) | page_no;
+  }
+
+  std::string ToString() const {
+    return std::to_string(segment) + ":" + std::to_string(page_no);
+  }
+};
+
+struct PageIdHash {
+  size_t operator()(const PageId& id) const {
+    return static_cast<size_t>(Mix64(id.Pack()));
+  }
+};
+
+}  // namespace dpcf

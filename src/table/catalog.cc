@@ -1,0 +1,201 @@
+#include "table/catalog.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace dpcf {
+
+Status Catalog::AddTable(std::unique_ptr<Table> table) {
+  const std::string& name = table->name();
+  if (tables_.count(name) != 0) {
+    return Status::AlreadyExists("table " + name);
+  }
+  tables_[name] = std::move(table);
+  return Status::OK();
+}
+
+Status Catalog::AddIndex(std::unique_ptr<Index> index) {
+  const std::string& name = index->name();
+  if (indexes_.count(name) != 0) {
+    return Status::AlreadyExists("index " + name);
+  }
+  indexes_[name] = std::move(index);
+  return Status::OK();
+}
+
+Table* Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Index* Catalog::GetIndex(const std::string& name) const {
+  auto it = indexes_.find(name);
+  return it == indexes_.end() ? nullptr : it->second.get();
+}
+
+std::vector<Index*> Catalog::IndexesForTable(const Table* table) const {
+  std::vector<Index*> out;
+  for (const auto& [name, idx] : indexes_) {
+    if (idx->table() == table) out.push_back(idx.get());
+  }
+  return out;
+}
+
+std::vector<Table*> Catalog::Tables() const {
+  std::vector<Table*> out;
+  for (const auto& [name, t] : tables_) out.push_back(t.get());
+  return out;
+}
+
+std::vector<Index*> Catalog::Indexes() const {
+  std::vector<Index*> out;
+  for (const auto& [name, i] : indexes_) out.push_back(i.get());
+  return out;
+}
+
+Database::Database(DatabaseOptions options)
+    : options_(options),
+      disk_(options.page_size),
+      pool_(&disk_, options.buffer_pool_pages) {}
+
+Result<Table*> Database::CreateTable(const std::string& name, Schema schema,
+                                     TableOrganization organization,
+                                     int cluster_key_col) {
+  if (organization == TableOrganization::kClustered) {
+    if (cluster_key_col < 0 ||
+        cluster_key_col >= static_cast<int>(schema.num_columns())) {
+      return Status::InvalidArgument(
+          StrFormat("clustered table %s needs a valid clustering column",
+                    name.c_str()));
+    }
+  } else {
+    cluster_key_col = -1;
+  }
+  SegmentId segment = disk_.CreateSegment("table:" + name);
+  auto table = std::make_unique<Table>(
+      name, std::make_unique<Schema>(std::move(schema)), organization,
+      cluster_key_col, &pool_, segment);
+  Table* raw = table.get();
+  DPCF_RETURN_IF_ERROR(catalog_.AddTable(std::move(table)));
+  return raw;
+}
+
+Result<Index*> Database::CreateIndex(const std::string& name,
+                                     const std::string& table_name,
+                                     const std::vector<int>& key_cols,
+                                     bool is_clustered_key) {
+  Table* table = catalog_.GetTable(table_name);
+  if (table == nullptr) {
+    return Status::NotFound("table " + table_name);
+  }
+  DPCF_ASSIGN_OR_RETURN(
+      std::unique_ptr<Index> index,
+      Index::Build(&pool_, table, name, key_cols, is_clustered_key));
+  Index* raw = index.get();
+  DPCF_RETURN_IF_ERROR(catalog_.AddIndex(std::move(index)));
+  return raw;
+}
+
+Result<Index*> Database::CreateIndex(
+    const std::string& name, const std::string& table_name,
+    const std::vector<std::string>& key_col_names, bool is_clustered_key) {
+  Table* table = catalog_.GetTable(table_name);
+  if (table == nullptr) {
+    return Status::NotFound("table " + table_name);
+  }
+  std::vector<int> cols;
+  for (const std::string& cn : key_col_names) {
+    int c = table->schema().ColumnIndex(cn);
+    if (c < 0) {
+      return Status::NotFound(
+          StrFormat("column %s in table %s", cn.c_str(),
+                    table_name.c_str()));
+    }
+    cols.push_back(c);
+  }
+  return CreateIndex(name, table_name, cols, is_clustered_key);
+}
+
+Status Database::ColdCache() {
+  DPCF_RETURN_IF_ERROR(pool_.ColdReset());
+  disk_.io_stats()->Reset();
+  return Status::OK();
+}
+
+Result<Rid> Database::InsertRow(const std::string& table_name,
+                                const Tuple& row) {
+  Table* table = catalog_.GetTable(table_name);
+  if (table == nullptr) return Status::NotFound("table " + table_name);
+
+  RowCodec codec(&table->schema());
+  std::string encoded(table->schema().row_size(), '\0');
+  DPCF_RETURN_IF_ERROR(codec.Encode(row, encoded.data()));
+  RowView view(encoded.data(), &table->schema());
+
+  if (table->organization() == TableOrganization::kClustered &&
+      table->row_count() > 0) {
+    // Load-ordered clustering: only appends in key order preserve the
+    // physical sortedness range scans depend on.
+    const char* last = nullptr;
+    HeapFile* file = table->file();
+    uint32_t last_page = file->page_count() - 1;
+    auto guard = pool_.Fetch(PageId{table->segment(), last_page});
+    if (!guard.ok()) return guard.status();
+    uint32_t n = HeapFile::PageRowCount(guard->data());
+    last = file->RowInPage(guard->data(), static_cast<uint16_t>(n - 1));
+    RowView last_row(last, &table->schema());
+    size_t key = static_cast<size_t>(table->cluster_key_col());
+    if (view.GetInt64(key) < last_row.GetInt64(key)) {
+      return Status::NotSupported(
+          StrFormat("clustered table %s is load-ordered: insert key must "
+                    "be >= current maximum",
+                    table_name.c_str()));
+    }
+  }
+
+  DPCF_ASSIGN_OR_RETURN(Rid rid, table->file()->AppendEncoded(encoded.data()));
+  table->file()->Seal();
+  for (Index* index : catalog_.IndexesForTable(table)) {
+    DPCF_RETURN_IF_ERROR(index->InsertRow(view, rid));
+  }
+  return rid;
+}
+
+Status Database::UpdateRow(const std::string& table_name, Rid rid,
+                           const Tuple& row) {
+  Table* table = catalog_.GetTable(table_name);
+  if (table == nullptr) return Status::NotFound("table " + table_name);
+
+  RowCodec codec(&table->schema());
+  std::string encoded(table->schema().row_size(), '\0');
+  DPCF_RETURN_IF_ERROR(codec.Encode(row, encoded.data()));
+  RowView new_view(encoded.data(), &table->schema());
+
+  const char* old_bytes = nullptr;
+  DPCF_ASSIGN_OR_RETURN(PageGuard guard,
+                        table->file()->FetchRow(rid, &old_bytes));
+  RowView old_view(old_bytes, &table->schema());
+  if (table->cluster_key_col() >= 0) {
+    size_t key = static_cast<size_t>(table->cluster_key_col());
+    if (old_view.GetInt64(key) != new_view.GetInt64(key)) {
+      return Status::NotSupported(
+          "updates must preserve the clustering key");
+    }
+  }
+  // Re-key indexes whose key columns changed.
+  for (Index* index : catalog_.IndexesForTable(table)) {
+    if (index->KeyForRow(old_view) == index->KeyForRow(new_view)) continue;
+    DPCF_RETURN_IF_ERROR(index->DeleteRow(old_view, rid));
+    DPCF_RETURN_IF_ERROR(index->InsertRow(new_view, rid));
+  }
+  // Overwrite in place (same fixed width). old_bytes points into the
+  // pinned page; recover the mutable pointer via the guard.
+  const char* page_base = guard.data();
+  size_t offset = static_cast<size_t>(old_bytes - page_base);
+  std::memcpy(guard.mutable_data() + offset, encoded.data(),
+              table->schema().row_size());
+  return Status::OK();
+}
+
+}  // namespace dpcf

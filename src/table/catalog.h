@@ -1,0 +1,110 @@
+// Catalog and Database facade.
+//
+// Database owns the simulated disk, the buffer pool and the catalog of
+// tables and indexes, and is the entry point a library user touches first
+// (see examples/quickstart.cc). ColdCache() reproduces the paper's
+// cold-cache measurement setup between runs.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "index/secondary_index.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "table/table.h"
+
+namespace dpcf {
+
+/// Name → object maps for tables and indexes. Owned by Database.
+class Catalog {
+ public:
+  Status AddTable(std::unique_ptr<Table> table);
+  Status AddIndex(std::unique_ptr<Index> index);
+
+  Table* GetTable(const std::string& name) const;
+  Index* GetIndex(const std::string& name) const;
+
+  /// All indexes whose base table is `table`.
+  std::vector<Index*> IndexesForTable(const Table* table) const;
+
+  std::vector<Table*> Tables() const;
+  std::vector<Index*> Indexes() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::map<std::string, std::unique_ptr<Index>> indexes_;
+};
+
+struct DatabaseOptions {
+  size_t page_size = kDefaultPageSize;
+  size_t buffer_pool_pages = 4096;
+  /// Simulated device/CPU cost constants used when deriving run times.
+  SimCostParams cost_params;
+};
+
+/// Top-level engine object: storage + catalog.
+class Database {
+ public:
+  explicit Database(DatabaseOptions options = DatabaseOptions());
+
+  /// Creates an empty table; load rows through a TableBuilder on the
+  /// returned object. `cluster_key_col` is required iff clustered.
+  Result<Table*> CreateTable(const std::string& name, Schema schema,
+                             TableOrganization organization,
+                             int cluster_key_col = -1);
+
+  /// Builds an index over an already-loaded table.
+  Result<Index*> CreateIndex(const std::string& name,
+                             const std::string& table_name,
+                             const std::vector<int>& key_cols,
+                             bool is_clustered_key = false);
+  Result<Index*> CreateIndex(const std::string& name,
+                             const std::string& table_name,
+                             const std::vector<std::string>& key_col_names,
+                             bool is_clustered_key = false);
+
+  Table* GetTable(const std::string& name) const {
+    return catalog_.GetTable(name);
+  }
+  Index* GetIndex(const std::string& name) const {
+    return catalog_.GetIndex(name);
+  }
+  const Catalog& catalog() const { return catalog_; }
+
+  DiskManager* disk() { return &disk_; }
+  BufferPool* buffer_pool() { return &pool_; }
+  const DatabaseOptions& options() const { return options_; }
+
+  /// Empties the buffer pool and zeroes the I/O counters — the state in
+  /// which the paper times every plan.
+  Status ColdCache();
+
+  /// Runtime DML: appends a row, maintaining every index on the table.
+  /// Clustered tables are load-ordered (the physical order IS the
+  /// clustering the paper studies), so the key must be >= the current
+  /// maximum; arbitrary-position inserts are NotSupported.
+  Result<Rid> InsertRow(const std::string& table_name, const Tuple& row);
+
+  /// Overwrites the row at `rid` in place (fixed-width rows), updating
+  /// index entries whose keys changed. A clustered table's key column
+  /// must keep its value.
+  Status UpdateRow(const std::string& table_name, Rid rid,
+                   const Tuple& row);
+
+  /// Writes all dirty buffer-pool pages back to the disk image so raw
+  /// walkers (statistics build, diagnostics) observe DML effects.
+  Status Checkpoint() { return pool_.FlushAll(); }
+
+ private:
+  DatabaseOptions options_;
+  DiskManager disk_;
+  BufferPool pool_;
+  Catalog catalog_;
+};
+
+}  // namespace dpcf

@@ -1,0 +1,89 @@
+#include "table/heap_file.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace dpcf {
+
+HeapFile::HeapFile(BufferPool* pool, SegmentId segment, const Schema* schema)
+    : pool_(pool), segment_(segment), schema_(schema) {
+  assert(schema_->row_size() > 0);
+  size_t usable = pool_->disk()->page_size() - kHeaderSize;
+  rows_per_page_ = static_cast<uint32_t>(usable / schema_->row_size());
+  assert(rows_per_page_ > 0 && "row wider than a page");
+  page_count_ = pool_->disk()->SegmentPageCount(segment_);
+}
+
+uint32_t HeapFile::PageRowCount(const char* page_data) {
+  uint32_t n;
+  std::memcpy(&n, page_data, sizeof(n));
+  return n;
+}
+
+void HeapFile::SetPageRowCount(char* page_data, uint32_t n) {
+  std::memcpy(page_data, &n, sizeof(n));
+}
+
+Result<Rid> HeapFile::AppendEncoded(const char* row) {
+  if (!tail_guard_.valid() && page_count_ > 0) {
+    // Re-open the last page (runtime inserts after a Seal): it may still
+    // have free slots.
+    auto guard = pool_->Fetch(PageId{segment_, page_count_ - 1});
+    if (!guard.ok()) return guard.status();
+    uint32_t used = PageRowCount(guard->data());
+    if (used < rows_per_page_) {
+      tail_guard_ = std::move(guard).value();
+      tail_pid_ = PageId{segment_, page_count_ - 1};
+      tail_rows_ = used;
+    }
+  }
+  if (!tail_guard_.valid() || tail_rows_ == rows_per_page_) {
+    tail_guard_.Release();
+    auto guard = pool_->NewPage(segment_, &tail_pid_);
+    if (!guard.ok()) return guard.status();
+    tail_guard_ = std::move(guard).value();
+    tail_rows_ = 0;
+    ++page_count_;
+  }
+  char* page = tail_guard_.mutable_data();
+  std::memcpy(page + kHeaderSize +
+                  static_cast<size_t>(tail_rows_) * schema_->row_size(),
+              row, schema_->row_size());
+  SetPageRowCount(page, tail_rows_ + 1);
+  Rid rid{tail_pid_.page_no, static_cast<uint16_t>(tail_rows_)};
+  ++tail_rows_;
+  ++row_count_;
+  return rid;
+}
+
+Result<Rid> HeapFile::Append(const Tuple& tuple) {
+  RowCodec codec(schema_);
+  // Row width is bounded by the page size, so a stack-ish buffer is fine.
+  std::string buf(schema_->row_size(), '\0');
+  DPCF_RETURN_IF_ERROR(codec.Encode(tuple, buf.data()));
+  return AppendEncoded(buf.data());
+}
+
+void HeapFile::Seal() { tail_guard_.Release(); }
+
+Result<PageGuard> HeapFile::FetchRow(Rid rid, const char** out_row) {
+  if (rid.page_no >= page_count_) {
+    return Status::OutOfRange(
+        StrFormat("rid %s beyond %u pages", rid.ToString().c_str(),
+                  page_count_));
+  }
+  auto guard = pool_->Fetch(PageId{segment_, rid.page_no});
+  if (!guard.ok()) return guard.status();
+  const char* page = guard->data();
+  if (rid.slot >= PageRowCount(page)) {
+    return Status::OutOfRange(
+        StrFormat("rid %s: slot beyond %u rows", rid.ToString().c_str(),
+                  PageRowCount(page)));
+  }
+  *out_row = RowInPage(page, rid.slot);
+  return std::move(guard).value();
+}
+
+}  // namespace dpcf

@@ -1,0 +1,101 @@
+// Heap file: the on-"disk" row store for a table.
+//
+// A heap file is one segment of fixed-width data pages. Page layout:
+//   [uint32 row_count][8-byte aligned rows...]
+// Rows are appended in arrival order; a clustered table is simply a heap
+// file whose rows were appended in clustering-key order by the TableBuilder,
+// which is what gives scans the paper's *grouped page access* property and
+// makes correlated predicates touch few distinct pages.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "table/row_codec.h"
+#include "table/schema.h"
+
+namespace dpcf {
+
+/// Row identifier within one table: (data page number, slot in page).
+struct Rid {
+  PageNo page_no = kInvalidPageNo;
+  uint16_t slot = 0;
+
+  bool valid() const { return page_no != kInvalidPageNo; }
+
+  uint64_t Pack() const {
+    return (static_cast<uint64_t>(page_no) << 16) | slot;
+  }
+  static Rid Unpack(uint64_t packed) {
+    return Rid{static_cast<PageNo>(packed >> 16),
+               static_cast<uint16_t>(packed & 0xffff)};
+  }
+
+  bool operator==(const Rid&) const = default;
+  auto operator<=>(const Rid&) const = default;
+
+  std::string ToString() const {
+    return std::to_string(page_no) + "." + std::to_string(slot);
+  }
+};
+
+/// Fixed-width-row page store over one segment.
+///
+/// Appends keep the tail page pinned until the file is Sealed; reads go
+/// through the buffer pool so physical I/O is charged to the run.
+class HeapFile {
+ public:
+  HeapFile(BufferPool* pool, SegmentId segment, const Schema* schema);
+
+  static constexpr uint32_t kHeaderSize = 8;
+
+  /// Rows that fit in one page for this schema/page size.
+  uint32_t rows_per_page() const { return rows_per_page_; }
+  SegmentId segment() const { return segment_; }
+  const Schema* schema() const { return schema_; }
+
+  uint32_t page_count() const { return page_count_; }
+  int64_t row_count() const { return row_count_; }
+
+  /// Appends an encoded row (schema->row_size() bytes); returns its Rid.
+  Result<Rid> AppendEncoded(const char* row);
+
+  /// Encodes and appends a tuple.
+  Result<Rid> Append(const Tuple& tuple);
+
+  /// Unpins the tail page; call when loading is done.
+  void Seal();
+
+  /// Pins the page holding `rid` and returns the guard; `out_row` points at
+  /// the row bytes (valid while the guard lives).
+  Result<PageGuard> FetchRow(Rid rid, const char** out_row);
+
+  /// Number of rows stored in the given (already fetched) page image.
+  static uint32_t PageRowCount(const char* page_data);
+  static void SetPageRowCount(char* page_data, uint32_t n);
+
+  /// Pointer to slot `slot` in a fetched page image.
+  const char* RowInPage(const char* page_data, uint16_t slot) const {
+    return page_data + kHeaderSize +
+           static_cast<size_t>(slot) * schema_->row_size();
+  }
+
+  BufferPool* buffer_pool() const { return pool_; }
+
+ private:
+  BufferPool* pool_;
+  SegmentId segment_;
+  const Schema* schema_;
+  uint32_t rows_per_page_;
+  uint32_t page_count_ = 0;
+  int64_t row_count_ = 0;
+
+  // Tail page being filled by Append.
+  PageGuard tail_guard_;
+  PageId tail_pid_;
+  uint32_t tail_rows_ = 0;
+};
+
+}  // namespace dpcf

@@ -1,0 +1,69 @@
+#include "table/row_codec.h"
+
+#include "common/string_util.h"
+
+namespace dpcf {
+
+Value RowView::GetValue(size_t col) const {
+  const Column& c = schema_->column(col);
+  if (c.type == ValueType::kInt64) return Value::Int64(GetInt64(col));
+  std::string_view sv = GetString(col);
+  // Trim the fixed-width space padding.
+  size_t end = sv.find_last_not_of(' ');
+  return Value::String(std::string(
+      end == std::string_view::npos ? sv.substr(0, 0) : sv.substr(0, end + 1)));
+}
+
+Tuple RowView::Materialize(const std::vector<int>& projection) const {
+  Tuple t;
+  if (projection.empty()) {
+    t.reserve(schema_->num_columns());
+    for (size_t i = 0; i < schema_->num_columns(); ++i) {
+      t.push_back(GetValue(i));
+    }
+  } else {
+    t.reserve(projection.size());
+    for (int col : projection) {
+      t.push_back(GetValue(static_cast<size_t>(col)));
+    }
+  }
+  return t;
+}
+
+Status RowCodec::Encode(const Tuple& tuple, char* out) const {
+  if (tuple.size() != schema_->num_columns()) {
+    return Status::InvalidArgument(
+        StrFormat("tuple arity %zu != schema arity %zu", tuple.size(),
+                  schema_->num_columns()));
+  }
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    const Column& c = schema_->column(i);
+    const Value& v = tuple[i];
+    if (v.type() != c.type) {
+      return Status::InvalidArgument(
+          StrFormat("column %s expects %s, got %s", c.name.c_str(),
+                    ValueTypeName(c.type), ValueTypeName(v.type())));
+    }
+    char* dst = out + schema_->offset(i);
+    if (c.type == ValueType::kInt64) {
+      int64_t raw = v.AsInt64();
+      std::memcpy(dst, &raw, sizeof(raw));
+    } else {
+      const std::string& s = v.AsString();
+      if (s.size() > c.size) {
+        return Status::InvalidArgument(
+            StrFormat("value of length %zu exceeds CHAR(%u) column %s",
+                      s.size(), c.size, c.name.c_str()));
+      }
+      std::memcpy(dst, s.data(), s.size());
+      std::memset(dst + s.size(), ' ', c.size - s.size());
+    }
+  }
+  return Status::OK();
+}
+
+Tuple RowCodec::Decode(const char* data) const {
+  return RowView(data, schema_).Materialize();
+}
+
+}  // namespace dpcf

@@ -1,0 +1,67 @@
+// Row (de)serialization and zero-copy row views.
+//
+// RowView reads column values directly from page bytes without materializing
+// a Tuple — the storage-engine predicate evaluator and the page-count
+// monitors run on RowViews; Tuples are only built for rows that survive the
+// pushed-down predicates and cross into the relational engine.
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+#include "table/schema.h"
+#include "table/value.h"
+
+namespace dpcf {
+
+/// Zero-copy view of one encoded row. Valid only while the underlying page
+/// stays pinned.
+class RowView {
+ public:
+  RowView(const char* data, const Schema* schema)
+      : data_(data), schema_(schema) {}
+
+  int64_t GetInt64(size_t col) const {
+    int64_t v;
+    std::memcpy(&v, data_ + schema_->offset(col), sizeof(v));
+    return v;
+  }
+
+  std::string_view GetString(size_t col) const {
+    return std::string_view(data_ + schema_->offset(col),
+                            schema_->column(col).size);
+  }
+
+  Value GetValue(size_t col) const;
+
+  /// Materializes the named columns (all columns if `projection` is empty).
+  Tuple Materialize(const std::vector<int>& projection = {}) const;
+
+  const char* data() const { return data_; }
+  const Schema* schema() const { return schema_; }
+
+ private:
+  const char* data_;
+  const Schema* schema_;
+};
+
+/// Encodes/decodes Tuples to/from the fixed-width row format.
+class RowCodec {
+ public:
+  explicit RowCodec(const Schema* schema) : schema_(schema) {}
+
+  /// Writes the tuple into `out` (at least schema->row_size() bytes).
+  /// Fails if arity or a value type mismatches; CHAR values longer than the
+  /// declared width are rejected, shorter ones are space-padded.
+  Status Encode(const Tuple& tuple, char* out) const;
+
+  /// Full decode into a Tuple (strings are right-trimmed of padding).
+  Tuple Decode(const char* data) const;
+
+ private:
+  const Schema* schema_;
+};
+
+}  // namespace dpcf

@@ -1,0 +1,60 @@
+// Table schemas with fixed-width row layout.
+//
+// Rows are fixed-width: INT64 columns take 8 bytes, CHAR(n) columns take n
+// bytes (space-padded). Fixed-width layout keeps the storage-engine hot path
+// (predicate evaluation on raw page bytes) branch-free and lets the paper's
+// rows-per-page arithmetic (Table I, Example 1) hold exactly.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "table/value.h"
+
+namespace dpcf {
+
+/// One column definition. For kString, `size` is the fixed CHAR width.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+  uint32_t size = 8;
+
+  static Column Int64(std::string name) {
+    return Column{std::move(name), ValueType::kInt64, 8};
+  }
+  static Column Char(std::string name, uint32_t width) {
+    return Column{std::move(name), ValueType::kString, width};
+  }
+};
+
+/// Immutable column layout: names, types, byte offsets and total row size.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Byte offset of column i within a row.
+  uint32_t offset(size_t i) const { return offsets_[i]; }
+
+  /// Total fixed row width in bytes.
+  uint32_t row_size() const { return row_size_; }
+
+  /// Index of the column with this name, or -1 if absent.
+  int ColumnIndex(const std::string& name) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+  std::vector<uint32_t> offsets_;
+  uint32_t row_size_ = 0;
+};
+
+}  // namespace dpcf

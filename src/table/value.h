@@ -1,0 +1,57 @@
+// Typed values and tuples.
+//
+// The engine supports two column types: INT64 (ids, dates encoded as days,
+// dictionary-encoded categorical columns) and fixed-width CHAR(n) strings
+// (payload/padding columns). This matches what the paper's experiments
+// exercise; NULLs are not modelled.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dpcf {
+
+enum class ValueType : uint8_t {
+  kInt64 = 0,
+  kString = 1,
+};
+
+const char* ValueTypeName(ValueType t);
+
+/// A single typed value. Small and copyable; comparisons are only defined
+/// between values of the same type.
+class Value {
+ public:
+  Value() : type_(ValueType::kInt64), i_(0) {}
+  static Value Int64(int64_t v) { return Value(v); }
+  static Value String(std::string v) { return Value(std::move(v)); }
+
+  ValueType type() const { return type_; }
+  int64_t AsInt64() const { return i_; }
+  const std::string& AsString() const { return s_; }
+
+  bool operator==(const Value& o) const;
+  /// Three-way compare; asserts same type.
+  int Compare(const Value& o) const;
+  bool operator<(const Value& o) const { return Compare(o) < 0; }
+
+  std::string ToString() const;
+
+ private:
+  explicit Value(int64_t v) : type_(ValueType::kInt64), i_(v) {}
+  explicit Value(std::string v)
+      : type_(ValueType::kString), i_(0), s_(std::move(v)) {}
+
+  ValueType type_;
+  int64_t i_;
+  std::string s_;
+};
+
+/// A materialized row: one Value per (projected) column.
+using Tuple = std::vector<Value>;
+
+std::string TupleToString(const Tuple& t);
+
+}  // namespace dpcf

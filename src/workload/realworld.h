@@ -1,0 +1,43 @@
+// Surrogates for the paper's real-world databases (Table I): Book Retailer,
+// Yellow Pages, Voter data, Products.
+//
+// The customer data is proprietary, so we synthesize tables that reproduce
+// the *property the paper measures*: predicate columns spanning the whole
+// clustering-ratio spectrum (Fig 10) — date-like columns correlated with the
+// load order (CR ≈ 0), chunk-loaded categorical columns (low/medium CR,
+// e.g. data loaded per vendor/store), Zipf-skewed and uniform random columns
+// (CR ≈ 1) — while matching each dataset's rows-per-page shape from Table I
+// at a scaled-down row count.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "table/catalog.h"
+
+namespace dpcf {
+
+/// One generated dataset with the columns meant to carry predicates.
+struct DatasetInfo {
+  std::string name;
+  Table* table = nullptr;
+  /// Columns to generate diagnostic predicates on (all INT64, indexed).
+  std::vector<int> predicate_cols;
+};
+
+struct RealWorldOptions {
+  /// Row-count scale relative to the built-in per-dataset defaults (which
+  /// are themselves ~1/50 of Table I).
+  double scale = 1.0;
+  uint64_t seed = 2008;
+  bool build_indexes = true;
+};
+
+/// Builds all four "real world" datasets into `db`. Indexes are created on
+/// every predicate column, named "<table>_<column>".
+Result<std::vector<DatasetInfo>> BuildRealWorldDatabases(
+    Database* db, const RealWorldOptions& options);
+
+}  // namespace dpcf

@@ -1,0 +1,48 @@
+// Synthetic database of the paper's Section V-B.1.
+//
+// T(C1, C2, C3, C4, C5, padding): 100-byte rows, clustered on the identity
+// column C1. C2..C5 are permutations of C1's values with decreasing
+// correlation to the physical order:
+//   C2 = C1 (fully correlated),
+//   C3 = window-shuffled with a small window,
+//   C4 = window-shuffled with a large window,
+//   C5 = a uniformly random permutation (uncorrelated).
+// Non-clustered indexes exist on C2..C5; T1 is a copy of T used as the
+// outer of join queries. Row counts are scaled down from the paper's 100M
+// (the correlation spectrum, not the absolute size, drives every result).
+
+#pragma once
+
+#include "common/status.h"
+#include "table/catalog.h"
+
+namespace dpcf {
+
+struct SyntheticOptions {
+  int64_t num_rows = 400'000;
+  /// padding CHAR width; 60 makes the row exactly 100 bytes like the paper.
+  uint32_t padding_width = 60;
+  uint64_t seed = 42;
+  /// Shuffle windows for C3/C4; 0 = default (num_rows/64, num_rows/16).
+  int64_t window_c3 = 0;
+  int64_t window_c4 = 0;
+  /// Build non-clustered indexes on C2..C5 (and the clustered-key index).
+  bool build_indexes = true;
+};
+
+/// Column positions in the synthetic schema.
+enum SyntheticCol : int {
+  kC1 = 0,
+  kC2 = 1,
+  kC3 = 2,
+  kC4 = 3,
+  kC5 = 4,
+  kPadding = 5,
+};
+
+/// Builds table `name` (clustered on C1, values 1..num_rows) plus its
+/// indexes named "<name>_c1" .. "<name>_c5".
+Result<Table*> BuildSyntheticTable(Database* db, const std::string& name,
+                                   const SyntheticOptions& options);
+
+}  // namespace dpcf

@@ -1,0 +1,103 @@
+#include "workload/tpch_like.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace dpcf {
+
+Result<TpchLikeTables> BuildTpchLike(Database* db,
+                                     const TpchLikeOptions& options) {
+  TpchLikeTables out;
+  Rng rng(options.seed);
+  const int64_t n = options.lineitem_rows;
+  const int64_t num_days = 2557;  // ~7 years, like TPC-H's date range
+
+  Schema li_schema({Column::Int64("orderkey"), Column::Int64("partkey"),
+                    Column::Int64("suppkey"), Column::Int64("shipdate"),
+                    Column::Int64("commitdate"),
+                    Column::Int64("receiptdate"),
+                    Column::Char("comment", 96)});
+  DPCF_ASSIGN_OR_RETURN(out.lineitem,
+                        db->CreateTable("lineitem", li_schema,
+                                        TableOrganization::kClustered,
+                                        kLOrderKey));
+
+  Schema ord_schema({Column::Int64("o_orderkey"),
+                     Column::Int64("o_orderdate"),
+                     Column::Int64("o_custkey"),
+                     Column::Char("o_comment", 64)});
+  DPCF_ASSIGN_OR_RETURN(out.orders,
+                        db->CreateTable("orders", ord_schema,
+                                        TableOrganization::kClustered, 0));
+
+  ZipfDistribution part_zipf(std::max<int64_t>(1000, n / 8), 1.0);
+  ZipfDistribution supp_zipf(std::max<int64_t>(100, n / 100), 1.0);
+
+  TableBuilder li(out.lineitem);
+  TableBuilder ord(out.orders);
+  const Value li_pad = Value::String("lineitem");
+  const Value ord_pad = Value::String("order");
+
+  int64_t orderkey = 0;
+  int64_t rows_emitted = 0;
+  while (rows_emitted < n) {
+    ++orderkey;
+    // Order date advances with orderkey: the classic date/load correlation.
+    int64_t orderdate =
+        std::clamp<int64_t>(rows_emitted * num_days / n +
+                                rng.NextInt(-3, 3),
+                            0, num_days - 1);
+    DPCF_RETURN_IF_ERROR(ord.AddRow(Tuple{
+        Value::Int64(orderkey), Value::Int64(orderdate),
+        Value::Int64(rng.NextInt(1, std::max<int64_t>(1, n / 10))),
+        ord_pad}));
+    int64_t lines = rng.NextInt(1, 2 * options.lines_per_order - 1);
+    for (int64_t l = 0; l < lines && rows_emitted < n; ++l) {
+      int64_t shipdate =
+          std::clamp<int64_t>(orderdate + rng.NextInt(1, 121), 0,
+                              num_days - 1);
+      int64_t commitdate =
+          std::clamp<int64_t>(orderdate + rng.NextInt(30, 90), 0,
+                              num_days - 1);
+      int64_t receiptdate =
+          std::clamp<int64_t>(shipdate + rng.NextInt(1, 30), 0,
+                              num_days - 1);
+      DPCF_RETURN_IF_ERROR(li.AddRow(Tuple{
+          Value::Int64(orderkey), Value::Int64(part_zipf.Sample(&rng)),
+          Value::Int64(supp_zipf.Sample(&rng)), Value::Int64(shipdate),
+          Value::Int64(commitdate), Value::Int64(receiptdate), li_pad}));
+      ++rows_emitted;
+    }
+  }
+  DPCF_RETURN_IF_ERROR(li.Finish());
+  DPCF_RETURN_IF_ERROR(ord.Finish());
+
+  if (options.build_indexes) {
+    DPCF_RETURN_IF_ERROR(db->CreateIndex("lineitem_orderkey", "lineitem",
+                                         std::vector<int>{kLOrderKey},
+                                         /*is_clustered_key=*/true)
+                             .status());
+    DPCF_RETURN_IF_ERROR(db->CreateIndex("orders_orderkey", "orders",
+                                         std::vector<int>{0},
+                                         /*is_clustered_key=*/true)
+                             .status());
+    struct NamedCol {
+      const char* name;
+      int col;
+    };
+    const NamedCol cols[] = {{"lineitem_shipdate", kLShipDate},
+                             {"lineitem_commitdate", kLCommitDate},
+                             {"lineitem_receiptdate", kLReceiptDate},
+                             {"lineitem_partkey", kLPartKey},
+                             {"lineitem_suppkey", kLSuppKey}};
+    for (const NamedCol& nc : cols) {
+      DPCF_RETURN_IF_ERROR(db->CreateIndex(nc.name, "lineitem",
+                                           std::vector<int>{nc.col})
+                               .status());
+    }
+  }
+  return out;
+}
+
+}  // namespace dpcf

@@ -1,0 +1,46 @@
+// TPC-H-like fact tables (Table I's "TPC-H (10GB), skew factor Z=1").
+//
+// Scaled-down lineitem/orders pair: lineitem is clustered by orderkey (load
+// order), its three date columns follow order time with bounded noise —
+// exactly the Example-1 correlation — and supplier/part keys are
+// Zipf-skewed (Z = 1) uniform-random placements. orders is clustered by
+// orderkey and carries the matching orderdate, for join experiments.
+
+#pragma once
+
+#include "common/status.h"
+#include "table/catalog.h"
+
+namespace dpcf {
+
+struct TpchLikeOptions {
+  int64_t lineitem_rows = 240'000;
+  /// lineitems per order (average; actual 1..2*avg-1 uniform).
+  int64_t lines_per_order = 4;
+  uint64_t seed = 1992;
+  bool build_indexes = true;
+};
+
+/// lineitem column positions.
+enum TpchLineitemCol : int {
+  kLOrderKey = 0,
+  kLPartKey = 1,
+  kLSuppKey = 2,
+  kLShipDate = 3,
+  kLCommitDate = 4,
+  kLReceiptDate = 5,
+  kLComment = 6,
+};
+
+struct TpchLikeTables {
+  Table* lineitem = nullptr;
+  Table* orders = nullptr;
+};
+
+/// Builds "lineitem" and "orders" plus indexes on the three lineitem date
+/// columns ("lineitem_shipdate" etc.), the skew keys, and the clustered
+/// keys.
+Result<TpchLikeTables> BuildTpchLike(Database* db,
+                                     const TpchLikeOptions& options);
+
+}  // namespace dpcf

@@ -1,0 +1,262 @@
+// B+-tree tests: bulk load, random insert with splits, duplicates, seeks,
+// lazy delete, structural invariants — parameterized across page sizes so
+// both shallow and multi-level trees are exercised.
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "index/btree.h"
+#include "tests/test_util.h"
+
+namespace dpcf {
+namespace {
+
+class BtreeTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  BtreeTest() : disk_(GetParam()), pool_(&disk_, 256) {}
+
+  Btree MakeTree() {
+    auto t = Btree::Create(&pool_, "t");
+    EXPECT_TRUE(t.ok());
+    return std::move(t).value();
+  }
+
+  std::vector<BtreeEntry> Drain(Btree* tree) {
+    std::vector<BtreeEntry> out;
+    auto it = tree->Begin();
+    EXPECT_TRUE(it.ok()) << it.status().ToString();
+    while (it->Valid()) {
+      out.push_back(it->entry());
+      EXPECT_OK(it->Next());
+    }
+    return out;
+  }
+
+  DiskManager disk_;
+  BufferPool pool_;
+};
+
+TEST_P(BtreeTest, EmptyTreeIteratesNothing) {
+  Btree tree = MakeTree();
+  EXPECT_EQ(tree.entry_count(), 0);
+  EXPECT_TRUE(Drain(&tree).empty());
+  ASSERT_OK(tree.CheckInvariants());
+}
+
+TEST_P(BtreeTest, SequentialInsertsStaySorted) {
+  Btree tree = MakeTree();
+  const int64_t n = 2000;
+  for (int64_t i = 0; i < n; ++i) {
+    ASSERT_OK(tree.Insert({{i, 0}, static_cast<uint64_t>(i * 10)}));
+  }
+  ASSERT_OK(tree.CheckInvariants());
+  auto all = Drain(&tree);
+  ASSERT_EQ(all.size(), static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(all[static_cast<size_t>(i)].key.k1, i);
+    EXPECT_EQ(all[static_cast<size_t>(i)].aux,
+              static_cast<uint64_t>(i * 10));
+  }
+}
+
+TEST_P(BtreeTest, RandomInsertsMatchReferenceMap) {
+  Btree tree = MakeTree();
+  std::map<std::pair<int64_t, uint64_t>, bool> reference;
+  Rng rng(11);
+  for (int i = 0; i < 3000; ++i) {
+    int64_t k = rng.NextInt(0, 500);  // plenty of duplicate keys
+    uint64_t aux = static_cast<uint64_t>(i);
+    ASSERT_OK(tree.Insert({{k, 0}, aux}));
+    reference[{k, aux}] = true;
+  }
+  ASSERT_OK(tree.CheckInvariants());
+  auto all = Drain(&tree);
+  ASSERT_EQ(all.size(), reference.size());
+  size_t i = 0;
+  for (const auto& [key, unused] : reference) {
+    EXPECT_EQ(all[i].key.k1, key.first);
+    EXPECT_EQ(all[i].aux, key.second);
+    ++i;
+  }
+}
+
+TEST_P(BtreeTest, DuplicateFullEntryRejected) {
+  Btree tree = MakeTree();
+  ASSERT_OK(tree.Insert({{5, 0}, 1}));
+  EXPECT_EQ(tree.Insert({{5, 0}, 1}).code(), StatusCode::kAlreadyExists);
+  ASSERT_OK(tree.Insert({{5, 0}, 2}));  // same key, different rid: fine
+  EXPECT_EQ(tree.entry_count(), 2);
+}
+
+TEST_P(BtreeTest, SeekFirstFindsLowerBound) {
+  Btree tree = MakeTree();
+  for (int64_t i = 0; i < 1000; i += 2) {  // even keys only
+    ASSERT_OK(tree.Insert({{i, 0}, static_cast<uint64_t>(i)}));
+  }
+  for (int64_t probe : {0, 1, 2, 499, 500, 997, 998}) {
+    auto it = tree.SeekFirst(BtreeKey{probe, INT64_MIN});
+    ASSERT_TRUE(it.ok());
+    ASSERT_TRUE(it->Valid()) << probe;
+    EXPECT_EQ(it->key().k1, (probe + 1) / 2 * 2) << probe;
+  }
+  auto past = tree.SeekFirst(BtreeKey{999, INT64_MIN});
+  ASSERT_TRUE(past.ok());
+  EXPECT_FALSE(past->Valid());
+}
+
+TEST_P(BtreeTest, CollectRangeInclusive) {
+  Btree tree = MakeTree();
+  for (int64_t i = 0; i < 300; ++i) {
+    ASSERT_OK(tree.Insert({{i, 0}, static_cast<uint64_t>(i)}));
+  }
+  std::vector<uint64_t> out;
+  ASSERT_OK(tree.CollectRange(BtreeKey::Min(100), BtreeKey::Max(199), &out));
+  ASSERT_EQ(out.size(), 100u);
+  EXPECT_EQ(out.front(), 100u);
+  EXPECT_EQ(out.back(), 199u);
+}
+
+TEST_P(BtreeTest, BulkLoadMatchesInsertResult) {
+  std::vector<BtreeEntry> entries;
+  Rng rng(13);
+  for (int i = 0; i < 5000; ++i) {
+    entries.push_back({{rng.NextInt(0, 100'000), 0},
+                       static_cast<uint64_t>(i)});
+  }
+  std::sort(entries.begin(), entries.end());
+  entries.erase(std::unique(entries.begin(), entries.end()), entries.end());
+
+  Btree bulk = MakeTree();
+  ASSERT_OK(bulk.BulkLoad(entries));
+  ASSERT_OK(bulk.CheckInvariants());
+  EXPECT_EQ(bulk.entry_count(), static_cast<int64_t>(entries.size()));
+  EXPECT_EQ(Drain(&bulk), entries);
+}
+
+TEST_P(BtreeTest, BulkLoadRejectsUnsortedInput) {
+  Btree tree = MakeTree();
+  std::vector<BtreeEntry> bad{{{2, 0}, 0}, {{1, 0}, 0}};
+  EXPECT_EQ(tree.BulkLoad(bad).code(), StatusCode::kInvalidArgument);
+  std::vector<BtreeEntry> dup{{{1, 0}, 0}, {{1, 0}, 0}};
+  EXPECT_EQ(tree.BulkLoad(dup).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_P(BtreeTest, BulkLoadRequiresEmptyTree) {
+  Btree tree = MakeTree();
+  ASSERT_OK(tree.Insert({{1, 0}, 1}));
+  EXPECT_FALSE(tree.BulkLoad({{{2, 0}, 2}}).ok());
+}
+
+TEST_P(BtreeTest, InsertAfterBulkLoad) {
+  std::vector<BtreeEntry> entries;
+  for (int64_t i = 0; i < 1000; ++i) entries.push_back({{i * 2, 0}, 1});
+  Btree tree = MakeTree();
+  ASSERT_OK(tree.BulkLoad(entries));
+  for (int64_t i = 0; i < 1000; ++i) {
+    ASSERT_OK(tree.Insert({{i * 2 + 1, 0}, 1}));
+  }
+  ASSERT_OK(tree.CheckInvariants());
+  EXPECT_EQ(tree.entry_count(), 2000);
+  auto all = Drain(&tree);
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].key.k1, static_cast<int64_t>(i));
+  }
+}
+
+TEST_P(BtreeTest, DeleteRemovesExactEntry) {
+  Btree tree = MakeTree();
+  for (int64_t i = 0; i < 500; ++i) {
+    ASSERT_OK(tree.Insert({{i, 0}, 7}));
+  }
+  ASSERT_OK(tree.Delete({{250, 0}, 7}));
+  EXPECT_EQ(tree.entry_count(), 499);
+  EXPECT_EQ(tree.Delete({{250, 0}, 7}).code(), StatusCode::kNotFound);
+  EXPECT_EQ(tree.Delete({{250, 0}, 8}).code(), StatusCode::kNotFound);
+  ASSERT_OK(tree.CheckInvariants());
+  auto it = tree.SeekFirst(BtreeKey{250, INT64_MIN});
+  ASSERT_TRUE(it.ok());
+  EXPECT_EQ(it->key().k1, 251);
+}
+
+TEST_P(BtreeTest, DeleteDuplicateKeySpanningLeaves) {
+  Btree tree = MakeTree();
+  // Many entries with the same key, distinct aux: spans multiple leaves on
+  // small pages.
+  for (uint64_t aux = 0; aux < 400; ++aux) {
+    ASSERT_OK(tree.Insert({{42, 0}, aux}));
+  }
+  ASSERT_OK(tree.Delete({{42, 0}, 399}));
+  ASSERT_OK(tree.Delete({{42, 0}, 0}));
+  ASSERT_OK(tree.Delete({{42, 0}, 200}));
+  EXPECT_EQ(tree.entry_count(), 397);
+  ASSERT_OK(tree.CheckInvariants());
+}
+
+TEST_P(BtreeTest, CompositeKeysOrderLexicographically) {
+  Btree tree = MakeTree();
+  for (int64_t a = 0; a < 20; ++a) {
+    for (int64_t b = 0; b < 20; ++b) {
+      ASSERT_OK(
+          tree.Insert({{a, b}, static_cast<uint64_t>(a * 100 + b)}));
+    }
+  }
+  ASSERT_OK(tree.CheckInvariants());
+  // Range over a = 7, all b.
+  std::vector<uint64_t> out;
+  ASSERT_OK(tree.CollectRange(BtreeKey::Min(7), BtreeKey::Max(7), &out));
+  ASSERT_EQ(out.size(), 20u);
+  EXPECT_EQ(out.front(), 700u);
+  EXPECT_EQ(out.back(), 719u);
+  // Composite sub-range (7, 5)..(7, 9).
+  out.clear();
+  ASSERT_OK(tree.CollectRange(BtreeKey{7, 5}, BtreeKey{7, 9}, &out));
+  EXPECT_EQ(out.size(), 5u);
+}
+
+TEST_P(BtreeTest, HeightGrowsLogarithmically) {
+  Btree tree = MakeTree();
+  for (int64_t i = 0; i < 5000; ++i) {
+    ASSERT_OK(tree.Insert({{i, 0}, 0}));
+  }
+  // Sanity: capacity^height must cover the entries.
+  double cap = tree.leaf_capacity();
+  double internal = tree.internal_capacity();
+  double reachable = cap;
+  for (uint32_t l = 1; l < tree.height(); ++l) reachable *= internal;
+  EXPECT_GE(reachable, 5000.0);
+  EXPECT_LE(tree.height(), 7u);
+}
+
+TEST_P(BtreeTest, IteratorChargesBufferPoolIo) {
+  Btree tree = MakeTree();
+  for (int64_t i = 0; i < 3000; ++i) {
+    ASSERT_OK(tree.Insert({{i, 0}, 0}));
+  }
+  int64_t before = disk_.io_stats()->logical_reads;
+  auto it = tree.Begin();
+  ASSERT_TRUE(it.ok());
+  while (it->Valid()) ASSERT_OK(it->Next());
+  EXPECT_GT(disk_.io_stats()->logical_reads, before)
+      << "tree traversal must go through the buffer pool";
+}
+
+INSTANTIATE_TEST_SUITE_P(PageSizes, BtreeTest,
+                         ::testing::Values(256, 512, 4096),
+                         [](const auto& info) {
+                           return "page" + std::to_string(info.param);
+                         });
+
+TEST(BtreeKeyTest, MinMaxBracketAllAuxValues) {
+  EXPECT_LT(BtreeKey::Min(5), (BtreeKey{5, 0}));
+  EXPECT_LT((BtreeKey{5, 0}), BtreeKey::Max(5));
+  EXPECT_LT(BtreeKey::Max(5), BtreeKey::Min(6));
+  EXPECT_EQ(BtreeKey({3, 0}).ToString(), "3");
+  EXPECT_EQ((BtreeKey{3, 4}).ToString(), "(3,4)");
+}
+
+}  // namespace
+}  // namespace dpcf

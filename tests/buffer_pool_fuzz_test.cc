@@ -1,0 +1,154 @@
+// Buffer-pool model check: a random access pattern against a reference LRU
+// simulation must produce identical hit/miss behaviour, and random pin/
+// unpin interleavings must never corrupt accounting.
+
+#include <list>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "storage/buffer_pool.h"
+#include "tests/test_util.h"
+
+namespace dpcf {
+namespace {
+
+/// Reference model: plain LRU over page numbers (no pinning).
+class ReferenceLru {
+ public:
+  explicit ReferenceLru(size_t capacity) : capacity_(capacity) {}
+
+  // Returns true on hit.
+  bool Touch(PageNo p) {
+    auto it = pos_.find(p);
+    if (it != pos_.end()) {
+      order_.erase(it->second);
+      order_.push_front(p);
+      pos_[p] = order_.begin();
+      return true;
+    }
+    if (order_.size() == capacity_) {
+      pos_.erase(order_.back());
+      order_.pop_back();
+    }
+    order_.push_front(p);
+    pos_[p] = order_.begin();
+    return false;
+  }
+
+ private:
+  size_t capacity_;
+  std::list<PageNo> order_;
+  std::unordered_map<PageNo, std::list<PageNo>::iterator> pos_;
+};
+
+class BufferPoolFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(BufferPoolFuzz, MatchesReferenceLruWithoutPins) {
+  DiskManager disk(256);
+  SegmentId seg = disk.CreateSegment("t");
+  const PageNo kPages = 64;
+  for (PageNo p = 0; p < kPages; ++p) disk.AllocatePage(seg);
+  const size_t kCapacity = 8;
+  BufferPool pool(&disk, kCapacity);
+  ReferenceLru reference(kCapacity);
+
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31 + 1);
+  for (int step = 0; step < 5000; ++step) {
+    // Zipf-flavoured skew keeps hot pages hot.
+    PageNo p = static_cast<PageNo>(rng.NextBounded(kPages));
+    if (rng.NextBernoulli(0.5)) p %= 8;
+    int64_t phys_before = disk.io_stats()->physical_reads();
+    {
+      auto g = pool.Fetch(PageId{seg, p});
+      ASSERT_TRUE(g.ok());
+    }
+    bool pool_hit = disk.io_stats()->physical_reads() == phys_before;
+    bool model_hit = reference.Touch(p);
+    ASSERT_EQ(pool_hit, model_hit) << "step " << step << " page " << p;
+  }
+}
+
+TEST_P(BufferPoolFuzz, RandomPinsNeverBreakAccounting) {
+  DiskManager disk(256);
+  SegmentId seg = disk.CreateSegment("t");
+  for (PageNo p = 0; p < 32; ++p) disk.AllocatePage(seg);
+  BufferPool pool(&disk, 8);
+  Rng rng(static_cast<uint64_t>(GetParam()) * 97 + 5);
+  std::vector<PageGuard> pins;
+
+  for (int step = 0; step < 3000; ++step) {
+    double roll = rng.NextDouble();
+    if (roll < 0.55 || pins.empty()) {
+      // Try a fetch; it may fail only when every frame is pinned.
+      auto g = pool.Fetch(
+          PageId{seg, static_cast<PageNo>(rng.NextBounded(32))});
+      if (g.ok()) {
+        if (rng.NextBernoulli(0.5) && pins.size() < 7) {
+          pins.push_back(std::move(g).value());
+        }
+      } else {
+        ASSERT_EQ(g.status().code(), StatusCode::kResourceExhausted);
+        ASSERT_GE(pins.size(), 1u);
+      }
+    } else {
+      size_t victim = rng.NextBounded(pins.size());
+      pins.erase(pins.begin() + static_cast<long>(victim));
+    }
+    const IoStats& io = *disk.io_stats();
+    ASSERT_EQ(io.logical_reads, io.buffer_hits + io.physical_reads());
+    ASSERT_LE(pool.cached_pages(), pool.capacity());
+  }
+  pins.clear();
+  EXPECT_OK(pool.ColdReset());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BufferPoolFuzz, ::testing::Range(0, 6));
+
+class BtreeDeleteFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(BtreeDeleteFuzz, RandomInsertDeleteKeepsInvariantsAndContents) {
+  DiskManager disk(512);
+  BufferPool pool(&disk, 256);
+  auto tree_r = Btree::Create(&pool, "t");
+  ASSERT_TRUE(tree_r.ok());
+  Btree tree = std::move(tree_r).value();
+
+  std::set<std::pair<int64_t, uint64_t>> model;
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7 + 3);
+  for (int step = 0; step < 4000; ++step) {
+    if (rng.NextBernoulli(0.65) || model.empty()) {
+      int64_t k = rng.NextInt(0, 300);
+      uint64_t aux = rng.NextBounded(50);
+      Status st = tree.Insert({{k, 0}, aux});
+      bool fresh = model.insert({k, aux}).second;
+      ASSERT_EQ(st.ok(), fresh) << st.ToString();
+    } else {
+      auto it = model.begin();
+      std::advance(it, static_cast<long>(rng.NextBounded(model.size())));
+      ASSERT_OK(tree.Delete({{it->first, 0}, it->second}));
+      model.erase(it);
+    }
+  }
+  ASSERT_OK(tree.CheckInvariants());
+  EXPECT_EQ(tree.entry_count(), static_cast<int64_t>(model.size()));
+
+  // Full iteration equals the model.
+  auto it = tree.Begin();
+  ASSERT_TRUE(it.ok());
+  auto mit = model.begin();
+  while (it->Valid()) {
+    ASSERT_NE(mit, model.end());
+    EXPECT_EQ(it->key().k1, mit->first);
+    EXPECT_EQ(it->aux(), mit->second);
+    ++mit;
+    ASSERT_OK(it->Next());
+  }
+  EXPECT_EQ(mit, model.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BtreeDeleteFuzz, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace dpcf

@@ -1,0 +1,113 @@
+// Reservoir+GEE distinct estimation and the unified PidStreamMonitor.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/pid_monitor.h"
+#include "tests/test_util.h"
+
+namespace dpcf {
+namespace {
+
+TEST(ReservoirTest, ExactWhileStreamFitsInReservoir) {
+  ReservoirDistinctEstimator est(128, 1);
+  for (uint64_t v = 0; v < 50; ++v) {
+    est.Add(v % 10);  // 10 distinct values, 5 occurrences each
+  }
+  EXPECT_EQ(est.rows_seen(), 50);
+  EXPECT_EQ(est.sample_size(), 50u);
+  EXPECT_DOUBLE_EQ(est.Estimate(), 10.0);
+}
+
+TEST(ReservoirTest, EmptyEstimatesZero) {
+  ReservoirDistinctEstimator est(64, 1);
+  EXPECT_EQ(est.Estimate(), 0.0);
+}
+
+TEST(ReservoirTest, ResetClears) {
+  ReservoirDistinctEstimator est(64, 1);
+  est.Add(1);
+  est.Reset();
+  EXPECT_EQ(est.rows_seen(), 0);
+  EXPECT_EQ(est.Estimate(), 0.0);
+}
+
+TEST(ReservoirTest, SampleSizeIsBounded) {
+  ReservoirDistinctEstimator est(100, 2);
+  for (uint64_t v = 0; v < 100'000; ++v) est.Add(v);
+  EXPECT_EQ(est.sample_size(), 100u);
+  EXPECT_EQ(est.rows_seen(), 100'000);
+}
+
+class ReservoirAccuracy
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t>> {};
+
+TEST_P(ReservoirAccuracy, GeeEstimateInPlausibleBand) {
+  // `distinct` values, each repeated `reps` times, shuffled: GEE is not
+  // guaranteed accurate (that is the paper's point), but it must land
+  // within a broad factor-of-3 band for these benign distributions.
+  const auto [distinct, reps] = GetParam();
+  std::vector<uint64_t> stream;
+  for (int64_t v = 0; v < distinct; ++v) {
+    for (int64_t r = 0; r < reps; ++r) {
+      stream.push_back(static_cast<uint64_t>(v));
+    }
+  }
+  Rng rng(9);
+  Shuffle(&stream, &rng);
+  ReservoirDistinctEstimator est(1024, 3);
+  for (uint64_t v : stream) est.Add(v);
+  double e = est.Estimate();
+  EXPECT_GT(e, distinct / 3.0);
+  EXPECT_LT(e, distinct * 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ReservoirAccuracy,
+    ::testing::Values(std::make_tuple(int64_t{100}, int64_t{100}),
+                      std::make_tuple(int64_t{1000}, int64_t{10}),
+                      std::make_tuple(int64_t{5000}, int64_t{4})));
+
+TEST(PidStreamMonitorTest, LinearMechanismChargesHashes) {
+  FetchMonitorRequest req;
+  req.label = "x";
+  req.mechanism = DistinctCountMechanism::kLinearCounting;
+  req.numbits = 4096;
+  PidStreamMonitor m(req);
+  CpuStats cpu;
+  for (uint64_t pid = 0; pid < 500; ++pid) m.Add(pid, &cpu);
+  EXPECT_EQ(cpu.monitor_hash_ops, 500);
+  EXPECT_EQ(cpu.monitor_row_ops, 0);
+  EXPECT_NEAR(m.Estimate(), 500, 50);
+  MonitorRecord rec = m.MakeRecord("T");
+  EXPECT_NE(rec.mechanism.find("linear-counting"), std::string::npos);
+  EXPECT_EQ(rec.actual_cardinality, 500);
+  EXPECT_FALSE(rec.exact);
+}
+
+TEST(PidStreamMonitorTest, ReservoirMechanismChargesRowOps) {
+  FetchMonitorRequest req;
+  req.label = "x";
+  req.mechanism = DistinctCountMechanism::kReservoirSampling;
+  req.reservoir_capacity = 256;
+  PidStreamMonitor m(req);
+  CpuStats cpu;
+  for (uint64_t pid = 0; pid < 500; ++pid) m.Add(pid % 40, &cpu);
+  EXPECT_EQ(cpu.monitor_row_ops, 500);
+  EXPECT_EQ(cpu.monitor_hash_ops, 0);
+  MonitorRecord rec = m.MakeRecord("T");
+  EXPECT_NE(rec.mechanism.find("reservoir+gee"), std::string::npos);
+}
+
+TEST(PidStreamMonitorTest, MechanismNamesAreStable) {
+  EXPECT_STREQ(
+      DistinctCountMechanismName(DistinctCountMechanism::kLinearCounting),
+      "linear-counting");
+  EXPECT_STREQ(DistinctCountMechanismName(
+                   DistinctCountMechanism::kReservoirSampling),
+               "reservoir+gee");
+}
+
+}  // namespace
+}  // namespace dpcf

@@ -1,0 +1,162 @@
+// Runtime DML: InsertRow / UpdateRow with index maintenance.
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "optimizer/cardinality.h"
+#include "exec/index_ops.h"
+#include "exec/scan_ops.h"
+#include "tests/test_util.h"
+
+namespace dpcf {
+namespace {
+
+class DmlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<Database>(
+        [] { DatabaseOptions o; o.page_size = 1024; o.buffer_pool_pages = 64; return o; }());
+    Schema schema({Column::Int64("id"), Column::Int64("v"),
+                   Column::Char("tag", 8)});
+    auto t = db_->CreateTable("t", schema, TableOrganization::kClustered, 0);
+    ASSERT_TRUE(t.ok());
+    t_ = *t;
+    TableBuilder b(t_);
+    for (int64_t i = 0; i < 200; ++i) {
+      ASSERT_OK(b.AddRow({Value::Int64(i), Value::Int64(i % 10),
+                          Value::String("row")}));
+    }
+    ASSERT_OK(b.Finish());
+    ASSERT_OK(
+        db_->CreateIndex("t_id", "t", std::vector<int>{0}, true).status());
+    ASSERT_OK(db_->CreateIndex("t_v", "t", std::vector<int>{1}).status());
+  }
+
+  int64_t CountWhere(int col, int64_t value) {
+    Predicate pred({PredicateAtom::Int64(col, CmpOp::kEq, value)});
+    TableScanOp scan(t_, pred, {0});
+    ExecContext ctx(db_->buffer_pool());
+    auto result = ExecutePlan(&scan, &ctx);
+    EXPECT_TRUE(result.ok());
+    return static_cast<int64_t>(result->output.size());
+  }
+
+  int64_t SeekCount(const char* index, int64_t value) {
+    auto source = std::make_unique<IndexSeekSource>(
+        db_->GetIndex(index), BtreeKey::Min(value), BtreeKey::Max(value));
+    FetchOp fetch(t_, std::move(source), Predicate(), {0});
+    ExecContext ctx(db_->buffer_pool());
+    auto result = ExecutePlan(&fetch, &ctx);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return static_cast<int64_t>(result->output.size());
+  }
+
+  std::unique_ptr<Database> db_;
+  Table* t_ = nullptr;
+};
+
+TEST_F(DmlTest, InsertAppendsAndMaintainsIndexes) {
+  ASSERT_OK_AND_ASSIGN(
+      Rid rid, db_->InsertRow("t", {Value::Int64(200), Value::Int64(4),
+                                    Value::String("new")}));
+  EXPECT_EQ(t_->row_count(), 201);
+  EXPECT_EQ(rid.page_no, t_->page_count() - 1);
+  // Visible to scans and to BOTH indexes.
+  EXPECT_EQ(CountWhere(0, 200), 1);
+  EXPECT_EQ(SeekCount("t_id", 200), 1);
+  EXPECT_EQ(SeekCount("t_v", 4), 21);  // 20 original + 1 new
+  EXPECT_OK(db_->GetIndex("t_v")->tree()->CheckInvariants());
+}
+
+TEST_F(DmlTest, InsertReusesPartialTailPage) {
+  // 200 rows at 1024B pages / 32B rows => rows_per_page = (1024-8)/32 = 31;
+  // 200 = 6*31 + 14: the 7th page is part-full and must absorb inserts.
+  uint32_t pages_before = t_->page_count();
+  ASSERT_TRUE(db_->InsertRow("t", {Value::Int64(201), Value::Int64(1),
+                                   Value::String("x")})
+                  .ok());
+  EXPECT_EQ(t_->page_count(), pages_before);
+}
+
+TEST_F(DmlTest, ClusteredInsertRejectsOutOfOrderKeys) {
+  auto r = db_->InsertRow("t", {Value::Int64(100), Value::Int64(1),
+                                Value::String("bad")});
+  EXPECT_EQ(r.status().code(), StatusCode::kNotSupported);
+  EXPECT_EQ(t_->row_count(), 200);
+  // Equal key is fine (duplicates allowed at the tail).
+  EXPECT_TRUE(db_->InsertRow("t", {Value::Int64(199), Value::Int64(1),
+                                   Value::String("ok")})
+                  .ok());
+}
+
+TEST_F(DmlTest, HeapInsertAcceptsAnyOrder) {
+  Schema schema({Column::Int64("k")});
+  ASSERT_TRUE(db_->CreateTable("h", schema, TableOrganization::kHeap).ok());
+  ASSERT_TRUE(db_->InsertRow("h", {Value::Int64(50)}).ok());
+  ASSERT_TRUE(db_->InsertRow("h", {Value::Int64(10)}).ok());
+  EXPECT_EQ(db_->GetTable("h")->row_count(), 2);
+}
+
+TEST_F(DmlTest, UpdateRekeysChangedIndexesOnly) {
+  // Row id=42 has v=2; move it to v=7.
+  ASSERT_OK_AND_ASSIGN(BtreeIterator it,
+                       db_->GetIndex("t_id")->tree()->SeekFirst(
+                           BtreeKey::Min(42)));
+  ASSERT_TRUE(it.Valid());
+  Rid rid = Rid::Unpack(it.aux());
+  ASSERT_OK(db_->UpdateRow("t", rid,
+                           {Value::Int64(42), Value::Int64(7),
+                            Value::String("upd")}));
+  EXPECT_EQ(SeekCount("t_v", 2), 19);
+  EXPECT_EQ(SeekCount("t_v", 7), 21);
+  EXPECT_EQ(SeekCount("t_id", 42), 1) << "unchanged key untouched";
+  EXPECT_OK(db_->GetIndex("t_v")->tree()->CheckInvariants());
+  // The new bytes are visible to scans after checkpointing the pool.
+  ASSERT_OK(db_->Checkpoint());
+  const char* row = nullptr;
+  auto guard = t_->file()->FetchRow(rid, &row);
+  ASSERT_TRUE(guard.ok());
+  EXPECT_EQ(RowView(row, &t_->schema()).GetValue(2).AsString(), "upd");
+}
+
+TEST_F(DmlTest, UpdateCannotChangeClusteringKey) {
+  EXPECT_EQ(db_->UpdateRow("t", Rid{0, 0},
+                           {Value::Int64(999), Value::Int64(0),
+                            Value::String("bad")})
+                .code(),
+            StatusCode::kNotSupported);
+}
+
+TEST_F(DmlTest, DmlRejectsUnknownTableAndBadRows) {
+  EXPECT_EQ(db_->InsertRow("missing", {Value::Int64(1)}).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(db_->InsertRow("t", {Value::Int64(1)}).status().code(),
+            StatusCode::kInvalidArgument)
+      << "arity mismatch";
+  EXPECT_EQ(db_->UpdateRow("t", Rid{999, 0},
+                           {Value::Int64(0), Value::Int64(0),
+                            Value::String("x")})
+                .code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(DmlTest, InsertedRowsFlowThroughFeedbackPipeline) {
+  // After DML + checkpoint, the diagnostic raw walkers see the new rows.
+  for (int64_t i = 0; i < 40; ++i) {
+    ASSERT_TRUE(db_->InsertRow("t", {Value::Int64(200 + i),
+                                     Value::Int64(3),
+                                     Value::String("new")})
+                    .ok());
+  }
+  ASSERT_OK(db_->Checkpoint());
+  Predicate pred({PredicateAtom::Int64(1, CmpOp::kEq, 3)});
+  StatisticsCatalog stats;
+  ASSERT_OK(stats.BuildAll(db_->disk(), *t_));
+  const Histogram* h = stats.Get(*t_, 1);
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->row_count(), 240);
+  EXPECT_NEAR(h->EstimateEq(3), 60, 2);  // 20 original + 40 inserted
+}
+
+}  // namespace
+}  // namespace dpcf

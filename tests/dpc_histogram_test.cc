@@ -1,0 +1,193 @@
+// Self-tuning DPC histogram tests: density learning, clamping,
+// overlap selection, and the end-to-end generalization property (feedback
+// from one range improves the plan for a different range on the same
+// column with no additional monitoring).
+
+#include <gtest/gtest.h>
+
+#include "core/dpc_histogram.h"
+#include "core/feedback_driver.h"
+#include "optimizer/yao.h"
+#include "tests/test_util.h"
+
+namespace dpcf {
+namespace {
+
+using dpcf::testing::SyntheticDbTest;
+
+TEST(DpcHistogramTest, EmptyHistogramHasNoOpinion) {
+  DpcHistogram h(1000, 50);
+  EXPECT_FALSE(h.Estimate(0, 10, 100).has_value());
+  EXPECT_FALSE(h.DensityFor(0, 10).has_value());
+  EXPECT_EQ(h.size(), 0u);
+}
+
+TEST(DpcHistogramTest, LearnsDensityAndScales) {
+  DpcHistogram h(1000, 50);
+  // Observed: range [0, 999] held 1000 rows on 20 pages => fully
+  // clustered (density 0.02 = 1/rows_per_page).
+  h.Observe(0, 999, 20, 1000);
+  auto est = h.Estimate(0, 1999, 2000);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_NEAR(*est, 40, 1) << "2x the rows at the learned density";
+  auto density = h.DensityFor(0, 500);
+  ASSERT_TRUE(density.has_value());
+  EXPECT_NEAR(*density, 0.02, 1e-9);
+}
+
+TEST(DpcHistogramTest, EstimateClampsToHardBounds) {
+  DpcHistogram h(1000, 50);
+  // Scattered observation: density 1 page per row.
+  h.Observe(0, 999, 1000, 1000);
+  // 100k expected rows would extrapolate to 100k pages; UB is min(rows,P).
+  auto est = h.Estimate(0, 999, 100'000);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_EQ(*est, 1000);
+  // Clustered observation can't go below ceil(rows/m).
+  DpcHistogram h2(1000, 50);
+  h2.Observe(0, 999, 1, 10'000);  // absurd density from a tiny fact
+  auto est2 = h2.Estimate(0, 999, 5000);
+  ASSERT_TRUE(est2.has_value());
+  EXPECT_GE(*est2, 100) << "LB = 5000/50";
+}
+
+TEST(DpcHistogramTest, PrefersBestOverlappingObservation) {
+  DpcHistogram h(10'000, 50);
+  h.Observe(0, 999, 20, 1000);        // clustered region
+  h.Observe(5000, 5999, 1000, 1000);  // scattered region
+  auto lo = h.DensityFor(100, 200);
+  auto hi = h.DensityFor(5400, 5500);
+  ASSERT_TRUE(lo.has_value());
+  ASSERT_TRUE(hi.has_value());
+  EXPECT_LT(*lo, *hi);
+}
+
+TEST(DpcHistogramTest, NoOverlapNoAnswer) {
+  DpcHistogram h(1000, 50);
+  h.Observe(0, 99, 2, 100);
+  EXPECT_FALSE(h.Estimate(500, 600, 100).has_value());
+}
+
+TEST(DpcHistogramTest, IdenticalRangeReplacesAndEvictionKeepsFresh) {
+  DpcHistogram h(1000, 50, /*max_observations=*/3);
+  h.Observe(0, 9, 5, 10);
+  h.Observe(0, 9, 7, 10);  // replace
+  EXPECT_EQ(h.size(), 1u);
+  EXPECT_NEAR(*h.DensityFor(0, 9), 0.7, 1e-9);
+  h.Observe(10, 19, 5, 10);
+  h.Observe(20, 29, 5, 10);
+  h.Observe(30, 39, 5, 10);  // evicts the stalest ([0,9])
+  EXPECT_EQ(h.size(), 3u);
+  EXPECT_FALSE(h.DensityFor(0, 9).has_value());
+  EXPECT_TRUE(h.DensityFor(30, 39).has_value());
+}
+
+TEST(DpcHistogramTest, IgnoresDegenerateObservations) {
+  DpcHistogram h(1000, 50);
+  h.Observe(10, 5, 3, 10);  // hi < lo
+  h.Observe(0, 9, 3, 0);    // no rows
+  EXPECT_EQ(h.size(), 0u);
+}
+
+class DpcHistogramCatalogTest : public SyntheticDbTest {};
+
+TEST_F(DpcHistogramCatalogTest, PerTableColumnSeparation) {
+  DpcHistogramCatalog catalog;
+  catalog.Observe(*t_, kC2, 0, 999, 13, 999);
+  catalog.Observe(*t_, kC5, 0, 999, 990, 999);
+  EXPECT_EQ(catalog.size(), 2u);
+  auto c2 = catalog.Estimate(*t_, kC2, 0, 1999, 2000);
+  auto c5 = catalog.Estimate(*t_, kC5, 0, 1999, 2000);
+  ASSERT_TRUE(c2.has_value());
+  ASSERT_TRUE(c5.has_value());
+  // c5 is UB-clamped to the table's page count; c2 stays density-scaled.
+  EXPECT_LT(*c2, *c5 / 5);
+  EXPECT_FALSE(catalog.Estimate(*t_, kC3, 0, 10, 10).has_value());
+  EXPECT_EQ(catalog.Get(*t_, kC3), nullptr);
+}
+
+class FeedbackGeneralizationTest : public SyntheticDbTest {
+ protected:
+  void SetUp() override {
+    SyntheticDbTest::SetUp();
+    ASSERT_OK(stats_.BuildAll(db_->disk(), *t_));
+  }
+
+  SingleTableQuery Query(int64_t bound) {
+    SingleTableQuery q;
+    q.table = t_;
+    q.count_star = true;
+    q.count_col = kPadding;
+    q.pred.Add(PredicateAtom::Int64(kC2, CmpOp::kLt, bound));
+    return q;
+  }
+
+  StatisticsCatalog stats_;
+};
+
+TEST_F(FeedbackGeneralizationTest, HistogramGeneralizesAcrossBounds) {
+  FeedbackDriver driver(db_.get(), &stats_, {});
+  // Teach the driver with one monitored run at bound 300...
+  ASSERT_OK_AND_ASSIGN(FeedbackOutcome taught,
+                       driver.RunSingleTable(Query(300)));
+  EXPECT_TRUE(taught.plan_changed);
+  EXPECT_GE(driver.dpc_histograms()->size(), 1u);
+
+  // ...then a *different* bound must already be costed from the learned
+  // density: the first optimization of the new query picks the seek.
+  Optimizer opt(db_.get(), &stats_, driver.hints(), SimCostParams(),
+                driver.dpc_histograms());
+  SingleTableQuery q2 = Query(700);
+  ASSERT_OK_AND_ASSIGN(AccessPathPlan plan, opt.OptimizeSingleTable(q2));
+  EXPECT_EQ(plan.kind, AccessKind::kIndexSeek)
+      << plan.Describe()
+      << "\nno exact hint exists for C2<700; only the histogram can know";
+  EXPECT_EQ(plan.dpc_source, "dpc-histogram");
+  // And the density-derived estimate is close to the truth (~9 pages).
+  EXPECT_NEAR(plan.est_dpc, 699.0 / t_->rows_per_page(), 4.0);
+}
+
+TEST_F(FeedbackGeneralizationTest, LearningCanBeDisabled) {
+  FeedbackRunOptions options;
+  options.learn_dpc_histograms = false;
+  FeedbackDriver driver(db_.get(), &stats_, options);
+  ASSERT_OK_AND_ASSIGN(FeedbackOutcome taught,
+                       driver.RunSingleTable(Query(300)));
+  EXPECT_EQ(driver.dpc_histograms()->size(), 0u);
+  // Inspect the IndexSeek *candidate* (the best plan may legitimately be
+  // the scan when the seek is costed with Yao's overestimate).
+  Optimizer opt(db_.get(), &stats_, driver.hints());
+  ASSERT_OK_AND_ASSIGN(auto paths, opt.EnumerateAccessPaths(Query(700)));
+  bool seen_seek = false;
+  for (const AccessPathPlan& p : paths) {
+    if (p.kind == AccessKind::kIndexSeek) {
+      seen_seek = true;
+      EXPECT_EQ(p.dpc_source, "yao")
+          << "no generalization without learning";
+    }
+  }
+  EXPECT_TRUE(seen_seek);
+}
+
+TEST_F(FeedbackGeneralizationTest, ExactHintStillWinsOverHistogram) {
+  FeedbackDriver driver(db_.get(), &stats_, {});
+  ASSERT_OK_AND_ASSIGN(FeedbackOutcome taught,
+                       driver.RunSingleTable(Query(300)));
+  SingleTableQuery q2 = Query(700);
+  driver.hints()->SetDpc(SelPredKey(*t_, q2.pred), 123.0);
+  Optimizer opt(db_.get(), &stats_, driver.hints(), SimCostParams(),
+                driver.dpc_histograms());
+  ASSERT_OK_AND_ASSIGN(auto paths, opt.EnumerateAccessPaths(q2));
+  bool seen_seek = false;
+  for (const AccessPathPlan& p : paths) {
+    if (p.kind == AccessKind::kIndexSeek) {
+      seen_seek = true;
+      EXPECT_EQ(p.dpc_source, "hint");
+      EXPECT_EQ(p.est_dpc, 123.0);
+    }
+  }
+  EXPECT_TRUE(seen_seek);
+}
+
+}  // namespace
+}  // namespace dpcf

@@ -1,0 +1,387 @@
+// Feedback-layer tests: MonitorManager request selection, FeedbackStore,
+// RunStatistics XML output, ClusteringRatio, exact-cardinality helpers.
+
+#include <gtest/gtest.h>
+
+#include "core/clustering_ratio.h"
+#include "core/feedback_driver.h"
+#include "core/feedback_store.h"
+#include "core/monitor_manager.h"
+#include "tests/test_util.h"
+
+namespace dpcf {
+namespace {
+
+using dpcf::testing::SyntheticDbTest;
+
+// --------------------------------------------------------- MonitorManager
+
+class MonitorManagerTest : public SyntheticDbTest {
+ protected:
+  void SetUp() override {
+    SyntheticDbTest::SetUp();
+    ASSERT_OK(stats_.BuildAll(db_->disk(), *t_));
+  }
+  StatisticsCatalog stats_;
+  OptimizerHints hints_;
+};
+
+TEST_F(MonitorManagerTest, ScanPlanRequestsOneExprPerUsableIndex) {
+  SingleTableQuery q;
+  q.table = t_;
+  q.count_star = true;
+  q.count_col = kPadding;
+  q.pred.Add(PredicateAtom::Int64(kC3, CmpOp::kLt, 1000));
+  q.pred.Add(PredicateAtom::Int64(kC5, CmpOp::kLt, 1000));
+
+  Optimizer opt(db_.get(), &stats_, &hints_);
+  ASSERT_OK_AND_ASSIGN(auto paths, opt.EnumerateAccessPaths(q));
+  const AccessPathPlan* scan = nullptr;
+  for (const auto& p : paths) {
+    if (p.kind == AccessKind::kTableScan) scan = &p;
+  }
+  ASSERT_NE(scan, nullptr);
+
+  MonitorManager mm(db_.get());
+  ASSERT_OK_AND_ASSIGN(InstrumentedHooks ih, mm.ForSingleTable(*scan, q));
+  // Expressions: sargable C3, sargable C5, and the full conjunction.
+  EXPECT_EQ(ih.hooks.outer_scan_requests.size(), 3u);
+  EXPECT_TRUE(ih.hooks.fetch_requests.empty());
+  EXPECT_FALSE(ih.hooks.bitvector.has_value());
+  EXPECT_EQ(ih.entries.size(), 3u);
+  // The full conjunction equals the pushed predicate => prefix-free; the
+  // single-column expressions are non-prefix (C5 atom alone) or prefix
+  // (C3 atom is the leading atom).
+  bool saw_full = false;
+  for (const auto& e : ih.entries) {
+    if (e.expr.size() == 2) saw_full = true;
+    EXPECT_EQ(e.table, t_);
+    EXPECT_FALSE(e.is_join);
+  }
+  EXPECT_TRUE(saw_full);
+}
+
+TEST_F(MonitorManagerTest, DuplicateExpressionsDeduplicated) {
+  // Single-atom predicate: the sargable expr for T_c2 IS the full pred.
+  SingleTableQuery q;
+  q.table = t_;
+  q.count_star = true;
+  q.count_col = kPadding;
+  q.pred.Add(PredicateAtom::Int64(kC2, CmpOp::kLt, 500));
+  Optimizer opt(db_.get(), &stats_, &hints_);
+  ASSERT_OK_AND_ASSIGN(auto paths, opt.EnumerateAccessPaths(q));
+  const AccessPathPlan* scan = nullptr;
+  for (const auto& p : paths) {
+    if (p.kind == AccessKind::kTableScan) scan = &p;
+  }
+  MonitorManager mm(db_.get());
+  ASSERT_OK_AND_ASSIGN(InstrumentedHooks ih, mm.ForSingleTable(*scan, q));
+  EXPECT_EQ(ih.hooks.outer_scan_requests.size(), 1u);
+}
+
+TEST_F(MonitorManagerTest, IndexPlanGetsFetchMonitors) {
+  SingleTableQuery q;
+  q.table = t_;
+  q.count_star = true;
+  q.count_col = kPadding;
+  q.pred.Add(PredicateAtom::Int64(kC2, CmpOp::kLt, 500));
+  q.pred.Add(PredicateAtom::Int64(kC5, CmpOp::kLt, 15'000));
+
+  hints_.SetDpc(
+      SelPredKey(*t_, Predicate({PredicateAtom::Int64(kC2, CmpOp::kLt,
+                                                      500)})),
+      7.0);
+  Optimizer opt(db_.get(), &stats_, &hints_);
+  ASSERT_OK_AND_ASSIGN(AccessPathPlan best, opt.OptimizeSingleTable(q));
+  ASSERT_EQ(best.kind, AccessKind::kIndexSeek);
+
+  MonitorManager mm(db_.get());
+  ASSERT_OK_AND_ASSIGN(InstrumentedHooks ih, mm.ForSingleTable(best, q));
+  ASSERT_EQ(ih.hooks.fetch_requests.size(), 2u);
+  EXPECT_FALSE(ih.hooks.fetch_requests[0].passing_residual_only);
+  EXPECT_TRUE(ih.hooks.fetch_requests[1].passing_residual_only);
+  EXPECT_TRUE(ih.hooks.outer_scan_requests.empty());
+}
+
+TEST_F(MonitorManagerTest, DisabledMonitoringProducesNoRequests) {
+  SingleTableQuery q;
+  q.table = t_;
+  q.count_star = true;
+  q.pred.Add(PredicateAtom::Int64(kC2, CmpOp::kLt, 500));
+  Optimizer opt(db_.get(), &stats_, &hints_);
+  ASSERT_OK_AND_ASSIGN(AccessPathPlan best, opt.OptimizeSingleTable(q));
+  MonitorOptions off;
+  off.enabled = false;
+  MonitorManager mm(db_.get(), off);
+  ASSERT_OK_AND_ASSIGN(InstrumentedHooks ih, mm.ForSingleTable(best, q));
+  EXPECT_TRUE(ih.hooks.outer_scan_requests.empty());
+  EXPECT_TRUE(ih.hooks.fetch_requests.empty());
+  EXPECT_TRUE(ih.entries.empty());
+}
+
+TEST_F(MonitorManagerTest, SmallTableRaisesSampleFraction) {
+  SingleTableQuery q;
+  q.table = t_;  // ~250 pages
+  q.count_star = true;
+  q.pred.Add(PredicateAtom::Int64(kC2, CmpOp::kLt, 500));
+  Optimizer opt(db_.get(), &stats_, &hints_);
+  ASSERT_OK_AND_ASSIGN(AccessPathPlan best, opt.OptimizeSingleTable(q));
+  MonitorOptions opts;
+  opts.scan_sample_fraction = 0.01;
+  opts.min_sampled_pages = 96;
+  MonitorManager mm(db_.get(), opts);
+  ASSERT_OK_AND_ASSIGN(InstrumentedHooks ih, mm.ForSingleTable(best, q));
+  EXPECT_GT(ih.hooks.scan_sample_fraction, 0.3);
+}
+
+// ----------------------------------------------------------- FeedbackStore
+
+TEST(FeedbackStoreTest, RecordLookupAndFreshestWins) {
+  FeedbackStore store;
+  MonitorRecord a;
+  a.label = "T|C2<100";
+  a.actual_dpc = 10;
+  a.actual_cardinality = 99;
+  a.exact = true;
+  store.Record(a);
+  MonitorRecord b = a;
+  b.actual_dpc = 12;
+  store.Record(b);
+  EXPECT_EQ(store.size(), 1u);
+  auto entry = store.Lookup("T|C2<100");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->dpc, 12);
+  EXPECT_FALSE(store.Lookup("missing").has_value());
+}
+
+TEST(FeedbackStoreTest, ApplyToHintsInjectsDpcAndExactCards) {
+  FeedbackStore store;
+  MonitorRecord exact;
+  exact.label = "k1";
+  exact.actual_dpc = 5;
+  exact.actual_cardinality = 50;
+  exact.exact = true;
+  store.Record(exact);
+  MonitorRecord sampled;
+  sampled.label = "k2";
+  sampled.actual_dpc = 7;
+  sampled.actual_cardinality = 70;
+  sampled.exact = false;
+  store.Record(sampled);
+
+  OptimizerHints hints;
+  store.ApplyToHints(&hints);
+  EXPECT_EQ(hints.Dpc("k1"), 5.0);
+  EXPECT_EQ(hints.Dpc("k2"), 7.0);
+  EXPECT_EQ(hints.Cardinality("k1"), 50.0);
+  EXPECT_FALSE(hints.Cardinality("k2").has_value())
+      << "sampled cardinalities are not injected as exact";
+}
+
+TEST(FeedbackStoreTest, ClearEmptiesStore) {
+  FeedbackStore store;
+  MonitorRecord r;
+  r.label = "x";
+  store.Record(r);
+  store.Clear();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_TRUE(store.Entries().empty());
+}
+
+// ----------------------------------------------------------- RunStatistics
+
+TEST(RunStatisticsTest, XmlContainsMonitorsAndEstimates) {
+  RunStatistics stats;
+  stats.plan_text = "TableScan(T, C2<100)";
+  stats.rows_returned = 1;
+  stats.simulated_ms = 12.5;
+  MonitorRecord m;
+  m.table = "T";
+  m.label = "T|C2<100";
+  m.expr_text = "C2<100";
+  m.mechanism = "prefix-exact";
+  m.actual_dpc = 4;
+  m.actual_cardinality = 99;
+  m.exact = true;
+  m.estimated_dpc = 212;
+  m.estimated_cardinality = 100;
+  stats.monitors.push_back(m);
+  std::string xml = stats.ToXml();
+  EXPECT_NE(xml.find("<RunStatistics>"), std::string::npos);
+  EXPECT_NE(xml.find("mechanism=\"prefix-exact\""), std::string::npos);
+  EXPECT_NE(xml.find("actualDpc=\"4.0\""), std::string::npos);
+  EXPECT_NE(xml.find("estimatedDpc=\"212.0\""), std::string::npos);
+  EXPECT_NE(xml.find("C2&lt;100"), std::string::npos) << "escaped";
+}
+
+TEST(RunStatisticsTest, DpcErrorFactorIsSymmetricRatio) {
+  MonitorRecord m;
+  m.actual_dpc = 10;
+  m.estimated_dpc = 100;
+  EXPECT_DOUBLE_EQ(m.DpcErrorFactor(), 10.0);
+  m.estimated_dpc = 1;
+  EXPECT_DOUBLE_EQ(m.DpcErrorFactor(), 10.0);
+  m.estimated_dpc = -1;  // absent
+  EXPECT_EQ(m.DpcErrorFactor(), 0.0);
+}
+
+// --------------------------------------------------------- ClusteringRatio
+
+class ClusteringRatioTest : public SyntheticDbTest {};
+
+TEST_F(ClusteringRatioTest, CorrelatedColumnHasLowRatio) {
+  Predicate pred({PredicateAtom::Int64(kC2, CmpOp::kLt, 1000)});
+  ASSERT_OK_AND_ASSIGN(ClusteringRatioResult r,
+                       ComputeClusteringRatio(db_->disk(), *t_, pred));
+  EXPECT_EQ(r.qualifying_rows, 999);
+  EXPECT_LT(r.ratio, 0.01);
+  EXPECT_GE(r.actual_pages, r.lower_bound);
+  EXPECT_LE(r.actual_pages, r.upper_bound);
+}
+
+TEST_F(ClusteringRatioTest, UncorrelatedColumnHasHighRatio) {
+  Predicate pred({PredicateAtom::Int64(kC5, CmpOp::kLt, 1000)});
+  ASSERT_OK_AND_ASSIGN(ClusteringRatioResult r,
+                       ComputeClusteringRatio(db_->disk(), *t_, pred));
+  EXPECT_GT(r.ratio, 0.8);
+}
+
+TEST_F(ClusteringRatioTest, IntermediateColumnsFallBetween) {
+  Predicate p3({PredicateAtom::Int64(kC3, CmpOp::kLt, 1000)});
+  Predicate p5({PredicateAtom::Int64(kC5, CmpOp::kLt, 1000)});
+  Predicate p2({PredicateAtom::Int64(kC2, CmpOp::kLt, 1000)});
+  ASSERT_OK_AND_ASSIGN(auto r2,
+                       ComputeClusteringRatio(db_->disk(), *t_, p2));
+  ASSERT_OK_AND_ASSIGN(auto r3,
+                       ComputeClusteringRatio(db_->disk(), *t_, p3));
+  ASSERT_OK_AND_ASSIGN(auto r5,
+                       ComputeClusteringRatio(db_->disk(), *t_, p5));
+  EXPECT_LT(r2.ratio, r3.ratio);
+  EXPECT_LT(r3.ratio, r5.ratio);
+}
+
+TEST_F(ClusteringRatioTest, EmptyPredicateSelectsEverything) {
+  ASSERT_OK_AND_ASSIGN(
+      ClusteringRatioResult r,
+      ComputeClusteringRatio(db_->disk(), *t_, Predicate()));
+  EXPECT_EQ(r.qualifying_rows, t_->row_count());
+  EXPECT_EQ(r.actual_pages, t_->page_count());
+}
+
+TEST_F(ClusteringRatioTest, NoMatchesYieldZero) {
+  Predicate pred({PredicateAtom::Int64(kC2, CmpOp::kLt, -5)});
+  ASSERT_OK_AND_ASSIGN(ClusteringRatioResult r,
+                       ComputeClusteringRatio(db_->disk(), *t_, pred));
+  EXPECT_EQ(r.qualifying_rows, 0);
+  EXPECT_EQ(r.actual_pages, 0);
+  EXPECT_EQ(r.ratio, 0);
+}
+
+// ------------------------------------------------------ Exact cardinality
+
+class ExactCardTest : public SyntheticDbTest {};
+
+TEST_F(ExactCardTest, MatchesPermutationArithmetic) {
+  Predicate pred({PredicateAtom::Int64(kC4, CmpOp::kLt, 777)});
+  EXPECT_EQ(ExactCardinality(db_->disk(), *t_, pred), 776);
+  Predicate both({PredicateAtom::Int64(kC2, CmpOp::kLe, 100),
+                  PredicateAtom::Int64(kC1, CmpOp::kLe, 100)});
+  EXPECT_EQ(ExactCardinality(db_->disk(), *t_, both), 100)
+      << "C2 == C1, so the conjunction equals either alone";
+}
+
+TEST_F(ExactCardTest, JoinCardinalitiesOnPermutations) {
+  SyntheticOptions s1;
+  s1.num_rows = 20'000;
+  s1.seed = 1234;
+  s1.build_indexes = false;
+  ASSERT_TRUE(BuildSyntheticTable(db_.get(), "T1", s1).ok());
+  JoinQuery q;
+  q.outer_table = db_->GetTable("T1");
+  q.outer_pred.Add(PredicateAtom::Int64(kC1, CmpOp::kLt, 501));
+  q.outer_col = kC5;
+  q.inner_table = t_;
+  q.inner_col = kC5;
+  ASSERT_OK_AND_ASSIGN(ExactJoinCardinalities exact,
+                       ExactJoinCardinality(db_->disk(), q));
+  // Permutation columns: every outer key matches exactly one inner row.
+  EXPECT_EQ(exact.join_rows, 500);
+  EXPECT_EQ(exact.semi_join_rows, 500);
+
+  // An inner selection shrinks join_rows but not semi_join_rows.
+  q.inner_pred.Add(PredicateAtom::Int64(kC1, CmpOp::kLe, 10'000));
+  ASSERT_OK_AND_ASSIGN(ExactJoinCardinalities filtered,
+                       ExactJoinCardinality(db_->disk(), q));
+  EXPECT_EQ(filtered.semi_join_rows, 500);
+  EXPECT_LT(filtered.join_rows, 500);
+  EXPECT_GT(filtered.join_rows, 100);
+}
+
+// --------------------------------------------------------- FeedbackDriver
+
+class FeedbackDriverTest : public SyntheticDbTest {
+ protected:
+  void SetUp() override {
+    SyntheticDbTest::SetUp();
+    ASSERT_OK(stats_.BuildAll(db_->disk(), *t_));
+  }
+  StatisticsCatalog stats_;
+};
+
+TEST_F(FeedbackDriverTest, FeedbackReusedAcrossSimilarQueries) {
+  FeedbackDriver driver(db_.get(), &stats_, {});
+  SingleTableQuery q;
+  q.table = t_;
+  q.count_star = true;
+  q.count_col = kPadding;
+  q.pred.Add(PredicateAtom::Int64(kC2, CmpOp::kLt, 400));
+  ASSERT_OK_AND_ASSIGN(FeedbackOutcome first, driver.RunSingleTable(q));
+  EXPECT_TRUE(first.plan_changed);
+  // The store now holds the DPC for this expression...
+  EXPECT_GE(driver.store()->size(), 1u);
+  // ...so re-optimizing the same query starts from the corrected plan.
+  ASSERT_OK_AND_ASSIGN(FeedbackOutcome second, driver.RunSingleTable(q));
+  EXPECT_FALSE(second.plan_changed);
+  EXPECT_NE(second.plan_before.find("IndexSeek"), std::string::npos);
+}
+
+TEST_F(FeedbackDriverTest, MonitoredRunReportsEstimatesAndActuals) {
+  FeedbackDriver driver(db_.get(), &stats_, {});
+  SingleTableQuery q;
+  q.table = t_;
+  q.count_star = true;
+  q.count_col = kPadding;
+  q.pred.Add(PredicateAtom::Int64(kC3, CmpOp::kLt, 600));
+  ASSERT_OK_AND_ASSIGN(FeedbackOutcome outcome, driver.RunSingleTable(q));
+  ASSERT_FALSE(outcome.feedback.empty());
+  for (const MonitorRecord& m : outcome.feedback) {
+    EXPECT_GE(m.estimated_dpc, 0) << m.label;
+    EXPECT_GE(m.estimated_cardinality, 0) << m.label;
+  }
+  // XML report renders.
+  std::string xml = outcome.monitored_run.ToXml();
+  EXPECT_NE(xml.find("PageCount"), std::string::npos);
+}
+
+TEST_F(FeedbackDriverTest, CardinalityInjectionCanBeDisabled) {
+  FeedbackRunOptions options;
+  options.inject_accurate_cardinalities = false;
+  FeedbackDriver driver(db_.get(), &stats_, options);
+  SingleTableQuery q;
+  q.table = t_;
+  q.count_star = true;
+  q.count_col = kPadding;
+  q.pred.Add(PredicateAtom::Int64(kC2, CmpOp::kLt, 400));
+  ASSERT_OK_AND_ASSIGN(FeedbackOutcome outcome, driver.RunSingleTable(q));
+  // No pre-run injection happened; any cardinality hints present were
+  // deposited by the feedback store (exact monitor observations).
+  for (const auto& e : driver.store()->Entries()) {
+    EXPECT_NE(e.mechanism, "") << e.key;
+  }
+  EXPECT_GT(driver.hints()->num_dpc_hints(), 0u);
+  // Histograms are accurate on permutations, so the flow still works.
+  EXPECT_GE(outcome.speedup, 0.0);
+}
+
+}  // namespace
+}  // namespace dpcf

@@ -1,0 +1,172 @@
+// Model-validation properties: the analytical estimators and the cost
+// model must agree with what the simulated substrate actually does.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/clustering_ratio.h"
+#include "exec/executor.h"
+#include "exec/index_ops.h"
+#include "exec/scan_ops.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/yao.h"
+#include "tests/test_util.h"
+
+namespace dpcf {
+namespace {
+
+using dpcf::testing::SyntheticDbTest;
+
+class ModelValidationTest : public SyntheticDbTest {
+ protected:
+  void SetUp() override {
+    SyntheticDbTest::SetUp();
+    ASSERT_OK(stats_.BuildAll(db_->disk(), *t_));
+  }
+  StatisticsCatalog stats_;
+  OptimizerHints hints_;
+};
+
+TEST_F(ModelValidationTest, YaoMatchesUncorrelatedTruth) {
+  // On the random permutation column the independence assumption holds,
+  // so Yao must match the exact DPC closely across selectivities.
+  for (int64_t v : {200, 1000, 2000, 5000}) {
+    Predicate pred({PredicateAtom::Int64(kC5, CmpOp::kLt, v)});
+    ASSERT_OK_AND_ASSIGN(ClusteringRatioResult truth,
+                         ComputeClusteringRatio(db_->disk(), *t_, pred));
+    double yao = YaoEstimate(t_->page_count(), t_->rows_per_page(), v - 1);
+    EXPECT_NEAR(yao, static_cast<double>(truth.actual_pages),
+                0.05 * truth.actual_pages + 2)
+        << "v=" << v;
+  }
+}
+
+TEST_F(ModelValidationTest, YaoOverestimatesCorrelatedTruthBadly) {
+  Predicate pred({PredicateAtom::Int64(kC2, CmpOp::kLt, 1000)});
+  ASSERT_OK_AND_ASSIGN(ClusteringRatioResult truth,
+                       ComputeClusteringRatio(db_->disk(), *t_, pred));
+  double yao = YaoEstimate(t_->page_count(), t_->rows_per_page(), 999);
+  EXPECT_GT(yao, 10.0 * truth.actual_pages)
+      << "the paper's whole premise: analytical DPC misses clustering";
+}
+
+TEST_F(ModelValidationTest, SeekPhysicalReadsTrackDpc) {
+  // Executing an index seek must touch about DPC distinct data pages
+  // physically (plus the index descent/leaves).
+  Predicate pred({PredicateAtom::Int64(kC5, CmpOp::kLt, 1000)});
+  ASSERT_OK_AND_ASSIGN(ClusteringRatioResult truth,
+                       ComputeClusteringRatio(db_->disk(), *t_, pred));
+  ASSERT_OK(db_->ColdCache());
+  ExecContext ctx(db_->buffer_pool());
+  auto source = std::make_unique<IndexSeekSource>(
+      db_->GetIndex("T_c5"), BtreeKey::Min(INT64_MIN), BtreeKey::Max(999));
+  FetchOp fetch(t_, std::move(source), Predicate(), {});
+  ASSERT_OK_AND_ASSIGN(RunResult run, ExecutePlan(&fetch, &ctx));
+  double physical = static_cast<double>(run.stats.io.physical_reads());
+  EXPECT_GE(physical, static_cast<double>(truth.actual_pages));
+  EXPECT_LE(physical, 1.15 * truth.actual_pages + 20)
+      << "index pages and repeats are bounded";
+}
+
+TEST_F(ModelValidationTest, CorrelatedSeekIsMostlySequential) {
+  // Fetching a correlated range touches consecutive pages: the simulated
+  // disk must classify most physical reads as sequential.
+  ASSERT_OK(db_->ColdCache());
+  ExecContext ctx(db_->buffer_pool());
+  auto source = std::make_unique<IndexSeekSource>(
+      db_->GetIndex("T_c2"), BtreeKey::Min(INT64_MIN),
+      BtreeKey::Max(4000));
+  FetchOp fetch(t_, std::move(source), Predicate(), {});
+  ASSERT_OK_AND_ASSIGN(RunResult run, ExecutePlan(&fetch, &ctx));
+  EXPECT_GT(run.stats.io.physical_seq_reads,
+            run.stats.io.physical_rand_reads);
+
+  // The scattered column is the opposite.
+  ASSERT_OK(db_->ColdCache());
+  ExecContext ctx2(db_->buffer_pool());
+  auto source2 = std::make_unique<IndexSeekSource>(
+      db_->GetIndex("T_c5"), BtreeKey::Min(INT64_MIN),
+      BtreeKey::Max(4000));
+  FetchOp fetch2(t_, std::move(source2), Predicate(), {});
+  ASSERT_OK_AND_ASSIGN(RunResult run2, ExecutePlan(&fetch2, &ctx2));
+  EXPECT_GT(run2.stats.io.physical_rand_reads,
+            5 * run2.stats.io.physical_seq_reads);
+}
+
+TEST_F(ModelValidationTest, CostModelRanksPlansLikeTheSimulator) {
+  // For a set of queries where the truth is known (DPC hints injected),
+  // the plan the cost model prefers must also be the faster one when both
+  // are actually executed.
+  Optimizer opt_plain(db_.get(), &stats_, &hints_);
+  for (int col : {kC2, kC5}) {
+    for (int64_t v : {400, 2000}) {
+      SingleTableQuery q;
+      q.table = t_;
+      q.count_star = true;
+      q.count_col = kPadding;
+      q.pred.Add(PredicateAtom::Int64(col, CmpOp::kLt, v));
+      // Exact DPC for honest costing.
+      ASSERT_OK_AND_ASSIGN(ClusteringRatioResult truth,
+                           ComputeClusteringRatio(db_->disk(), *t_,
+                                                  q.pred));
+      OptimizerHints hints;
+      hints.SetCardinality(SelPredKey(*t_, q.pred),
+                           static_cast<double>(truth.qualifying_rows));
+      hints.SetDpc(SelPredKey(*t_, q.pred),
+                   static_cast<double>(truth.actual_pages));
+      Optimizer opt(db_.get(), &stats_, &hints);
+      ASSERT_OK_AND_ASSIGN(auto paths, opt.EnumerateAccessPaths(q));
+
+      // Execute every candidate and find the actually-fastest.
+      double best_cost = 1e300, best_cost_sim = 0;
+      double fastest_sim = 1e300;
+      for (const AccessPathPlan& p : paths) {
+        ASSERT_OK(db_->ColdCache());
+        ExecContext ctx(db_->buffer_pool());
+        PlanMonitorHooks none;
+        ASSERT_OK_AND_ASSIGN(OperatorPtr root,
+                             BuildSingleTableExec(p, q, none));
+        ASSERT_OK_AND_ASSIGN(RunResult run, ExecutePlan(root.get(), &ctx));
+        fastest_sim = std::min(fastest_sim, run.stats.simulated_ms);
+        if (p.est_cost < best_cost) {
+          best_cost = p.est_cost;
+          best_cost_sim = run.stats.simulated_ms;
+        }
+      }
+      // The cost-model winner must be within 30% of the true fastest.
+      EXPECT_LE(best_cost_sim, 1.3 * fastest_sim)
+          << "col=" << col << " v=" << v;
+    }
+  }
+}
+
+TEST_F(ModelValidationTest, LogicalReadsDecomposeIntoHitsAndPhysical) {
+  ASSERT_OK(db_->ColdCache());
+  ExecContext ctx(db_->buffer_pool());
+  TableScanOp scan(t_, Predicate(), {});
+  ASSERT_OK_AND_ASSIGN(RunResult run, ExecutePlan(&scan, &ctx));
+  EXPECT_EQ(run.stats.io.logical_reads,
+            run.stats.io.buffer_hits + run.stats.io.physical_reads());
+}
+
+TEST_F(ModelValidationTest, ExpectedAtomEvalsMatchesMeasuredEvals) {
+  // The optimizer's short-circuit model must predict the scan's actual
+  // predicate-evaluation count.
+  Predicate pred({PredicateAtom::Int64(kC3, CmpOp::kLt, 2000),
+                  PredicateAtom::Int64(kC5, CmpOp::kGe, 10'000)});
+  Optimizer opt(db_.get(), &stats_, &hints_);
+  double expected_per_row = opt.ExpectedAtomEvals(*t_, pred);
+
+  ASSERT_OK(db_->ColdCache());
+  ExecContext ctx(db_->buffer_pool());
+  TableScanOp scan(t_, pred, {});
+  ASSERT_OK_AND_ASSIGN(RunResult run, ExecutePlan(&scan, &ctx));
+  double measured_per_row =
+      static_cast<double>(run.stats.cpu.predicate_atom_evals) /
+      static_cast<double>(t_->row_count());
+  EXPECT_NEAR(measured_per_row, expected_per_row, 0.05);
+}
+
+}  // namespace
+}  // namespace dpcf

@@ -1,0 +1,185 @@
+// Randomized property sweeps:
+//  * plan-equivalence: every enumerated access path returns the same rows
+//    as a brute-force reference for random conjunctions;
+//  * monitor-correctness: exact scan monitors equal ground truth for the
+//    same random expressions; DPSample stays within its concentration
+//    band; linear counting tracks the fetch stream.
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/clustering_ratio.h"
+#include "core/feedback_driver.h"
+#include "core/monitor_manager.h"
+#include "exec/executor.h"
+#include "optimizer/optimizer.h"
+#include "tests/test_util.h"
+
+namespace dpcf {
+namespace {
+
+using dpcf::testing::SyntheticDbTest;
+
+Predicate RandomConjunction(Rng* rng, int64_t n, int max_atoms) {
+  Predicate pred;
+  int atoms = 1 + static_cast<int>(rng->NextBounded(
+                      static_cast<uint64_t>(max_atoms)));
+  const int cols[] = {kC1, kC2, kC3, kC4, kC5};
+  for (int a = 0; a < atoms; ++a) {
+    int col = cols[rng->NextBounded(5)];
+    CmpOp op = static_cast<CmpOp>(rng->NextBounded(6));
+    // Operand biased to keep some rows alive.
+    int64_t v = rng->NextInt(1, n);
+    if (op == CmpOp::kLt || op == CmpOp::kLe) {
+      v = std::max<int64_t>(v, n / 10);
+    }
+    if (op == CmpOp::kGt || op == CmpOp::kGe) {
+      v = std::min<int64_t>(v, 9 * n / 10);
+    }
+    pred.Add(PredicateAtom::Int64(col, op, v));
+  }
+  return pred;
+}
+
+class PlanEquivalenceSweep
+    : public SyntheticDbTest,
+      public ::testing::WithParamInterface<int> {};
+
+TEST_P(PlanEquivalenceSweep, AllAccessPathsAgreeWithBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  StatisticsCatalog stats;
+  ASSERT_OK(stats.BuildAll(db_->disk(), *t_));
+  OptimizerHints hints;
+  Optimizer opt(db_.get(), &stats, &hints);
+
+  SingleTableQuery q;
+  q.table = t_;
+  q.count_star = true;
+  q.count_col = kPadding;
+  q.pred = RandomConjunction(&rng, t_->row_count(), 3);
+
+  const int64_t truth = ExactCardinality(db_->disk(), *t_, q.pred);
+  ASSERT_OK_AND_ASSIGN(auto paths, opt.EnumerateAccessPaths(q));
+  ASSERT_GE(paths.size(), 1u);
+  for (const AccessPathPlan& p : paths) {
+    ASSERT_OK(db_->ColdCache());
+    ExecContext ctx(db_->buffer_pool());
+    PlanMonitorHooks none;
+    ASSERT_OK_AND_ASSIGN(OperatorPtr root,
+                         BuildSingleTableExec(p, q, none));
+    ASSERT_OK_AND_ASSIGN(RunResult run, ExecutePlan(root.get(), &ctx));
+    ASSERT_EQ(run.output.size(), 1u) << p.Describe();
+    EXPECT_EQ(run.output[0][0].AsInt64(), truth)
+        << p.Describe() << "\npred: " << q.pred.ToString(t_->schema());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanEquivalenceSweep,
+                         ::testing::Range(0, 12));
+
+class MonitorTruthSweep
+    : public SyntheticDbTest,
+      public ::testing::WithParamInterface<int> {};
+
+TEST_P(MonitorTruthSweep, ExactScanMonitorsEqualGroundTruth) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 104729 + 7);
+  // Pushed predicate and requested expression drawn independently.
+  Predicate pushed = RandomConjunction(&rng, t_->row_count(), 2);
+  Predicate requested = RandomConjunction(&rng, t_->row_count(), 2);
+
+  ASSERT_OK_AND_ASSIGN(ClusteringRatioResult truth,
+                       ComputeClusteringRatio(db_->disk(), *t_, requested));
+
+  auto bundle = std::make_unique<ScanMonitorBundle>(
+      pushed, &t_->schema(), /*f=*/1.0, /*seed=*/GetParam());
+  ScanExprRequest req;
+  req.label = "sweep";
+  req.expr = requested;
+  ASSERT_OK(bundle->AddRequest(req));
+  TableScanOp scan(t_, pushed, {}, std::move(bundle));
+  ASSERT_OK(db_->ColdCache());
+  ExecContext ctx(db_->buffer_pool());
+  ASSERT_OK_AND_ASSIGN(RunResult run, ExecutePlan(&scan, &ctx));
+  ASSERT_EQ(run.stats.monitors.size(), 1u);
+  const MonitorRecord& m = run.stats.monitors[0];
+  EXPECT_EQ(m.actual_dpc, static_cast<double>(truth.actual_pages))
+      << "pushed: " << pushed.ToString(t_->schema())
+      << "\nrequested: " << requested.ToString(t_->schema());
+  EXPECT_EQ(m.actual_cardinality,
+            static_cast<double>(truth.qualifying_rows));
+  EXPECT_TRUE(m.exact);
+}
+
+TEST_P(MonitorTruthSweep, SampledMonitorsLandInConcentrationBand) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31337 + 3);
+  Predicate pushed;  // full scan
+  Predicate requested = RandomConjunction(&rng, t_->row_count(), 1);
+  ASSERT_OK_AND_ASSIGN(ClusteringRatioResult truth,
+                       ComputeClusteringRatio(db_->disk(), *t_, requested));
+  if (truth.actual_pages < 20) {
+    GTEST_SKIP() << "too few qualifying pages for a sampling bound";
+  }
+  const double f = 0.5;
+  auto bundle = std::make_unique<ScanMonitorBundle>(
+      pushed, &t_->schema(), f, /*seed=*/GetParam() + 99);
+  ScanExprRequest req;
+  req.label = "sweep";
+  req.expr = requested;
+  ASSERT_OK(bundle->AddRequest(req));
+  TableScanOp scan(t_, pushed, {}, std::move(bundle));
+  ExecContext ctx(db_->buffer_pool());
+  ASSERT_OK_AND_ASSIGN(RunResult run, ExecutePlan(&scan, &ctx));
+  const MonitorRecord& m = run.stats.monitors[0];
+  // 6-sigma binomial band: extremely unlikely to trip spuriously.
+  double sigma = std::sqrt((1 - f) / f *
+                           static_cast<double>(truth.actual_pages));
+  EXPECT_NEAR(m.actual_dpc, static_cast<double>(truth.actual_pages),
+              6 * sigma + 2)
+      << requested.ToString(t_->schema());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonitorTruthSweep, ::testing::Range(0, 10));
+
+class FetchMonitorSweep
+    : public SyntheticDbTest,
+      public ::testing::WithParamInterface<int> {};
+
+TEST_P(FetchMonitorSweep, LinearCountingTracksSeekTruth) {
+  // Random range on a random indexed column; the fetch monitor's estimate
+  // must track the exact page count of the seek expression.
+  Rng rng(static_cast<uint64_t>(GetParam()) * 271 + 5);
+  const int cols[] = {kC2, kC3, kC4, kC5};
+  const char* names[] = {"T_c2", "T_c3", "T_c4", "T_c5"};
+  int pick = static_cast<int>(rng.NextBounded(4));
+  int64_t lo = rng.NextInt(1, t_->row_count() / 2);
+  int64_t hi = lo + rng.NextInt(100, t_->row_count() / 5);
+
+  Predicate expr({PredicateAtom::Int64(cols[pick], CmpOp::kGe, lo),
+                  PredicateAtom::Int64(cols[pick], CmpOp::kLe, hi)});
+  ASSERT_OK_AND_ASSIGN(ClusteringRatioResult truth,
+                       ComputeClusteringRatio(db_->disk(), *t_, expr));
+
+  auto source = std::make_unique<IndexSeekSource>(
+      db_->GetIndex(names[pick]), BtreeKey::Min(lo), BtreeKey::Max(hi));
+  FetchMonitorRequest req;
+  req.label = "sweep";
+  req.numbits = 1 << 14;
+  req.seed = static_cast<uint64_t>(GetParam());
+  FetchOp fetch(t_, std::move(source), Predicate(), {}, {req});
+  ASSERT_OK(db_->ColdCache());
+  ExecContext ctx(db_->buffer_pool());
+  ASSERT_OK_AND_ASSIGN(RunResult run, ExecutePlan(&fetch, &ctx));
+  const MonitorRecord& m = run.stats.monitors[0];
+  EXPECT_EQ(m.actual_cardinality,
+            static_cast<double>(truth.qualifying_rows));
+  EXPECT_NEAR(m.actual_dpc, static_cast<double>(truth.actual_pages),
+              0.05 * truth.actual_pages + 3)
+      << expr.ToString(t_->schema());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FetchMonitorSweep, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace dpcf

@@ -1,0 +1,240 @@
+// Unit tests for storage/: disk manager I/O classification, buffer pool
+// (LRU, pinning, dirty write-back, cold reset), simulated cost model.
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "tests/test_util.h"
+
+namespace dpcf {
+namespace {
+
+TEST(DiskManagerTest, SegmentsAndAllocation) {
+  DiskManager disk(512);
+  SegmentId a = disk.CreateSegment("a");
+  SegmentId b = disk.CreateSegment("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(disk.SegmentName(a), "a");
+  EXPECT_EQ(disk.SegmentPageCount(a), 0u);
+  EXPECT_EQ(disk.AllocatePage(a), 0u);
+  EXPECT_EQ(disk.AllocatePage(a), 1u);
+  EXPECT_EQ(disk.AllocatePage(b), 0u);
+  EXPECT_EQ(disk.SegmentPageCount(a), 2u);
+}
+
+TEST(DiskManagerTest, ReadWriteRoundtrip) {
+  DiskManager disk(256);
+  SegmentId seg = disk.CreateSegment("t");
+  disk.AllocatePage(seg);
+  std::vector<char> out(256), in(256, 0x5A);
+  ASSERT_OK(disk.WritePage(PageId{seg, 0}, in.data()));
+  ASSERT_OK(disk.ReadPage(PageId{seg, 0}, out.data()));
+  EXPECT_EQ(std::memcmp(in.data(), out.data(), 256), 0);
+}
+
+TEST(DiskManagerTest, RejectsUnknownPages) {
+  DiskManager disk(256);
+  std::vector<char> buf(256);
+  EXPECT_EQ(disk.ReadPage(PageId{0, 0}, buf.data()).code(),
+            StatusCode::kOutOfRange);
+  SegmentId seg = disk.CreateSegment("t");
+  EXPECT_EQ(disk.WritePage(PageId{seg, 3}, buf.data()).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(DiskManagerTest, SequentialVsRandomClassification) {
+  DiskManager disk(256);
+  SegmentId seg = disk.CreateSegment("t");
+  for (int i = 0; i < 10; ++i) disk.AllocatePage(seg);
+  std::vector<char> buf(256);
+  // First read: random (head position unknown).
+  ASSERT_OK(disk.ReadPage(PageId{seg, 0}, buf.data()));
+  // 1..4: each follows its predecessor => sequential.
+  for (PageNo p = 1; p <= 4; ++p) {
+    ASSERT_OK(disk.ReadPage(PageId{seg, p}, buf.data()));
+  }
+  // Jump: random, then a new sequential run.
+  ASSERT_OK(disk.ReadPage(PageId{seg, 8}, buf.data()));
+  ASSERT_OK(disk.ReadPage(PageId{seg, 9}, buf.data()));
+  const IoStats& io = *disk.io_stats();
+  EXPECT_EQ(io.physical_rand_reads, 2);
+  EXPECT_EQ(io.physical_seq_reads, 5);
+}
+
+TEST(DiskManagerTest, CrossSegmentReadIsRandom) {
+  DiskManager disk(256);
+  SegmentId a = disk.CreateSegment("a");
+  SegmentId b = disk.CreateSegment("b");
+  disk.AllocatePage(a);
+  disk.AllocatePage(a);
+  disk.AllocatePage(b);
+  std::vector<char> buf(256);
+  ASSERT_OK(disk.ReadPage(PageId{a, 0}, buf.data()));
+  ASSERT_OK(disk.ReadPage(PageId{b, 0}, buf.data()));  // random: new segment
+  ASSERT_OK(disk.ReadPage(PageId{a, 1}, buf.data()));  // random: jumped away
+  EXPECT_EQ(disk.io_stats()->physical_rand_reads, 3);
+  EXPECT_EQ(disk.io_stats()->physical_seq_reads, 0);
+}
+
+TEST(DiskManagerTest, ResetReadHeadMakesNextReadRandom) {
+  DiskManager disk(256);
+  SegmentId seg = disk.CreateSegment("t");
+  disk.AllocatePage(seg);
+  disk.AllocatePage(seg);
+  std::vector<char> buf(256);
+  ASSERT_OK(disk.ReadPage(PageId{seg, 0}, buf.data()));
+  disk.ResetReadHead();
+  ASSERT_OK(disk.ReadPage(PageId{seg, 1}, buf.data()));  // would be seq
+  EXPECT_EQ(disk.io_stats()->physical_rand_reads, 2);
+}
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  BufferPoolTest() : disk_(256), pool_(&disk_, 4) {
+    seg_ = disk_.CreateSegment("t");
+    for (int i = 0; i < 16; ++i) disk_.AllocatePage(seg_);
+  }
+  DiskManager disk_;
+  BufferPool pool_;
+  SegmentId seg_;
+};
+
+TEST_F(BufferPoolTest, HitAvoidsPhysicalRead) {
+  {
+    auto g = pool_.Fetch(PageId{seg_, 0});
+    ASSERT_TRUE(g.ok());
+  }
+  int64_t before = disk_.io_stats()->physical_reads();
+  {
+    auto g = pool_.Fetch(PageId{seg_, 0});
+    ASSERT_TRUE(g.ok());
+  }
+  EXPECT_EQ(disk_.io_stats()->physical_reads(), before);
+  EXPECT_EQ(disk_.io_stats()->buffer_hits, 1);
+  EXPECT_EQ(disk_.io_stats()->logical_reads, 2);
+}
+
+TEST_F(BufferPoolTest, LruEvictsOldestUnpinned) {
+  for (PageNo p = 0; p < 4; ++p) {
+    auto g = pool_.Fetch(PageId{seg_, p});
+    ASSERT_TRUE(g.ok());
+  }
+  // Touch page 0 so page 1 is the LRU victim.
+  { auto g = pool_.Fetch(PageId{seg_, 0}); ASSERT_TRUE(g.ok()); }
+  { auto g = pool_.Fetch(PageId{seg_, 9}); ASSERT_TRUE(g.ok()); }  // evicts 1
+  int64_t before = disk_.io_stats()->physical_reads();
+  { auto g = pool_.Fetch(PageId{seg_, 0}); ASSERT_TRUE(g.ok()); }  // hit
+  EXPECT_EQ(disk_.io_stats()->physical_reads(), before);
+  { auto g = pool_.Fetch(PageId{seg_, 1}); ASSERT_TRUE(g.ok()); }  // miss
+  EXPECT_EQ(disk_.io_stats()->physical_reads(), before + 1);
+}
+
+TEST_F(BufferPoolTest, PinnedPagesAreNotEvicted) {
+  std::vector<PageGuard> pins;
+  for (PageNo p = 0; p < 4; ++p) {
+    auto g = pool_.Fetch(PageId{seg_, p});
+    ASSERT_TRUE(g.ok());
+    pins.push_back(std::move(g).value());
+  }
+  auto g = pool_.Fetch(PageId{seg_, 10});
+  EXPECT_EQ(g.status().code(), StatusCode::kResourceExhausted);
+  pins.clear();
+  EXPECT_TRUE(pool_.Fetch(PageId{seg_, 10}).ok());
+}
+
+TEST_F(BufferPoolTest, DirtyPageWrittenBackOnEviction) {
+  {
+    auto g = pool_.Fetch(PageId{seg_, 0});
+    ASSERT_TRUE(g.ok());
+    g->mutable_data()[0] = 'Z';
+  }
+  // Evict page 0 by filling the pool.
+  for (PageNo p = 1; p <= 4; ++p) {
+    auto g = pool_.Fetch(PageId{seg_, p});
+    ASSERT_TRUE(g.ok());
+  }
+  EXPECT_EQ(disk_.RawPage(PageId{seg_, 0})[0], 'Z');
+  EXPECT_GE(disk_.io_stats()->physical_writes, 1);
+}
+
+TEST_F(BufferPoolTest, NewPageAllocatesZeroedAndDirty) {
+  PageId pid;
+  {
+    auto g = pool_.NewPage(seg_, &pid);
+    ASSERT_TRUE(g.ok());
+    EXPECT_EQ(pid.page_no, 16u);
+    EXPECT_EQ((*g).data()[37], 0);
+    g->mutable_data()[5] = 'Q';
+  }
+  ASSERT_OK(pool_.FlushAll());
+  EXPECT_EQ(disk_.RawPage(pid)[5], 'Q');
+}
+
+TEST_F(BufferPoolTest, ColdResetEmptiesPool) {
+  { auto g = pool_.Fetch(PageId{seg_, 2}); ASSERT_TRUE(g.ok()); }
+  EXPECT_EQ(pool_.cached_pages(), 1u);
+  ASSERT_OK(pool_.ColdReset());
+  EXPECT_EQ(pool_.cached_pages(), 0u);
+  int64_t before = disk_.io_stats()->physical_reads();
+  { auto g = pool_.Fetch(PageId{seg_, 2}); ASSERT_TRUE(g.ok()); }
+  EXPECT_EQ(disk_.io_stats()->physical_reads(), before + 1);
+}
+
+TEST_F(BufferPoolTest, ColdResetRefusesPinnedPages) {
+  auto g = pool_.Fetch(PageId{seg_, 2});
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(pool_.ColdReset().ok());
+  g->Release();
+  EXPECT_OK(pool_.ColdReset());
+}
+
+TEST_F(BufferPoolTest, GuardMoveTransfersPin) {
+  auto g1 = pool_.Fetch(PageId{seg_, 3});
+  ASSERT_TRUE(g1.ok());
+  PageGuard g2 = std::move(g1).value();
+  EXPECT_TRUE(g2.valid());
+  PageGuard g3 = std::move(g2);
+  EXPECT_FALSE(g2.valid());
+  EXPECT_TRUE(g3.valid());
+  g3.Release();
+  EXPECT_OK(pool_.ColdReset());  // nothing pinned anymore
+}
+
+TEST(SimCostTest, TimeIsLinearInCounters) {
+  SimCostParams p;
+  IoStats io;
+  CpuStats cpu;
+  EXPECT_EQ(SimulatedMillis(io, cpu, p), 0.0);
+  io.physical_seq_reads = 10;
+  double t1 = SimulatedMillis(io, cpu, p);
+  EXPECT_DOUBLE_EQ(t1, 10 * p.seq_read_ms);
+  io.physical_rand_reads = 3;
+  cpu.rows_processed = 1000;
+  double t2 = SimulatedMillis(io, cpu, p);
+  EXPECT_DOUBLE_EQ(t2, 10 * p.seq_read_ms + 3 * p.rand_read_ms +
+                           1000 * p.cpu_row_ms);
+}
+
+TEST(SimCostTest, RandomCostsMoreThanSequential) {
+  SimCostParams p;
+  EXPECT_GT(p.rand_read_ms, p.seq_read_ms);
+}
+
+TEST(IoStatsTest, AccumulateAndReset) {
+  IoStats a, b;
+  a.physical_seq_reads = 1;
+  b.physical_seq_reads = 2;
+  b.logical_reads = 5;
+  a += b;
+  EXPECT_EQ(a.physical_seq_reads, 3);
+  EXPECT_EQ(a.logical_reads, 5);
+  a.Reset();
+  EXPECT_EQ(a.physical_seq_reads, 0);
+  EXPECT_NE(a.ToString().find("IoStats"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dpcf
