@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bitvector.dir/bench_ablation_bitvector.cc.o"
+  "CMakeFiles/bench_ablation_bitvector.dir/bench_ablation_bitvector.cc.o.d"
+  "bench_ablation_bitvector"
+  "bench_ablation_bitvector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bitvector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dpsample.dir/bench_ablation_dpsample.cc.o"
+  "CMakeFiles/bench_ablation_dpsample.dir/bench_ablation_dpsample.cc.o.d"
+  "bench_ablation_dpsample"
+  "bench_ablation_dpsample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dpsample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_linear_counter.dir/bench_ablation_linear_counter.cc.o"
+  "CMakeFiles/bench_ablation_linear_counter.dir/bench_ablation_linear_counter.cc.o.d"
+  "bench_ablation_linear_counter"
+  "bench_ablation_linear_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_linear_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

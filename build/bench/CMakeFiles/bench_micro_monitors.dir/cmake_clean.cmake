@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_monitors.dir/bench_micro_monitors.cc.o"
+  "CMakeFiles/bench_micro_monitors.dir/bench_micro_monitors.cc.o.d"
+  "bench_micro_monitors"
+  "bench_micro_monitors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_monitors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_databases.dir/bench_table1_databases.cc.o"
+  "CMakeFiles/bench_table1_databases.dir/bench_table1_databases.cc.o.d"
+  "bench_table1_databases"
+  "bench_table1_databases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_databases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

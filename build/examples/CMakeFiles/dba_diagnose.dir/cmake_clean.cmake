@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dba_diagnose.dir/dba_diagnose.cc.o"
+  "CMakeFiles/dba_diagnose.dir/dba_diagnose.cc.o.d"
+  "dba_diagnose"
+  "dba_diagnose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dba_diagnose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

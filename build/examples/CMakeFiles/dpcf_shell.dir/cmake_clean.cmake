@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpcf_shell.dir/dpcf_shell.cc.o"
+  "CMakeFiles/dpcf_shell.dir/dpcf_shell.cc.o.d"
+  "dpcf_shell"
+  "dpcf_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpcf_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feedback_reoptimize.dir/feedback_reoptimize.cc.o"
+  "CMakeFiles/feedback_reoptimize.dir/feedback_reoptimize.cc.o.d"
+  "feedback_reoptimize"
+  "feedback_reoptimize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feedback_reoptimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/hash.cc" "src/CMakeFiles/dpcf.dir/common/hash.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/common/hash.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/dpcf.dir/common/random.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/dpcf.dir/common/status.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/dpcf.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/common/string_util.cc.o.d"
+  "/root/repo/src/core/bitvector_filter.cc" "src/CMakeFiles/dpcf.dir/core/bitvector_filter.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/core/bitvector_filter.cc.o.d"
+  "/root/repo/src/core/clustering_ratio.cc" "src/CMakeFiles/dpcf.dir/core/clustering_ratio.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/core/clustering_ratio.cc.o.d"
+  "/root/repo/src/core/distinct_sampler.cc" "src/CMakeFiles/dpcf.dir/core/distinct_sampler.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/core/distinct_sampler.cc.o.d"
+  "/root/repo/src/core/dpc_histogram.cc" "src/CMakeFiles/dpcf.dir/core/dpc_histogram.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/core/dpc_histogram.cc.o.d"
+  "/root/repo/src/core/dpsample.cc" "src/CMakeFiles/dpcf.dir/core/dpsample.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/core/dpsample.cc.o.d"
+  "/root/repo/src/core/feedback_driver.cc" "src/CMakeFiles/dpcf.dir/core/feedback_driver.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/core/feedback_driver.cc.o.d"
+  "/root/repo/src/core/feedback_store.cc" "src/CMakeFiles/dpcf.dir/core/feedback_store.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/core/feedback_store.cc.o.d"
+  "/root/repo/src/core/grouped_page_counter.cc" "src/CMakeFiles/dpcf.dir/core/grouped_page_counter.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/core/grouped_page_counter.cc.o.d"
+  "/root/repo/src/core/linear_counter.cc" "src/CMakeFiles/dpcf.dir/core/linear_counter.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/core/linear_counter.cc.o.d"
+  "/root/repo/src/core/monitor_manager.cc" "src/CMakeFiles/dpcf.dir/core/monitor_manager.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/core/monitor_manager.cc.o.d"
+  "/root/repo/src/core/pid_monitor.cc" "src/CMakeFiles/dpcf.dir/core/pid_monitor.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/core/pid_monitor.cc.o.d"
+  "/root/repo/src/core/run_statistics.cc" "src/CMakeFiles/dpcf.dir/core/run_statistics.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/core/run_statistics.cc.o.d"
+  "/root/repo/src/exec/exec_context.cc" "src/CMakeFiles/dpcf.dir/exec/exec_context.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/exec/exec_context.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/dpcf.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/exec/executor.cc.o.d"
+  "/root/repo/src/exec/index_ops.cc" "src/CMakeFiles/dpcf.dir/exec/index_ops.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/exec/index_ops.cc.o.d"
+  "/root/repo/src/exec/join_ops.cc" "src/CMakeFiles/dpcf.dir/exec/join_ops.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/exec/join_ops.cc.o.d"
+  "/root/repo/src/exec/predicate.cc" "src/CMakeFiles/dpcf.dir/exec/predicate.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/exec/predicate.cc.o.d"
+  "/root/repo/src/exec/rel_ops.cc" "src/CMakeFiles/dpcf.dir/exec/rel_ops.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/exec/rel_ops.cc.o.d"
+  "/root/repo/src/exec/scan_ops.cc" "src/CMakeFiles/dpcf.dir/exec/scan_ops.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/exec/scan_ops.cc.o.d"
+  "/root/repo/src/index/btree.cc" "src/CMakeFiles/dpcf.dir/index/btree.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/index/btree.cc.o.d"
+  "/root/repo/src/index/secondary_index.cc" "src/CMakeFiles/dpcf.dir/index/secondary_index.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/index/secondary_index.cc.o.d"
+  "/root/repo/src/optimizer/cardinality.cc" "src/CMakeFiles/dpcf.dir/optimizer/cardinality.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/optimizer/cardinality.cc.o.d"
+  "/root/repo/src/optimizer/cost_model.cc" "src/CMakeFiles/dpcf.dir/optimizer/cost_model.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/optimizer/cost_model.cc.o.d"
+  "/root/repo/src/optimizer/histogram.cc" "src/CMakeFiles/dpcf.dir/optimizer/histogram.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/optimizer/histogram.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/dpcf.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/plan.cc" "src/CMakeFiles/dpcf.dir/optimizer/plan.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/optimizer/plan.cc.o.d"
+  "/root/repo/src/optimizer/yao.cc" "src/CMakeFiles/dpcf.dir/optimizer/yao.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/optimizer/yao.cc.o.d"
+  "/root/repo/src/sql/binder.cc" "src/CMakeFiles/dpcf.dir/sql/binder.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/sql/binder.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/dpcf.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/sql/parser.cc.o.d"
+  "/root/repo/src/sql/tokenizer.cc" "src/CMakeFiles/dpcf.dir/sql/tokenizer.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/sql/tokenizer.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/dpcf.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/disk_manager.cc" "src/CMakeFiles/dpcf.dir/storage/disk_manager.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/storage/disk_manager.cc.o.d"
+  "/root/repo/src/storage/io_stats.cc" "src/CMakeFiles/dpcf.dir/storage/io_stats.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/storage/io_stats.cc.o.d"
+  "/root/repo/src/storage/page.cc" "src/CMakeFiles/dpcf.dir/storage/page.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/storage/page.cc.o.d"
+  "/root/repo/src/table/catalog.cc" "src/CMakeFiles/dpcf.dir/table/catalog.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/table/catalog.cc.o.d"
+  "/root/repo/src/table/heap_file.cc" "src/CMakeFiles/dpcf.dir/table/heap_file.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/table/heap_file.cc.o.d"
+  "/root/repo/src/table/row_codec.cc" "src/CMakeFiles/dpcf.dir/table/row_codec.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/table/row_codec.cc.o.d"
+  "/root/repo/src/table/schema.cc" "src/CMakeFiles/dpcf.dir/table/schema.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/table/schema.cc.o.d"
+  "/root/repo/src/table/table.cc" "src/CMakeFiles/dpcf.dir/table/table.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/table/table.cc.o.d"
+  "/root/repo/src/table/value.cc" "src/CMakeFiles/dpcf.dir/table/value.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/table/value.cc.o.d"
+  "/root/repo/src/workload/query_gen.cc" "src/CMakeFiles/dpcf.dir/workload/query_gen.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/workload/query_gen.cc.o.d"
+  "/root/repo/src/workload/realworld.cc" "src/CMakeFiles/dpcf.dir/workload/realworld.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/workload/realworld.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/CMakeFiles/dpcf.dir/workload/synthetic.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/workload/synthetic.cc.o.d"
+  "/root/repo/src/workload/tpch_like.cc" "src/CMakeFiles/dpcf.dir/workload/tpch_like.cc.o" "gcc" "src/CMakeFiles/dpcf.dir/workload/tpch_like.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cardinality_feedback_test.dir/cardinality_feedback_test.cc.o"
+  "CMakeFiles/cardinality_feedback_test.dir/cardinality_feedback_test.cc.o.d"
+  "cardinality_feedback_test"
+  "cardinality_feedback_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cardinality_feedback_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distinct_sampler_test.dir/distinct_sampler_test.cc.o"
+  "CMakeFiles/distinct_sampler_test.dir/distinct_sampler_test.cc.o.d"
+  "distinct_sampler_test"
+  "distinct_sampler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distinct_sampler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

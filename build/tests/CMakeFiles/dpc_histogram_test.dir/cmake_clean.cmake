@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpc_histogram_test.dir/dpc_histogram_test.cc.o"
+  "CMakeFiles/dpc_histogram_test.dir/dpc_histogram_test.cc.o.d"
+  "dpc_histogram_test"
+  "dpc_histogram_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpc_histogram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

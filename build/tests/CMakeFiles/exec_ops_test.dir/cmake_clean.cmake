@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_ops_test.dir/exec_ops_test.cc.o"
+  "CMakeFiles/exec_ops_test.dir/exec_ops_test.cc.o.d"
+  "exec_ops_test"
+  "exec_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

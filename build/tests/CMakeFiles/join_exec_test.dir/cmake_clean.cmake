@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_exec_test.dir/join_exec_test.cc.o"
+  "CMakeFiles/join_exec_test.dir/join_exec_test.cc.o.d"
+  "join_exec_test"
+  "join_exec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitors_test.dir/monitors_test.cc.o"
+  "CMakeFiles/monitors_test.dir/monitors_test.cc.o.d"
+  "monitors_test"
+  "monitors_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_join_test.dir/tpch_join_test.cc.o"
+  "CMakeFiles/tpch_join_test.dir/tpch_join_test.cc.o.d"
+  "tpch_join_test"
+  "tpch_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
