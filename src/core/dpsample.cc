@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "common/hash.h"
+
 namespace dpcf {
 
 const char* ScanMonitorModeName(ScanMonitorMode mode) {
@@ -21,7 +23,7 @@ ScanMonitorBundle::ScanMonitorBundle(Predicate pushed, const Schema* schema,
     : pushed_(std::move(pushed)),
       schema_(schema),
       sample_fraction_(sample_fraction),
-      rng_(seed) {
+      seed_(seed) {
   assert(sample_fraction_ > 0.0 && sample_fraction_ <= 1.0);
 }
 
@@ -52,12 +54,52 @@ bool ScanMonitorBundle::HasSampledRequests() const {
   return false;
 }
 
-void ScanMonitorBundle::BeginPage(CpuStats* cpu) {
+std::unique_ptr<ScanMonitorBundle> ScanMonitorBundle::Clone() const {
+  auto clone = std::make_unique<ScanMonitorBundle>(pushed_, schema_,
+                                                   sample_fraction_, seed_);
+  for (const Entry& e : entries_) {
+    Status st = clone->AddRequest(e.request);
+    assert(st.ok() && "requests were already validated");
+    (void)st;
+  }
+  return clone;
+}
+
+Status ScanMonitorBundle::MergeFrom(const ScanMonitorBundle& other) {
+  if (entries_.size() != other.entries_.size() ||
+      sample_fraction_ != other.sample_fraction_ || seed_ != other.seed_) {
+    return Status::InvalidArgument(
+        "bundle merge requires identically configured bundles");
+  }
+  if (page_open_ || other.page_open_) {
+    return Status::InvalidArgument("bundle merge with a page still open");
+  }
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& o = other.entries_[i];
+    if (entries_[i].mode != o.mode ||
+        entries_[i].request.label != o.request.label) {
+      return Status::InvalidArgument(
+          "bundle merge with mismatched request entries");
+    }
+    entries_[i].counter.MergeFrom(o.counter);
+  }
+  pages_seen_ += other.pages_seen_;
+  pages_sampled_ += other.pages_sampled_;
+  return Status::OK();
+}
+
+void ScanMonitorBundle::BeginPage(CpuStats* cpu, PageNo page_no) {
   (void)cpu;
   ++pages_seen_;
+  page_open_ = true;
   // One Bernoulli draw per page, shared by all non-prefix requests — the
-  // analog of turning short-circuiting off for the whole sampled page.
-  page_sampled_ = sample_fraction_ >= 1.0 || rng_.NextBernoulli(sample_fraction_);
+  // analog of turning short-circuiting off for the whole sampled page. The
+  // draw hashes the page number (53-bit uniform, as Rng::NextDouble) so
+  // the sampled set is a function of the seed alone, not the visit order.
+  page_sampled_ =
+      sample_fraction_ >= 1.0 ||
+      static_cast<double>(Mix64Seeded(page_no, seed_) >> 11) * 0x1.0p-53 <
+          sample_fraction_;
   if (page_sampled_) ++pages_sampled_;
   for (Entry& e : entries_) e.counter.BeginPage();
 }
@@ -102,6 +144,7 @@ void ScanMonitorBundle::EndPage() {
     }
   }
   page_sampled_ = false;
+  page_open_ = false;
 }
 
 std::vector<ScanExprResult> ScanMonitorBundle::Finish() const {

@@ -13,6 +13,12 @@
 //    Bernoulli sample of pages — short-circuiting is "turned off" only for
 //    rows on sampled pages, bounding the overhead. The estimator
 //    PageCount/f is unbiased with Chernoff-style concentration.
+//
+// The Bernoulli draw is a *deterministic function of (page number, seed)*
+// rather than a sequential RNG stream: whether a page is sampled must not
+// depend on the order pages happen to be visited in, so a morsel-parallel
+// scan (any page-to-worker assignment) samples exactly the same pages as
+// the serial scan and merged estimates are bit-for-bit identical.
 
 #pragma once
 
@@ -21,12 +27,12 @@
 #include <string>
 #include <vector>
 
-#include "common/random.h"
 #include "common/status.h"
 #include "core/bitvector_filter.h"
 #include "core/grouped_page_counter.h"
 #include "exec/predicate.h"
 #include "storage/io_stats.h"
+#include "storage/page.h"
 
 namespace dpcf {
 
@@ -67,8 +73,14 @@ struct ScanExprResult {
 };
 
 /// Per-scan monitor state. Drive it in lockstep with the scan:
-///   BeginPage() / OnRow(row, leading_true) per row / EndPage(),
+///   BeginPage(page_no) / OnRow(row, leading_true) per row / EndPage(),
 /// then Finish() once the scan ends.
+///
+/// Bundles are *mergeable sketches*: a parallel scan gives every worker a
+/// Clone() and folds the thread-local bundles back with MergeFrom() at
+/// close. Because each page is processed by exactly one worker and the
+/// sampling decision is a pure function of (page_no, seed), the merged
+/// results are identical to one bundle driven serially over all pages.
 class ScanMonitorBundle {
  public:
   /// `pushed` is the scan's own conjunction (used for prefix detection;
@@ -81,12 +93,25 @@ class ScanMonitorBundle {
 
   size_t num_requests() const { return entries_.size(); }
   double sample_fraction() const { return sample_fraction_; }
+  uint64_t seed() const { return seed_; }
 
   /// True if at least one request needs per-row evaluation on sampled
   /// pages (i.e. monitoring is not free for this scan).
   bool HasSampledRequests() const;
 
-  void BeginPage(CpuStats* cpu);
+  /// A fresh bundle with the same configuration and requests but zeroed
+  /// counters — one per scan worker.
+  std::unique_ptr<ScanMonitorBundle> Clone() const;
+
+  /// Folds `other` (same configuration, disjoint pages) into this bundle:
+  /// GroupedPageCounters merge by summing disjoint page/row counts, the
+  /// page tallies by addition. Fails if the bundles were configured
+  /// differently or a page is still open in either.
+  Status MergeFrom(const ScanMonitorBundle& other);
+
+  /// `page_no`: the page about to be scanned; the Bernoulli sampling draw
+  /// is Hash(page_no, seed) < f, independent of visit order.
+  void BeginPage(CpuStats* cpu, PageNo page_no);
   /// `leading_true`: how many leading atoms of the pushed conjunction the
   /// scan's own (short-circuited) evaluation found TRUE for this row.
   /// `filter_slots` resolves bitvector slot references; entries may be
@@ -108,8 +133,9 @@ class ScanMonitorBundle {
   Predicate pushed_;
   const Schema* schema_;
   double sample_fraction_;
-  Rng rng_;
+  uint64_t seed_;
   std::vector<Entry> entries_;
+  bool page_open_ = false;
   bool page_sampled_ = false;
   int64_t pages_seen_ = 0;
   int64_t pages_sampled_ = 0;

@@ -33,6 +33,18 @@ class GroupedPageCounter {
   int64_t pages_seen() const { return pages_seen_; }
   bool current_page_flag() const { return page_flag_; }
 
+  /// Folds a counter that processed a *disjoint* set of pages into this
+  /// one. Under the grouped-page-access property each page is processed by
+  /// exactly one worker, so per-worker counts add without duplicate
+  /// elimination — the merged totals equal a single counter driven over
+  /// the union of the pages. Both counters must be between pages (no open
+  /// BeginPage).
+  void MergeFrom(const GroupedPageCounter& o) {
+    pages_satisfying_ += o.pages_satisfying_;
+    rows_satisfying_ += o.rows_satisfying_;
+    pages_seen_ += o.pages_seen_;
+  }
+
   void Reset() { *this = GroupedPageCounter(); }
 
  private:

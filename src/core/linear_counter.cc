@@ -32,6 +32,15 @@ double LinearCounter::Estimate() const {
                    static_cast<double>(numbits_));
 }
 
+Status LinearCounter::MergeFrom(const LinearCounter& other) {
+  if (numbits_ != other.numbits_ || seed_ != other.seed_) {
+    return Status::InvalidArgument(
+        "LinearCounter merge requires identical numbits and seed");
+  }
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return Status::OK();
+}
+
 void LinearCounter::Reset() {
   std::fill(words_.begin(), words_.end(), 0);
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/status.h"
 
 namespace dpcf {
 
@@ -40,6 +41,13 @@ class LinearCounter {
   uint32_t BitsSet() const;
   uint64_t seed() const { return seed_; }
   size_t MemoryBytes() const { return words_.size() * sizeof(uint64_t); }
+
+  /// Folds `other` into this counter by bitwise OR of the bitmaps. Linear
+  /// counting is a union-closed sketch: hash(v) sets the same bit no matter
+  /// which counter observed v, so OR(A, B) is exactly the bitmap of A ∪ B
+  /// and the merged Estimate() equals a single counter fed both streams.
+  /// Requires identical geometry (numbits) and hash seed.
+  Status MergeFrom(const LinearCounter& other);
 
   void Reset();
 

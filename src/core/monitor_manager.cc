@@ -55,6 +55,8 @@ Result<InstrumentedHooks> MonitorManager::ForSingleTable(
   out.hooks.scan_sample_fraction = EffectiveFraction(options_, *query.table);
   out.hooks.inner_scan_sample_fraction = out.hooks.scan_sample_fraction;
   out.hooks.seed = options_.seed;
+  out.hooks.scan_threads = options_.scan_threads;
+  out.hooks.morsel_pages = options_.morsel_pages;
   if (!options_.enabled) return out;
 
   switch (path.kind) {

@@ -45,6 +45,13 @@ struct MonitorOptions {
   /// domains.
   BitvectorMode bitvector_mode = BitvectorMode::kDirect;
   uint64_t seed = 0x5eed;
+  /// Worker threads for full table scans (forwarded into
+  /// PlanMonitorHooks::scan_threads; > 1 enables morsel parallelism on the
+  /// single-table scan path). Monitor feedback is identical at any thread
+  /// count — the bundles are mergeable sketches.
+  int scan_threads = 1;
+  /// Pages per morsel for the parallel dispatch.
+  uint32_t morsel_pages = 32;
 };
 
 /// What a monitor label refers to — kept alongside the hooks so the

@@ -1,8 +1,27 @@
 #include "exec/executor.h"
 
 #include <chrono>
+#include <thread>
 
 namespace dpcf {
+
+Status RunOnWorkers(int num_threads,
+                    const std::function<Status(int)>& worker) {
+  if (num_threads <= 1) return worker(0);
+  std::vector<Status> statuses(static_cast<size_t>(num_threads),
+                               Status::OK());
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(num_threads));
+  for (int w = 0; w < num_threads; ++w) {
+    threads.emplace_back(
+        [w, &worker, &statuses] { statuses[static_cast<size_t>(w)] = worker(w); });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
 
 namespace {
 void DescribeRec(const Operator& op, int depth, std::string* out) {

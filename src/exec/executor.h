@@ -1,14 +1,59 @@
 // Plan driver: runs an operator tree to completion and gathers the
-// statistics-xml-style run report.
+// statistics-xml-style run report. Also home of the morsel-parallel
+// execution primitives (work queue + worker pool) used by the parallel
+// scan operators.
 
 #pragma once
 
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/run_statistics.h"
 #include "exec/operator.h"
+#include "storage/page.h"
 
 namespace dpcf {
+
+/// Morsel dispatch over a contiguous page range: the range [0, total_pages)
+/// is cut into fixed-size morsels handed out from an atomic cursor, so
+/// workers self-schedule and a slow worker never stalls the others (the
+/// morsel-driven scheme of Leis et al., scoped to one scan).
+class MorselQueue {
+ public:
+  MorselQueue(PageNo total_pages, uint32_t morsel_pages)
+      : total_pages_(total_pages),
+        morsel_pages_(std::max<uint32_t>(1, morsel_pages)),
+        num_morsels_((total_pages + morsel_pages_ - 1) / morsel_pages_) {}
+
+  /// Claims the next morsel: its index and half-open page interval.
+  /// Returns false once the range is exhausted.
+  bool Next(uint32_t* morsel, PageNo* begin, PageNo* end) {
+    uint32_t m = next_.fetch_add(1, std::memory_order_relaxed);
+    if (m >= num_morsels_) return false;
+    *morsel = m;
+    *begin = static_cast<PageNo>(m) * morsel_pages_;
+    *end = std::min<PageNo>(total_pages_, *begin + morsel_pages_);
+    return true;
+  }
+
+  uint32_t num_morsels() const { return num_morsels_; }
+  uint32_t morsel_pages() const { return morsel_pages_; }
+
+ private:
+  PageNo total_pages_;
+  uint32_t morsel_pages_;
+  uint32_t num_morsels_;
+  std::atomic<uint32_t> next_{0};
+};
+
+/// Runs `worker(worker_index)` on `num_threads` OS threads, joins them all,
+/// and returns the first non-OK status (by worker index). num_threads <= 1
+/// runs inline on the calling thread — the serial path spawns nothing.
+Status RunOnWorkers(int num_threads,
+                    const std::function<Status(int)>& worker);
 
 /// Output of one full execution.
 struct RunResult {

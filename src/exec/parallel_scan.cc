@@ -1,0 +1,173 @@
+#include "exec/parallel_scan.h"
+
+#include <atomic>
+#include <utility>
+
+#include "common/string_util.h"
+#include "exec/executor.h"
+
+namespace dpcf {
+
+namespace {
+void MaterializeProjection(const RowView& row,
+                           const std::vector<int>& projection, Tuple* out) {
+  out->clear();
+  out->reserve(projection.size());
+  for (int col : projection) {
+    out->push_back(row.GetValue(static_cast<size_t>(col)));
+  }
+}
+}  // namespace
+
+ParallelTableScanOp::ParallelTableScanOp(
+    Table* table, Predicate pushed, std::vector<int> projection,
+    std::unique_ptr<ScanMonitorBundle> monitors, ParallelScanOptions options)
+    : table_(table),
+      pushed_(std::move(pushed)),
+      projection_(std::move(projection)),
+      monitors_(std::move(monitors)),
+      options_(options) {
+  if (options_.num_threads < 1) options_.num_threads = 1;
+  if (options_.morsel_pages < 1) options_.morsel_pages = 1;
+}
+
+Status ParallelTableScanOp::Open(ExecContext* ctx) {
+  const HeapFile* file = table_->file();
+  const Schema* schema = &table_->schema();
+  const uint32_t num_atoms = static_cast<uint32_t>(pushed_.size());
+  const int num_workers = options_.num_threads;
+
+  MorselQueue queue(file->page_count(), options_.morsel_pages);
+  morsel_out_.assign(queue.num_morsels(), {});
+  worker_stats_.assign(static_cast<size_t>(num_workers),
+                       ParallelWorkerStats{});
+  drain_morsel_ = 0;
+  drain_row_ = 0;
+
+  // Thread-local monitor clones; worker 0 reuses the operator's own bundle
+  // so the serial (1-thread) path involves no copy at all.
+  std::vector<std::unique_ptr<ScanMonitorBundle>> worker_bundles(
+      static_cast<size_t>(num_workers));
+  if (monitors_ != nullptr) {
+    for (int w = 1; w < num_workers; ++w) {
+      worker_bundles[static_cast<size_t>(w)] = monitors_->Clone();
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  Status status = RunOnWorkers(num_workers, [&](int w) -> Status {
+    ParallelWorkerStats& ws = worker_stats_[static_cast<size_t>(w)];
+    CpuStats* cpu = &ws.cpu;
+    ScanMonitorBundle* bundle =
+        monitors_ == nullptr
+            ? nullptr
+            : (w == 0 ? monitors_.get()
+                      : worker_bundles[static_cast<size_t>(w)].get());
+    uint32_t morsel;
+    PageNo begin, end;
+    while (queue.Next(&morsel, &begin, &end)) {
+      if (stop.load(std::memory_order_relaxed)) return Status::OK();
+      ++ws.morsels;
+      std::vector<Tuple>& out = morsel_out_[morsel];
+      for (PageNo p = begin; p < end; ++p) {
+        auto guard = ctx->pool()->Fetch(PageId{file->segment(), p});
+        if (!guard.ok()) {
+          stop.store(true, std::memory_order_relaxed);
+          return guard.status();
+        }
+        PageGuard page = std::move(guard).value();
+        const uint32_t rows_in_page = HeapFile::PageRowCount(page.data());
+        ++ws.pages_scanned;
+        if (bundle != nullptr) bundle->BeginPage(cpu, p);
+        for (uint32_t r = 0; r < rows_in_page; ++r) {
+          RowView row(file->RowInPage(page.data(), static_cast<uint16_t>(r)),
+                      schema);
+          ++cpu->rows_processed;
+          uint32_t leading = pushed_.EvalLeading(row, cpu);
+          if (bundle != nullptr) {
+            bundle->OnRow(row, leading, cpu, ctx->filter_slots());
+          }
+          if (leading == num_atoms) {
+            out.emplace_back();
+            MaterializeProjection(row, projection_, &out.back());
+            ++ws.tuples;
+          }
+        }
+        if (bundle != nullptr) bundle->EndPage();
+      }
+    }
+    return Status::OK();
+  });
+  DPCF_RETURN_IF_ERROR(status);
+
+  // Fold thread-local state back into the shared context and the
+  // operator's bundle. The workers have joined: no concurrency here.
+  for (const ParallelWorkerStats& ws : worker_stats_) {
+    *ctx->cpu() += ws.cpu;
+  }
+  if (monitors_ != nullptr) {
+    for (int w = 1; w < num_workers; ++w) {
+      DPCF_RETURN_IF_ERROR(
+          monitors_->MergeFrom(*worker_bundles[static_cast<size_t>(w)]));
+    }
+  }
+  return Status::OK();
+}
+
+Result<bool> ParallelTableScanOp::Next(ExecContext* ctx, Tuple* out) {
+  (void)ctx;
+  while (drain_morsel_ < morsel_out_.size()) {
+    std::vector<Tuple>& bucket = morsel_out_[drain_morsel_];
+    if (drain_row_ < bucket.size()) {
+      *out = std::move(bucket[drain_row_]);
+      ++drain_row_;
+      return true;
+    }
+    // Free each bucket as soon as it is drained to bound peak memory.
+    bucket.clear();
+    bucket.shrink_to_fit();
+    ++drain_morsel_;
+    drain_row_ = 0;
+  }
+  return false;
+}
+
+Status ParallelTableScanOp::Close(ExecContext* ctx) {
+  (void)ctx;
+  morsel_out_.clear();
+  drain_morsel_ = 0;
+  drain_row_ = 0;
+  return Status::OK();
+}
+
+std::string ParallelTableScanOp::Describe() const {
+  return StrFormat("Parallel%s(%s, %s, threads=%d)",
+                   table_->organization() == TableOrganization::kClustered
+                       ? "ClusteredIndexScan"
+                       : "TableScan",
+                   table_->name().c_str(),
+                   pushed_.ToString(table_->schema()).c_str(),
+                   options_.num_threads);
+}
+
+void ParallelTableScanOp::CollectMonitorRecords(
+    std::vector<MonitorRecord>* out) const {
+  if (monitors_ == nullptr) return;
+  for (const ScanExprResult& r : monitors_->Finish()) {
+    MonitorRecord rec;
+    rec.table = table_->name();
+    rec.label = r.label;
+    rec.expr_text = r.expr_text;
+    rec.mechanism =
+        r.mode == ScanMonitorMode::kSampled
+            ? StrFormat("dpsample(f=%s)",
+                        FormatDouble(r.sample_fraction, 4).c_str())
+            : ScanMonitorModeName(r.mode);
+    rec.actual_dpc = r.dpc;
+    rec.actual_cardinality = r.cardinality;
+    rec.exact = r.mode != ScanMonitorMode::kSampled;
+    out->push_back(std::move(rec));
+  }
+}
+
+}  // namespace dpcf

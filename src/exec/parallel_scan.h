@@ -1,0 +1,82 @@
+// Morsel-parallel heap/clustered scan. The table's page range is cut into
+// fixed-size morsels dispatched from an atomic work queue (MorselQueue);
+// N workers each scan their claimed morsels with a thread-local
+// ScanMonitorBundle clone and thread-local CpuStats, and the per-worker
+// state is folded back (MergeFrom / operator+=) when the scan completes.
+//
+// Equivalence guarantees relative to TableScanOp on the same table:
+//  * identical output tuples in identical order — matches are buffered per
+//    morsel and drained in morsel order, which is page order;
+//  * bit-for-bit identical monitor feedback — each page is processed by
+//    exactly one worker, GroupedPageCounter merges by summing disjoint
+//    page/row counts, and the DPSample Bernoulli draw is a pure function
+//    of (page_no, seed), so the sampled page set cannot depend on the
+//    page-to-worker assignment.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/dpsample.h"
+#include "exec/operator.h"
+#include "table/catalog.h"
+
+namespace dpcf {
+
+struct ParallelScanOptions {
+  /// Worker threads; <= 1 degenerates to an inline serial scan (no thread
+  /// is spawned).
+  int num_threads = 1;
+  /// Pages per morsel. Small enough to balance load across workers, large
+  /// enough that queue traffic is negligible next to page work.
+  uint32_t morsel_pages = 32;
+};
+
+/// Per-worker tallies, exposed after the scan for load-balance reporting
+/// and simulated-time critical-path accounting in benchmarks.
+struct ParallelWorkerStats {
+  CpuStats cpu;
+  int64_t pages_scanned = 0;
+  int64_t morsels = 0;
+  int64_t tuples = 0;
+};
+
+/// Parallel counterpart of TableScanOp. Open() runs the whole scan to
+/// completion across the worker pool (a scan is a pipeline breaker here;
+/// the Volcano surface stays single-threaded), Next() drains the buffered
+/// result in serial page order.
+class ParallelTableScanOp : public Operator {
+ public:
+  ParallelTableScanOp(Table* table, Predicate pushed,
+                      std::vector<int> projection,
+                      std::unique_ptr<ScanMonitorBundle> monitors,
+                      ParallelScanOptions options);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Tuple* out) override;
+  Status Close(ExecContext* ctx) override;
+  std::string Describe() const override;
+  void CollectMonitorRecords(std::vector<MonitorRecord>* out) const override;
+
+  const ScanMonitorBundle* monitors() const { return monitors_.get(); }
+  const std::vector<ParallelWorkerStats>& worker_stats() const {
+    return worker_stats_;
+  }
+
+ private:
+  Table* table_;
+  Predicate pushed_;
+  std::vector<int> projection_;
+  std::unique_ptr<ScanMonitorBundle> monitors_;
+  ParallelScanOptions options_;
+
+  /// Matches buffered per morsel; drained in morsel order so the output
+  /// sequence is identical to the serial scan's.
+  std::vector<std::vector<Tuple>> morsel_out_;
+  std::vector<ParallelWorkerStats> worker_stats_;
+  size_t drain_morsel_ = 0;
+  size_t drain_row_ = 0;
+};
+
+}  // namespace dpcf

@@ -54,7 +54,7 @@ Result<bool> TableScanOp::Next(ExecContext* ctx, Tuple* out) {
       rows_in_page_ = HeapFile::PageRowCount(guard_.data());
       row_idx_ = 0;
       page_open_ = true;
-      if (monitors_ != nullptr) monitors_->BeginPage(cpu);
+      if (monitors_ != nullptr) monitors_->BeginPage(cpu, page_idx_);
     }
     while (row_idx_ < rows_in_page_) {
       RowView row(file->RowInPage(guard_.data(),
@@ -169,7 +169,7 @@ Result<bool> ClusteredRangeScanOp::Next(ExecContext* ctx, Tuple* out) {
       rows_in_page_ = HeapFile::PageRowCount(guard_.data());
       row_idx_ = 0;
       page_open_ = true;
-      if (monitors_ != nullptr) monitors_->BeginPage(cpu);
+      if (monitors_ != nullptr) monitors_->BeginPage(cpu, page_idx_);
     }
     while (row_idx_ < rows_in_page_) {
       RowView row(file->RowInPage(guard_.data(),

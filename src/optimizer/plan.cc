@@ -190,13 +190,20 @@ Result<OperatorPtr> BuildAccessPathOp(
     const AccessPathPlan& path, const std::vector<int>& projection,
     const std::vector<ScanExprRequest>& scan_requests,
     const std::vector<FetchMonitorRequest>& fetch_requests,
-    double sample_fraction, uint64_t seed) {
+    double sample_fraction, uint64_t seed,
+    const ParallelScanOptions& parallel) {
   Status st;
   switch (path.kind) {
     case AccessKind::kTableScan: {
       auto bundle = MakeBundle(path.full_pred, &path.table->schema(),
                                scan_requests, sample_fraction, seed, &st);
       DPCF_RETURN_IF_ERROR(st);
+      if (parallel.num_threads > 1) {
+        return OperatorPtr(new ParallelTableScanOp(path.table, path.full_pred,
+                                                   projection,
+                                                   std::move(bundle),
+                                                   parallel));
+      }
       return OperatorPtr(new TableScanOp(path.table, path.full_pred,
                                          projection, std::move(bundle)));
     }
@@ -245,7 +252,9 @@ Result<OperatorPtr> BuildSingleTableExec(const AccessPathPlan& path,
       OperatorPtr op,
       BuildAccessPathOp(path, projection, hooks.outer_scan_requests,
                         hooks.fetch_requests, hooks.scan_sample_fraction,
-                        hooks.seed));
+                        hooks.seed,
+                        ParallelScanOptions{hooks.scan_threads,
+                                            hooks.morsel_pages}));
   if (query.count_star) {
     op = OperatorPtr(new AggregateCountOp(std::move(op)));
   }

@@ -16,6 +16,7 @@
 #include "core/dpsample.h"
 #include "exec/join_ops.h"
 #include "exec/operator.h"
+#include "exec/parallel_scan.h"
 #include "exec/scan_ops.h"
 #include "index/secondary_index.h"
 
@@ -151,15 +152,25 @@ struct PlanMonitorHooks {
   std::vector<FetchMonitorRequest> fetch_requests;
   /// Bitvector the join should build and register (hash/merge).
   std::optional<BitvectorSpec> bitvector;
+  /// Worker threads for full table scans (morsel-parallel when > 1).
+  /// Applies to the single-table kTableScan path only: join children stay
+  /// serial because a partial merge-join bitvector is built concurrently
+  /// with the probe scan that observes it.
+  int scan_threads = 1;
+  /// Pages per morsel for the parallel scan dispatch.
+  uint32_t morsel_pages = 32;
 };
 
 /// Lowers an access-path descriptor to an operator tree over `table`.
 /// `projection` lists emitted columns; scan monitors come from `requests`.
+/// `parallel.num_threads > 1` lowers kTableScan to a morsel-parallel scan;
+/// all other access kinds ignore it.
 Result<OperatorPtr> BuildAccessPathOp(
     const AccessPathPlan& path, const std::vector<int>& projection,
     const std::vector<ScanExprRequest>& scan_requests,
     const std::vector<FetchMonitorRequest>& fetch_requests,
-    double sample_fraction, uint64_t seed);
+    double sample_fraction, uint64_t seed,
+    const ParallelScanOptions& parallel = {});
 
 /// Full single-table executable (adds COUNT aggregation when requested).
 Result<OperatorPtr> BuildSingleTableExec(const AccessPathPlan& path,

@@ -86,6 +86,7 @@ int32_t BufferPool::AcquireFrame(Status* status) {
 }
 
 Result<PageGuard> BufferPool::Fetch(PageId pid) {
+  std::lock_guard<std::mutex> lock(mu_);
   IoStats* io = disk_->io_stats();
   ++io->logical_reads;
   auto it = page_table_.find(pid);
@@ -100,6 +101,8 @@ Result<PageGuard> BufferPool::Fetch(PageId pid) {
     ++fr.pin_count;
     return PageGuard(this, it->second, fr.data.get());
   }
+  // Miss: the disk read happens under the latch so no second worker can
+  // race a duplicate load of the same page into another frame.
   Status status = Status::OK();
   int32_t f = AcquireFrame(&status);
   if (f < 0) return status;
@@ -117,6 +120,7 @@ Result<PageGuard> BufferPool::Fetch(PageId pid) {
 }
 
 Result<PageGuard> BufferPool::NewPage(SegmentId segment, PageId* out_pid) {
+  std::lock_guard<std::mutex> lock(mu_);
   Status status = Status::OK();
   int32_t f = AcquireFrame(&status);
   if (f < 0) return status;
@@ -132,7 +136,7 @@ Result<PageGuard> BufferPool::NewPage(SegmentId segment, PageId* out_pid) {
   return PageGuard(this, f, fr.data.get());
 }
 
-Status BufferPool::FlushAll() {
+Status BufferPool::FlushAllLocked() {
   for (auto& [pid, f] : page_table_) {
     Frame& fr = frames_[f];
     if (fr.dirty) {
@@ -143,14 +147,20 @@ Status BufferPool::FlushAll() {
   return Status::OK();
 }
 
+Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushAllLocked();
+}
+
 Status BufferPool::ColdReset() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [pid, f] : page_table_) {
     if (frames_[f].pin_count > 0) {
       return Status::InvalidArgument(StrFormat(
           "ColdReset with pinned page %s", pid.ToString().c_str()));
     }
   }
-  DPCF_RETURN_IF_ERROR(FlushAll());
+  DPCF_RETURN_IF_ERROR(FlushAllLocked());
   for (auto& [pid, f] : page_table_) {
     Frame& fr = frames_[f];
     fr.in_lru = false;
@@ -164,6 +174,7 @@ Status BufferPool::ColdReset() {
 }
 
 void BufferPool::Unpin(int32_t frame) {
+  std::lock_guard<std::mutex> lock(mu_);
   Frame& fr = frames_[frame];
   assert(fr.pin_count > 0);
   if (--fr.pin_count == 0) {
@@ -173,6 +184,9 @@ void BufferPool::Unpin(int32_t frame) {
   }
 }
 
-void BufferPool::MarkDirty(int32_t frame) { frames_[frame].dirty = true; }
+void BufferPool::MarkDirty(int32_t frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  frames_[frame].dirty = true;
+}
 
 }  // namespace dpcf

@@ -6,12 +6,20 @@
 // a new logical I/O and, if absent from the buffer pool, a physical I/O").
 // ColdReset() empties the pool between measured runs to reproduce the
 // paper's cold-cache methodology.
+//
+// Thread-safe: one latch guards the frame table, pin counts and the LRU
+// list, and is held across the miss path (disk read into the frame) so two
+// workers fetching the same absent page cannot both load it. Page *data*
+// reads happen outside the latch, protected by the pin: a pinned frame is
+// never a victim, so its bytes are stable while any PageGuard is alive.
+// Morsel-parallel scan workers therefore share one pool directly.
 
 #pragma once
 
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -73,7 +81,10 @@ class BufferPool {
   Status ColdReset();
 
   size_t capacity() const { return frames_.size(); }
-  size_t cached_pages() const { return page_table_.size(); }
+  size_t cached_pages() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return page_table_.size();
+  }
   DiskManager* disk() const { return disk_; }
 
  private:
@@ -90,13 +101,17 @@ class BufferPool {
   };
 
   /// Returns a usable frame index: a free frame, or the LRU victim
-  /// (written back if dirty). -1 if everything is pinned.
+  /// (written back if dirty). -1 if everything is pinned. Requires mu_.
   int32_t AcquireFrame(Status* status);
+
+  /// Writes back all dirty frames. Requires mu_.
+  Status FlushAllLocked();
 
   void Unpin(int32_t frame);
   void MarkDirty(int32_t frame);
 
   DiskManager* disk_;
+  mutable std::mutex mu_;  // guards all frame/table/LRU state below
   std::vector<Frame> frames_;
   std::vector<int32_t> free_frames_;
   std::list<int32_t> lru_;  // front = most recent

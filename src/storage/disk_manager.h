@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -23,8 +24,12 @@ namespace dpcf {
 
 /// In-memory simulated disk with per-segment page arrays and I/O accounting.
 ///
-/// Thread-compatible (external synchronization); the library runs queries
-/// single-threaded as the paper's per-query monitors do.
+/// Thread-safe: a single latch serializes page transfers and the read-head
+/// classification (sequential vs random is inherently a property of the
+/// global request order, so it must be decided under the latch), and the
+/// IoStats counters are relaxed atomics. With morsel-parallel scans the
+/// interleaving of workers means fewer reads classify as sequential than in
+/// a serial scan — exactly as on real hardware with one arm.
 class DiskManager {
  public:
   explicit DiskManager(size_t page_size = kDefaultPageSize);
@@ -72,6 +77,7 @@ class DiskManager {
   bool ValidPage(PageId pid) const;
 
   size_t page_size_;
+  mutable std::mutex mu_;  // guards segments_ layout and last_read_
   std::vector<Segment> segments_;
   IoStats io_stats_;
   PageId last_read_;  // invalid when the head position is unknown

@@ -9,22 +9,59 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
 namespace dpcf {
 
-/// Counter block for the simulated disk + buffer pool. Plain data; reset
+/// Relaxed atomic counter that still behaves like a plain int64 value:
+/// copyable, assignable from/convertible to int64_t. Concurrent increments
+/// from morsel-parallel workers are safe; cross-counter consistency is only
+/// guaranteed at quiescent points (before/after a run), which is when the
+/// executor snapshots them.
+class AtomicCounter {
+ public:
+  AtomicCounter(int64_t v = 0) : v_(v) {}
+  AtomicCounter(const AtomicCounter& o)
+      : v_(o.v_.load(std::memory_order_relaxed)) {}
+  AtomicCounter& operator=(const AtomicCounter& o) {
+    v_.store(o.v_.load(std::memory_order_relaxed),
+             std::memory_order_relaxed);
+    return *this;
+  }
+  AtomicCounter& operator=(int64_t v) {
+    v_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+
+  operator int64_t() const { return v_.load(std::memory_order_relaxed); }
+
+  AtomicCounter& operator++() {
+    v_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  AtomicCounter& operator+=(int64_t d) {
+    v_.fetch_add(d, std::memory_order_relaxed);
+    return *this;
+  }
+
+ private:
+  std::atomic<int64_t> v_;
+};
+
+/// Counter block for the simulated disk + buffer pool. Counters are relaxed
+/// atomics so concurrent scan workers can charge I/O without tearing; reset
 /// between measured runs.
 struct IoStats {
   // Physical I/O (buffer-pool misses reaching the disk manager).
-  int64_t physical_seq_reads = 0;
-  int64_t physical_rand_reads = 0;
-  int64_t physical_writes = 0;
+  AtomicCounter physical_seq_reads;
+  AtomicCounter physical_rand_reads;
+  AtomicCounter physical_writes;
 
   // Logical I/O (every buffer-pool page request, hit or miss).
-  int64_t logical_reads = 0;
-  int64_t buffer_hits = 0;
+  AtomicCounter logical_reads;
+  AtomicCounter buffer_hits;
 
   int64_t physical_reads() const {
     return physical_seq_reads + physical_rand_reads;
@@ -68,6 +105,12 @@ struct SimCostParams {
 
 /// CPU-side counters maintained by the execution engine (the exec module
 /// increments them; they live here so SimulatedMillis can combine both).
+///
+/// Deliberately NOT atomic: these sit on the per-row hot path (several
+/// increments per row), where shared atomics would serialize scan workers on
+/// one cache line. Parallel operators give each worker a thread-local
+/// CpuStats and merge field-wise (operator+=) at close — same totals, no
+/// contention.
 struct CpuStats {
   int64_t rows_processed = 0;
   int64_t predicate_atom_evals = 0;

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/random.h"
 #include "core/bitvector_filter.h"
 #include "core/dpsample.h"
 #include "core/grouped_page_counter.h"
@@ -199,7 +200,7 @@ class BundleTest : public ::testing::Test {
     std::vector<const BitvectorFilter*> no_filters;
     int64_t g = 0;
     for (int p = 0; p < pages; ++p) {
-      bundle->BeginPage(cpu);
+      bundle->BeginPage(cpu, static_cast<PageNo>(p));
       for (int r = 0; r < rows_per_page; ++r, ++g) {
         std::vector<char> buf(schema_.row_size());
         ASSERT_OK(codec_.Encode(
@@ -347,7 +348,7 @@ TEST_F(BundleTest, BitvectorRequestProbesRegisteredFilter) {
   int64_t g = 0;
   int64_t expect_pages = 0;
   for (int p = 0; p < 20; ++p) {
-    bundle.BeginPage(&cpu);
+    bundle.BeginPage(&cpu, static_cast<PageNo>(p));
     bool hit = false;
     for (int r = 0; r < 10; ++r, ++g) {
       std::vector<char> buf(schema_.row_size());
@@ -376,7 +377,7 @@ TEST_F(BundleTest, MissingFilterCountsNothing) {
   ASSERT_OK(bundle.AddRequest(req));
   std::vector<const BitvectorFilter*> slots{nullptr};  // never registered
   CpuStats cpu;
-  bundle.BeginPage(&cpu);
+  bundle.BeginPage(&cpu, 0);
   std::vector<char> buf(schema_.row_size());
   ASSERT_OK(codec_.Encode({Value::Int64(0), Value::Int64(0)}, buf.data()));
   bundle.OnRow(RowView(buf.data(), &schema_), 0, &cpu, slots);
