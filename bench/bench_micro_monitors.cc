@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "common/hash.h"
 #include "core/bitvector_filter.h"
 #include "core/dpsample.h"
@@ -53,16 +55,24 @@ class ScanFixture : public benchmark::Fixture {
  public:
   void SetUp(const benchmark::State&) override {
     if (db != nullptr) return;
-    db = new Database([] { DatabaseOptions o; o.page_size = kDefaultPageSize; o.buffer_pool_pages = 4096; return o; }());
+    db_holder = std::make_unique<Database>([] {
+      DatabaseOptions o;
+      o.page_size = kDefaultPageSize;
+      o.buffer_pool_pages = 4096;
+      return o;
+    }());
+    db = db_holder.get();
     SyntheticOptions opts;
     opts.num_rows = 100'000;
     opts.build_indexes = false;
     auto built = BuildSyntheticTable(db, "T", opts);
     if (built.ok()) t = *built;
   }
+  static std::unique_ptr<Database> db_holder;
   static Database* db;
   static Table* t;
 };
+std::unique_ptr<Database> ScanFixture::db_holder;
 Database* ScanFixture::db = nullptr;
 Table* ScanFixture::t = nullptr;
 

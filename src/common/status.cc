@@ -1,6 +1,17 @@
 #include "common/status.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace dpcf {
+
+namespace internal {
+void CheckOkFailed(const char* file, int line, const Status& status) {
+  std::fprintf(stderr, "%s:%d: unexpected failure: %s\n", file, line,
+               status.ToString().c_str());
+  std::abort();
+}
+}  // namespace internal
 
 const char* StatusCodeName(StatusCode code) {
   switch (code) {

@@ -121,11 +121,35 @@ class Result {
   std::variant<T, Status> repr_;
 };
 
+namespace internal {
+inline const Status& StatusOf(const Status& s) { return s; }
+template <typename T>
+const Status& StatusOf(const Result<T>& r) {
+  return r.status();
+}
+/// Prints "<file>:<line>: unexpected failure: <status>" and aborts.
+[[noreturn]] void CheckOkFailed(const char* file, int line,
+                                const Status& status);
+}  // namespace internal
+
 // Propagate a non-OK Status to the caller.
 #define DPCF_RETURN_IF_ERROR(expr)            \
   do {                                        \
     ::dpcf::Status _st = (expr);              \
     if (!_st.ok()) return _st;                \
+  } while (0)
+
+// Abort on a non-OK Status or Result. For callers with no error channel
+// (bench/example main()s, test fixtures returning values): the
+// dpcf-discarded-status lint rejects silently dropping the Status, and a
+// setup failure would otherwise surface as nonsense measurements.
+#define DPCF_CHECK_OK(expr)                                         \
+  do {                                                              \
+    const auto& _res = (expr);                                      \
+    if (!_res.ok()) {                                               \
+      ::dpcf::internal::CheckOkFailed(__FILE__, __LINE__,           \
+                                      ::dpcf::internal::StatusOf(_res)); \
+    }                                                               \
   } while (0)
 
 // Evaluate a Result-returning expression; assign its value to `lhs` or

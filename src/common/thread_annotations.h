@@ -1,0 +1,109 @@
+// Clang Thread Safety Analysis (TSA) vocabulary for the DPCF codebase.
+//
+// The morsel-parallel scan path (PR 1) established two concurrency
+// contracts that used to live only in comments:
+//   1. lock order: BufferPool::mu_ is acquired before DiskManager::mu_
+//      (the pool's miss path reads from disk while holding its latch);
+//   2. every latch-protected member names its latch.
+// This header turns those comments into compiler-checked attributes: under
+// clang, `-Wthread-safety -Werror=thread-safety` makes an unlatched access
+// to a GUARDED_BY member or a pool/disk lock-order inversion a compile
+// error (order checking needs `-Wthread-safety-beta`). Under other
+// compilers the macros expand to nothing and the wrappers are plain
+// std::mutex / std::lock_guard, so gcc builds are unaffected.
+//
+// Use dpcf::Mutex + dpcf::MutexLock instead of std::mutex for any new
+// latch; the lint rule dpcf-mutex-annotation rejects raw std::mutex
+// members in src/ (tools/lint/rules/mutex_annotation.py).
+
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define DPCF_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DPCF_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+// Declares that a type is a lockable capability ("mutex" is the
+// capability kind shown in diagnostics).
+#define CAPABILITY(x) DPCF_THREAD_ANNOTATION(capability(x))
+
+// Declares an RAII type whose lifetime acquires/releases a capability.
+#define SCOPED_CAPABILITY DPCF_THREAD_ANNOTATION(scoped_lockable)
+
+// Data members: readable/writable only while holding the named mutex.
+#define GUARDED_BY(x) DPCF_THREAD_ANNOTATION(guarded_by(x))
+
+// Pointer members: the *pointee* is protected by the named mutex.
+#define PT_GUARDED_BY(x) DPCF_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Functions: the caller must already hold (or must NOT hold) the mutex.
+#define REQUIRES(...) \
+  DPCF_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  DPCF_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define EXCLUDES(...) DPCF_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Functions: acquire/release the mutex as a side effect (lock wrappers).
+#define ACQUIRE(...) DPCF_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  DPCF_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) DPCF_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  DPCF_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  DPCF_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+// Lock-ordering declarations: acquiring this mutex while holding one that
+// is declared ACQUIRED_BEFORE it (or vice versa) is a compile error under
+// -Wthread-safety-beta. This is how the pool -> disk order is encoded.
+#define ACQUIRED_BEFORE(...) \
+  DPCF_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  DPCF_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+// Returns the capability itself from a getter (lets annotations on other
+// classes name this object's mutex).
+#define RETURN_CAPABILITY(x) DPCF_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch for code the analysis cannot follow (e.g. lock/unlock
+// split across functions). Prefer restructuring over using this.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  DPCF_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace dpcf {
+
+/// std::mutex wrapped as a TSA capability. Same cost, same semantics; the
+/// only addition is that clang now tracks who holds it.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  // The single wrapped instance every other latch builds on.
+  std::mutex mu_;  // NOLINT(dpcf-mutex-annotation)
+};
+
+/// RAII lock over dpcf::Mutex (std::lock_guard is not annotated, so the
+/// analysis cannot see through it). Not movable: a MutexLock pins one
+/// critical section to one scope.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->lock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() RELEASE() { mu_->unlock(); }
+
+ private:
+  Mutex* const mu_;
+};
+
+}  // namespace dpcf

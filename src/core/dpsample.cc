@@ -81,7 +81,9 @@ Status ScanMonitorBundle::MergeFrom(const ScanMonitorBundle& other) {
       return Status::InvalidArgument(
           "bundle merge with mismatched request entries");
     }
-    entries_[i].counter.MergeFrom(o.counter);
+    // GroupedPageCounter::MergeFrom returns void (same-name Status
+    // methods exist on the bundles, hence the suppression).
+    entries_[i].counter.MergeFrom(o.counter);  // NOLINT(dpcf-discarded-status)
   }
   pages_seen_ += other.pages_seen_;
   pages_sampled_ += other.pages_sampled_;

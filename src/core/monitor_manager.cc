@@ -106,6 +106,7 @@ Result<InstrumentedHooks> MonitorManager::ForSingleTable(
       // monitor (Section II-B's limitation).
       break;
   }
+  RecordInstrumentation(out, /*is_join=*/false);
   return out;
 }
 
@@ -182,7 +183,24 @@ Result<InstrumentedHooks> MonitorManager::ForJoin(const JoinPlan& plan,
       break;
     }
   }
+  RecordInstrumentation(out, /*is_join=*/true);
   return out;
+}
+
+void MonitorManager::RecordInstrumentation(const InstrumentedHooks& out,
+                                           bool is_join) const {
+  MutexLock lock(&stats_mu_);
+  if (is_join) {
+    ++stats_.join_plans;
+  } else {
+    ++stats_.single_table_plans;
+  }
+  stats_.scan_expressions +=
+      static_cast<int64_t>(out.hooks.outer_scan_requests.size() +
+                           out.hooks.inner_scan_requests.size());
+  stats_.fetch_counters +=
+      static_cast<int64_t>(out.hooks.fetch_requests.size());
+  if (out.hooks.bitvector.has_value()) ++stats_.bitvector_filters;
 }
 
 }  // namespace dpcf

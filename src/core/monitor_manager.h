@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "core/dpsample.h"
 #include "exec/exec_context.h"
 #include "optimizer/plan.h"
@@ -74,6 +75,16 @@ struct InstrumentedHooks {
   std::vector<MonitoredExpr> entries;
 };
 
+/// Running totals of what the manager has instrumented, for production
+/// observability (how much monitoring is each workload paying for?).
+struct InstrumentationStats {
+  int64_t single_table_plans = 0;
+  int64_t join_plans = 0;
+  int64_t scan_expressions = 0;
+  int64_t fetch_counters = 0;
+  int64_t bitvector_filters = 0;
+};
+
 class MonitorManager {
  public:
   explicit MonitorManager(Database* db, MonitorOptions options = {})
@@ -81,15 +92,18 @@ class MonitorManager {
 
   const MonitorOptions& options() const { return options_; }
 
-  /// Monitoring hooks for a single-table plan.
+  /// Monitoring hooks for a single-table plan. Const and latch-protected:
+  /// one manager may serve concurrent sessions.
   Result<InstrumentedHooks> ForSingleTable(const AccessPathPlan& path,
-                                           const SingleTableQuery& query) const;
+                                           const SingleTableQuery& query) const
+      EXCLUDES(stats_mu_);
 
   /// Monitoring hooks for a join plan. Allocates the bitvector slot in
   /// `ctx` when the method needs one.
   Result<InstrumentedHooks> ForJoin(const JoinPlan& plan,
                                     const JoinQuery& query,
-                                    ExecContext* ctx) const;
+                                    ExecContext* ctx) const
+      EXCLUDES(stats_mu_);
 
   /// Scan requests for the selection expressions relevant on `table`
   /// (one per usable non-clustered index, plus the full conjunction).
@@ -97,9 +111,20 @@ class MonitorManager {
                          std::vector<ScanExprRequest>* requests,
                          std::vector<MonitoredExpr>* entries) const;
 
+  /// Snapshot of the instrumentation totals.
+  InstrumentationStats stats() const EXCLUDES(stats_mu_) {
+    MutexLock lock(&stats_mu_);
+    return stats_;
+  }
+
  private:
+  void RecordInstrumentation(const InstrumentedHooks& out, bool is_join) const
+      EXCLUDES(stats_mu_);
+
   Database* db_;
   MonitorOptions options_;
+  mutable Mutex stats_mu_;
+  mutable InstrumentationStats stats_ GUARDED_BY(stats_mu_);
 };
 
 }  // namespace dpcf

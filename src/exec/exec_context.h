@@ -16,6 +16,7 @@
 
 #include "common/random.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/bitvector_filter.h"
 #include "storage/buffer_pool.h"
 #include "storage/io_stats.h"
@@ -29,8 +30,29 @@ class ExecContext {
       : pool_(pool), seed_(seed) {}
 
   BufferPool* pool() const { return pool_; }
+
+  /// Driver-thread tally. Single-threaded Volcano operators increment
+  /// through this pointer on the per-row hot path; parallel workers must
+  /// NOT touch it — they keep a thread-local CpuStats and fold it in via
+  /// MergeCpu().
   CpuStats* cpu() { return &cpu_; }
-  const CpuStats& cpu_stats() const { return cpu_; }
+
+  /// Folds a worker's thread-local tally into the context. Safe to call
+  /// concurrently from scan workers as each finishes.
+  void MergeCpu(const CpuStats& delta) EXCLUDES(merged_cpu_mu_) {
+    MutexLock lock(&merged_cpu_mu_);
+    merged_cpu_ += delta;
+  }
+
+  /// Snapshot of driver-thread + merged worker CPU counters. Call at
+  /// quiescent points (before/after a run); the driver part is unlatched.
+  CpuStats cpu_stats() const EXCLUDES(merged_cpu_mu_) {
+    CpuStats total = cpu_;
+    MutexLock lock(&merged_cpu_mu_);
+    total += merged_cpu_;
+    return total;
+  }
+
   uint64_t seed() const { return seed_; }
 
   /// Reserves a slot a join will later fill with its bitvector filter.
@@ -56,7 +78,9 @@ class ExecContext {
  private:
   BufferPool* pool_;
   uint64_t seed_;
-  CpuStats cpu_;
+  CpuStats cpu_;  // driver thread only
+  mutable Mutex merged_cpu_mu_;
+  CpuStats merged_cpu_ GUARDED_BY(merged_cpu_mu_);
   std::vector<const BitvectorFilter*> filter_slots_;
   std::vector<std::unique_ptr<BitvectorFilter>> owned_filters_;
 };

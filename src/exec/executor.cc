@@ -72,7 +72,7 @@ Result<RunResult> ExecutePlan(Operator* root, ExecContext* ctx,
   stats.io.logical_reads = io_after.logical_reads - io_before.logical_reads;
   stats.io.buffer_hits = io_after.buffer_hits - io_before.buffer_hits;
 
-  const CpuStats& cpu_after = ctx->cpu_stats();
+  const CpuStats cpu_after = ctx->cpu_stats();
   stats.cpu.rows_processed =
       cpu_after.rows_processed - cpu_before.rows_processed;
   stats.cpu.predicate_atom_evals =

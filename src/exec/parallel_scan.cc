@@ -96,15 +96,18 @@ Status ParallelTableScanOp::Open(ExecContext* ctx) {
         if (bundle != nullptr) bundle->EndPage();
       }
     }
+    // Each worker folds its CPU tally into the context as it finishes;
+    // MergeCpu latches, so workers may race each other here but never
+    // corrupt the totals. (The per-worker copy stays in worker_stats_ for
+    // load-balance reporting.)
+    ctx->MergeCpu(ws.cpu);
     return Status::OK();
   });
   DPCF_RETURN_IF_ERROR(status);
 
-  // Fold thread-local state back into the shared context and the
-  // operator's bundle. The workers have joined: no concurrency here.
-  for (const ParallelWorkerStats& ws : worker_stats_) {
-    *ctx->cpu() += ws.cpu;
-  }
+  // Fold the monitor bundles back into the operator's own. The workers
+  // have joined: no concurrency here, and merge order is fixed (by worker
+  // index) so feedback stays bit-for-bit deterministic.
   if (monitors_ != nullptr) {
     for (int w = 1; w < num_workers; ++w) {
       DPCF_RETURN_IF_ERROR(

@@ -45,8 +45,10 @@ Result<std::unique_ptr<Index>> Index::Build(BufferPool* pool, Table* table,
           "index key columns must be INT64 (dictionary-encode strings)");
     }
   }
+  // make_unique cannot reach the private constructor (Database is the
+  // sole factory); the pointer is owned before any fallible step runs.
   auto index = std::unique_ptr<Index>(
-      new Index(table, std::move(name), std::move(key_cols),
+      new Index(table, std::move(name), std::move(key_cols),  // NOLINT(dpcf-naked-new)
                 is_clustered_key));
   DPCF_ASSIGN_OR_RETURN(Btree tree, Btree::Create(pool, index->name_));
   index->tree_ = std::make_unique<Btree>(std::move(tree));

@@ -199,19 +199,19 @@ Result<OperatorPtr> BuildAccessPathOp(
                                scan_requests, sample_fraction, seed, &st);
       DPCF_RETURN_IF_ERROR(st);
       if (parallel.num_threads > 1) {
-        return OperatorPtr(new ParallelTableScanOp(path.table, path.full_pred,
+        return OperatorPtr(std::make_unique<ParallelTableScanOp>(path.table, path.full_pred,
                                                    projection,
                                                    std::move(bundle),
                                                    parallel));
       }
-      return OperatorPtr(new TableScanOp(path.table, path.full_pred,
+      return OperatorPtr(std::make_unique<TableScanOp>(path.table, path.full_pred,
                                          projection, std::move(bundle)));
     }
     case AccessKind::kClusteredRange: {
       auto bundle = MakeBundle(path.full_pred, &path.table->schema(),
                                scan_requests, sample_fraction, seed, &st);
       DPCF_RETURN_IF_ERROR(st);
-      return OperatorPtr(new ClusteredRangeScanOp(
+      return OperatorPtr(std::make_unique<ClusteredRangeScanOp>(
           path.table, path.ranges[0].index, path.cluster_lo, path.cluster_hi,
           path.full_pred, projection, std::move(bundle)));
     }
@@ -219,7 +219,7 @@ Result<OperatorPtr> BuildAccessPathOp(
       const IndexRange& r = path.ranges[0];
       auto source =
           std::make_unique<IndexSeekSource>(r.index, r.lo, r.hi);
-      return OperatorPtr(new FetchOp(path.table, std::move(source),
+      return OperatorPtr(std::make_unique<FetchOp>(path.table, std::move(source),
                                      path.residual, projection,
                                      fetch_requests));
     }
@@ -231,12 +231,12 @@ Result<OperatorPtr> BuildAccessPathOp(
       }
       auto source =
           std::make_unique<IndexIntersectionSource>(std::move(seeks));
-      return OperatorPtr(new FetchOp(path.table, std::move(source),
+      return OperatorPtr(std::make_unique<FetchOp>(path.table, std::move(source),
                                      path.residual, projection,
                                      fetch_requests));
     }
     case AccessKind::kCoveringScan: {
-      return OperatorPtr(new CoveringIndexScanOp(
+      return OperatorPtr(std::make_unique<CoveringIndexScanOp>(
           path.ranges[0].index, path.full_pred, projection));
     }
   }
@@ -256,7 +256,7 @@ Result<OperatorPtr> BuildSingleTableExec(const AccessPathPlan& path,
                         ParallelScanOptions{hooks.scan_threads,
                                             hooks.morsel_pages}));
   if (query.count_star) {
-    op = OperatorPtr(new AggregateCountOp(std::move(op)));
+    op = OperatorPtr(std::make_unique<AggregateCountOp>(std::move(op)));
   }
   return op;
 }
@@ -278,9 +278,9 @@ Result<OperatorPtr> BuildJoinExec(const JoinPlan& plan,
   OperatorPtr root;
   switch (plan.method) {
     case JoinMethod::kIndexNestedLoops: {
-      root = OperatorPtr(new IndexNestedLoopsJoinOp(
+      root = OperatorPtr(std::make_unique<IndexNestedLoopsJoinOp>(
           std::move(outer_op), 0, query.inner_table, plan.inl_index,
-          query.inner_pred, {}, hooks.fetch_requests));
+          query.inner_pred, std::vector<int>{}, hooks.fetch_requests));
       break;
     }
     case JoinMethod::kHashJoin: {
@@ -290,7 +290,7 @@ Result<OperatorPtr> BuildJoinExec(const JoinPlan& plan,
                             hooks.inner_scan_requests, {},
                             hooks.inner_scan_sample_fraction,
                             hooks.seed + 1));
-      root = OperatorPtr(new HashJoinOp(std::move(outer_op), 0,
+      root = OperatorPtr(std::make_unique<HashJoinOp>(std::move(outer_op), 0,
                                         std::move(inner_op), 0,
                                         hooks.bitvector));
       break;
@@ -303,10 +303,10 @@ Result<OperatorPtr> BuildJoinExec(const JoinPlan& plan,
                             hooks.inner_scan_sample_fraction,
                             hooks.seed + 1));
       if (plan.sort_inner) {
-        inner_op = OperatorPtr(new SortOp(std::move(inner_op), 0));
+        inner_op = OperatorPtr(std::make_unique<SortOp>(std::move(inner_op), 0));
       }
       if (plan.sort_outer) {
-        outer_op = OperatorPtr(new SortOp(std::move(outer_op), 0));
+        outer_op = OperatorPtr(std::make_unique<SortOp>(std::move(outer_op), 0));
       }
       MergeBitvectorMode mode = MergeBitvectorMode::kNone;
       if (hooks.bitvector.has_value()) {
@@ -319,7 +319,7 @@ Result<OperatorPtr> BuildJoinExec(const JoinPlan& plan,
           mode = MergeBitvectorMode::kPartial;
         }
       }
-      root = OperatorPtr(new MergeJoinOp(
+      root = OperatorPtr(std::make_unique<MergeJoinOp>(
           std::move(outer_op), 0, std::move(inner_op), 0, mode,
           mode == MergeBitvectorMode::kNone
               ? std::nullopt
@@ -328,7 +328,7 @@ Result<OperatorPtr> BuildJoinExec(const JoinPlan& plan,
     }
   }
   if (query.count_star) {
-    root = OperatorPtr(new AggregateCountOp(std::move(root)));
+    root = OperatorPtr(std::make_unique<AggregateCountOp>(std::move(root)));
   }
   return root;
 }

@@ -48,7 +48,7 @@ void PageGuard::Release() {
 }
 
 BufferPool::BufferPool(DiskManager* disk, size_t capacity_pages)
-    : disk_(disk) {
+    : disk_(disk), capacity_pages_(capacity_pages) {
   assert(capacity_pages > 0);
   frames_.resize(capacity_pages);
   free_frames_.reserve(capacity_pages);
@@ -86,7 +86,7 @@ int32_t BufferPool::AcquireFrame(Status* status) {
 }
 
 Result<PageGuard> BufferPool::Fetch(PageId pid) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   IoStats* io = disk_->io_stats();
   ++io->logical_reads;
   auto it = page_table_.find(pid);
@@ -120,7 +120,7 @@ Result<PageGuard> BufferPool::Fetch(PageId pid) {
 }
 
 Result<PageGuard> BufferPool::NewPage(SegmentId segment, PageId* out_pid) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Status status = Status::OK();
   int32_t f = AcquireFrame(&status);
   if (f < 0) return status;
@@ -148,12 +148,12 @@ Status BufferPool::FlushAllLocked() {
 }
 
 Status BufferPool::FlushAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return FlushAllLocked();
 }
 
 Status BufferPool::ColdReset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [pid, f] : page_table_) {
     if (frames_[f].pin_count > 0) {
       return Status::InvalidArgument(StrFormat(
@@ -174,7 +174,7 @@ Status BufferPool::ColdReset() {
 }
 
 void BufferPool::Unpin(int32_t frame) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Frame& fr = frames_[frame];
   assert(fr.pin_count > 0);
   if (--fr.pin_count == 0) {
@@ -185,7 +185,7 @@ void BufferPool::Unpin(int32_t frame) {
 }
 
 void BufferPool::MarkDirty(int32_t frame) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   frames_[frame].dirty = true;
 }
 

@@ -13,17 +13,23 @@
 // reads happen outside the latch, protected by the pin: a pinned frame is
 // never a victim, so its bytes are stable while any PageGuard is alive.
 // Morsel-parallel scan workers therefore share one pool directly.
+//
+// Lock order: BufferPool::mu_ before DiskManager::mu_ (the miss path calls
+// into the disk while latched). The order is machine-checked two ways:
+// ACQUIRED_BEFORE on mu_ (clang -Wthread-safety-beta) and EXCLUDES of the
+// disk latch on every public entry point, so calling into the pool while
+// holding the disk latch fails to compile under plain -Wthread-safety.
 
 #pragma once
 
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
 
@@ -66,26 +72,39 @@ class BufferPool {
 
   /// Pins the page, reading it from disk on a miss. Fails with
   /// ResourceExhausted if every frame is pinned.
-  Result<PageGuard> Fetch(PageId pid);
+  Result<PageGuard> Fetch(PageId pid) EXCLUDES(mu_, disk_->mu_);
 
   /// Allocates a fresh zeroed page in `segment`, pins it, and returns the
   /// guard together with its id via `out_pid`. No physical read is charged
   /// (the page had no prior contents); the write is charged on eviction.
-  Result<PageGuard> NewPage(SegmentId segment, PageId* out_pid);
+  Result<PageGuard> NewPage(SegmentId segment, PageId* out_pid)
+      EXCLUDES(mu_, disk_->mu_);
 
   /// Writes back all dirty frames (keeps them cached).
-  Status FlushAll();
+  Status FlushAll() EXCLUDES(mu_, disk_->mu_);
 
   /// Writes back dirty frames and empties the pool: the next Fetch of any
   /// page is a physical read. Fails if any page is still pinned.
-  Status ColdReset();
+  Status ColdReset() EXCLUDES(mu_, disk_->mu_);
 
-  size_t capacity() const { return frames_.size(); }
-  size_t cached_pages() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t capacity() const { return capacity_pages_; }
+  size_t cached_pages() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return page_table_.size();
   }
   DiskManager* disk() const { return disk_; }
+
+  /// Names the pool latch in annotations and tests (see DiskManager::latch).
+  Mutex* latch() const RETURN_CAPABILITY(mu_) { return &mu_; }
+
+  /// The disk latch as this pool's annotations spell it. TSA matches
+  /// capability *expressions*, so code that locks `disk()->latch()` under
+  /// a different base object would not collide with the `disk_->mu_` in
+  /// Fetch's EXCLUDES clause; locking through this accessor does (the
+  /// negative-compile lock-order fixture relies on it).
+  Mutex* disk_latch() const RETURN_CAPABILITY(disk_->mu_) {
+    return disk_->latch();
+  }
 
  private:
   friend class PageGuard;
@@ -101,21 +120,23 @@ class BufferPool {
   };
 
   /// Returns a usable frame index: a free frame, or the LRU victim
-  /// (written back if dirty). -1 if everything is pinned. Requires mu_.
-  int32_t AcquireFrame(Status* status);
+  /// (written back if dirty). -1 if everything is pinned.
+  int32_t AcquireFrame(Status* status) REQUIRES(mu_);
 
-  /// Writes back all dirty frames. Requires mu_.
-  Status FlushAllLocked();
+  /// Writes back all dirty frames.
+  Status FlushAllLocked() REQUIRES(mu_);
 
-  void Unpin(int32_t frame);
-  void MarkDirty(int32_t frame);
+  void Unpin(int32_t frame) EXCLUDES(mu_);
+  void MarkDirty(int32_t frame) EXCLUDES(mu_);
 
   DiskManager* disk_;
-  mutable std::mutex mu_;  // guards all frame/table/LRU state below
-  std::vector<Frame> frames_;
-  std::vector<int32_t> free_frames_;
-  std::list<int32_t> lru_;  // front = most recent
-  std::unordered_map<PageId, int32_t, PageIdHash> page_table_;
+  size_t capacity_pages_;  // == frames_.size(); immutable after the ctor
+  mutable Mutex mu_ ACQUIRED_BEFORE(disk_->mu_);
+  std::vector<Frame> frames_ GUARDED_BY(mu_);
+  std::vector<int32_t> free_frames_ GUARDED_BY(mu_);
+  std::list<int32_t> lru_ GUARDED_BY(mu_);  // front = most recent
+  std::unordered_map<PageId, int32_t, PageIdHash> page_table_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace dpcf

@@ -9,13 +9,13 @@ namespace dpcf {
 DiskManager::DiskManager(size_t page_size) : page_size_(page_size) {}
 
 SegmentId DiskManager::CreateSegment(std::string name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   segments_.push_back(Segment{std::move(name), {}});
   return static_cast<SegmentId>(segments_.size() - 1);
 }
 
 PageNo DiskManager::AllocatePage(SegmentId segment) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Segment& seg = segments_.at(segment);
   auto page = std::make_unique<char[]>(page_size_);
   std::memset(page.get(), 0, page_size_);
@@ -24,12 +24,12 @@ PageNo DiskManager::AllocatePage(SegmentId segment) {
 }
 
 uint32_t DiskManager::SegmentPageCount(SegmentId segment) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return static_cast<uint32_t>(segments_.at(segment).pages.size());
 }
 
 const std::string& DiskManager::SegmentName(SegmentId segment) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return segments_.at(segment).name;
 }
 
@@ -39,7 +39,7 @@ bool DiskManager::ValidPage(PageId pid) const {
 }
 
 Status DiskManager::ReadPage(PageId pid, char* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!ValidPage(pid)) {
     return Status::OutOfRange(StrFormat("read of unknown page %s",
                                         pid.ToString().c_str()));
@@ -59,7 +59,7 @@ Status DiskManager::ReadPage(PageId pid, char* out) {
 }
 
 Status DiskManager::WritePage(PageId pid, const char* data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!ValidPage(pid)) {
     return Status::OutOfRange(StrFormat("write of unknown page %s",
                                         pid.ToString().c_str()));
@@ -71,17 +71,17 @@ Status DiskManager::WritePage(PageId pid, const char* data) {
 }
 
 char* DiskManager::RawPage(PageId pid) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return segments_.at(pid.segment).pages.at(pid.page_no).get();
 }
 
 const char* DiskManager::RawPage(PageId pid) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return segments_.at(pid.segment).pages.at(pid.page_no).get();
 }
 
 void DiskManager::ResetReadHead() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   last_read_ = PageId{};
 }
 

@@ -12,11 +12,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/io_stats.h"
 #include "storage/page.h"
 
@@ -37,50 +37,57 @@ class DiskManager {
   size_t page_size() const { return page_size_; }
 
   /// Creates an empty segment and returns its id.
-  SegmentId CreateSegment(std::string name);
+  SegmentId CreateSegment(std::string name) EXCLUDES(mu_);
 
   /// Appends a zeroed page to the segment; returns its page number.
   /// Allocation is a metadata operation and is not charged as I/O.
-  PageNo AllocatePage(SegmentId segment);
+  PageNo AllocatePage(SegmentId segment) EXCLUDES(mu_);
 
   /// Number of pages currently allocated in the segment.
-  uint32_t SegmentPageCount(SegmentId segment) const;
+  uint32_t SegmentPageCount(SegmentId segment) const EXCLUDES(mu_);
 
-  const std::string& SegmentName(SegmentId segment) const;
+  const std::string& SegmentName(SegmentId segment) const EXCLUDES(mu_);
 
   /// Physical read of a page into `out` (page_size bytes). Charged to
   /// IoStats as sequential or random per the read-head model.
-  Status ReadPage(PageId pid, char* out);
+  Status ReadPage(PageId pid, char* out) EXCLUDES(mu_);
 
   /// Physical write of a page. Charged as a write.
-  Status WritePage(PageId pid, const char* data);
+  Status WritePage(PageId pid, const char* data) EXCLUDES(mu_);
 
   /// Direct pointer to page bytes, bypassing I/O accounting. For bulk
   /// loaders and tests only; query execution must go through the
   /// BufferPool so physical I/O is charged.
-  char* RawPage(PageId pid);
-  const char* RawPage(PageId pid) const;
+  char* RawPage(PageId pid) EXCLUDES(mu_);
+  const char* RawPage(PageId pid) const EXCLUDES(mu_);
 
   IoStats* io_stats() { return &io_stats_; }
   const IoStats& io_stats() const { return io_stats_; }
 
   /// Forgets the read-head position (e.g. between measured runs) so the
   /// first read of the next run is classified random, as on a cold device.
-  void ResetReadHead();
+  void ResetReadHead() EXCLUDES(mu_);
+
+  /// Names this disk's latch in annotations of higher layers (the buffer
+  /// pool declares its public API EXCLUDES this latch, which is what makes
+  /// a disk-before-pool acquisition a compile error at the call site).
+  Mutex* latch() const RETURN_CAPABILITY(mu_) { return &mu_; }
 
  private:
+  friend class BufferPool;  // names mu_ in its lock-order annotations
+
   struct Segment {
     std::string name;
     std::vector<std::unique_ptr<char[]>> pages;
   };
 
-  bool ValidPage(PageId pid) const;
+  bool ValidPage(PageId pid) const REQUIRES(mu_);
 
   size_t page_size_;
-  mutable std::mutex mu_;  // guards segments_ layout and last_read_
-  std::vector<Segment> segments_;
-  IoStats io_stats_;
-  PageId last_read_;  // invalid when the head position is unknown
+  mutable Mutex mu_;
+  std::vector<Segment> segments_ GUARDED_BY(mu_);
+  IoStats io_stats_;  // relaxed atomics: charged without the latch
+  PageId last_read_ GUARDED_BY(mu_);  // invalid when head position unknown
 };
 
 }  // namespace dpcf

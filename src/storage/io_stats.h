@@ -20,6 +20,13 @@ namespace dpcf {
 /// from morsel-parallel workers are safe; cross-counter consistency is only
 /// guaranteed at quiescent points (before/after a run), which is when the
 /// executor snapshots them.
+///
+/// Thread-safety contract: this counter is its own synchronization — it
+/// carries no GUARDED_BY and needs no latch (the dpcf-mutex-annotation
+/// lint rule and clang TSA only police non-atomic shared state). Copy and
+/// assignment are NOT atomic as a whole (load then store) and are reserved
+/// for quiescent snapshots/Reset; the concurrent-safe operations are the
+/// increments and the int64_t conversion.
 class AtomicCounter {
  public:
   AtomicCounter(int64_t v = 0) : v_(v) {}
@@ -49,6 +56,11 @@ class AtomicCounter {
  private:
   std::atomic<int64_t> v_;
 };
+
+// The simulated hot path charges I/O from every scan worker; a counter
+// that silently degraded to a lock would serialize them all.
+static_assert(std::atomic<int64_t>::is_always_lock_free,
+              "AtomicCounter must be lock-free on this platform");
 
 /// Counter block for the simulated disk + buffer pool. Counters are relaxed
 /// atomics so concurrent scan workers can charge I/O without tearing; reset

@@ -246,8 +246,8 @@ TEST_P(BtreeTest, IteratorChargesBufferPoolIo) {
 
 INSTANTIATE_TEST_SUITE_P(PageSizes, BtreeTest,
                          ::testing::Values(256, 512, 4096),
-                         [](const auto& info) {
-                           return "page" + std::to_string(info.param);
+                         [](const auto& pinfo) {
+                           return "page" + std::to_string(pinfo.param);
                          });
 
 TEST(BtreeKeyTest, MinMaxBracketAllAuxValues) {

@@ -1,0 +1,7 @@
+// Fixture: violates dpcf-include-hygiene — no #pragma once, and a
+// parent-relative include.
+#include "../outside.h"
+
+namespace dpcf {
+inline int kBadInclude = 1;
+}  // namespace dpcf

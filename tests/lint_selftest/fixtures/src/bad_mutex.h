@@ -1,0 +1,20 @@
+// Fixture: violates dpcf-mutex-annotation twice.
+#pragma once
+
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace dpcf {
+
+class BadMutex {
+ public:
+  void Touch();
+
+ private:
+  std::mutex raw_mu_;   // finding: raw std::mutex member
+  Mutex orphan_mu_;     // finding: guards nothing in this file
+  int value_ = 0;
+};
+
+}  // namespace dpcf

@@ -1,0 +1,11 @@
+#include "bad_new.h"
+
+namespace dpcf {
+
+int* MakeLeak() {
+  int* p = new int(42);  // finding: naked new
+  delete p;              // finding: naked delete
+  return new int(7);     // finding: naked new
+}
+
+}  // namespace dpcf

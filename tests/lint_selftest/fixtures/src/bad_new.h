@@ -1,0 +1,7 @@
+// Fixture: header pair for bad_new.cc (keeps include hygiene clean so the
+// only findings are the naked new/delete ones).
+#pragma once
+
+namespace dpcf {
+int* MakeLeak();
+}  // namespace dpcf

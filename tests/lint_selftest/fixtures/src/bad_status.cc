@@ -1,0 +1,10 @@
+#include "bad_status.h"
+
+namespace dpcf {
+
+void Drop(Flusher* f) {
+  f->FlushFixture();   // finding: Status discarded
+  f->CountFixture();   // finding: Result discarded
+}
+
+}  // namespace dpcf

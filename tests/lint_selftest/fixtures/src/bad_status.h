@@ -1,0 +1,17 @@
+// Fixture: declares Status-returning methods for the discarded-status
+// selftest (the rule harvests these names in its prepare pass).
+#pragma once
+
+namespace dpcf {
+
+class Status;
+template <typename T>
+class Result;
+
+class Flusher {
+ public:
+  Status FlushFixture();
+  Result<int> CountFixture();
+};
+
+}  // namespace dpcf

@@ -1,0 +1,21 @@
+// Fixture: violates dpcf-nondeterminism — ambient entropy and wall-clock
+// time in src/core/ break replayable feedback runs.
+#pragma once
+
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+namespace dpcf {
+
+inline int AmbientDraw() {
+  std::random_device rd;              // finding: nondeterministic seed
+  return static_cast<int>(rd()) ^ rand();  // finding: rand()
+}
+
+inline long WallClockNow() {
+  // finding: system_clock is wall time, not a monotonic stopwatch
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+}  // namespace dpcf

@@ -1,0 +1,20 @@
+// Fixture: clean under dpcf-nondeterminism — explicit seeds and a
+// monotonic clock only.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <random>
+
+namespace dpcf {
+
+inline int SeededDraw(uint64_t seed) {
+  std::mt19937_64 gen(seed);  // explicit seed: deterministic
+  return static_cast<int>(gen() & 0x7fffffff);
+}
+
+inline int64_t MonotonicTicks() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace dpcf

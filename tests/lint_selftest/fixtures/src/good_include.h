@@ -1,0 +1,6 @@
+// Fixture: clean under dpcf-include-hygiene.
+#pragma once
+
+namespace dpcf {
+inline int kGoodInclude = 1;
+}  // namespace dpcf

@@ -1,0 +1,21 @@
+// Fixture: clean under dpcf-mutex-annotation — the latch is a dpcf::Mutex
+// and something is GUARDED_BY it.
+#pragma once
+
+#include "common/thread_annotations.h"
+
+namespace dpcf {
+
+class GoodMutex {
+ public:
+  void Touch() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    ++value_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace dpcf

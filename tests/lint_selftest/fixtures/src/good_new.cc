@@ -1,0 +1,12 @@
+#include "good_new.h"
+
+#include <memory>
+
+namespace dpcf {
+
+std::unique_ptr<int> MakeOwned() {
+  auto p = std::make_unique<int>(42);
+  return p;  // ownership stays in unique_ptr; deleted types use = delete
+}
+
+}  // namespace dpcf

@@ -1,0 +1,8 @@
+// Fixture: header pair for good_new.cc.
+#pragma once
+
+#include <memory>
+
+namespace dpcf {
+std::unique_ptr<int> MakeOwned();
+}  // namespace dpcf

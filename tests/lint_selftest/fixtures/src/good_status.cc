@@ -1,0 +1,12 @@
+#include "bad_status.h"
+
+namespace dpcf {
+
+int Consume(Flusher* f) {
+  // Assigned and cast-to-void uses are both fine.
+  (void)f->FlushFixture();  // deliberate fire-and-forget, reason here
+  auto n = f->CountFixture();
+  return sizeof(n) > 0 ? 1 : 0;
+}
+
+}  // namespace dpcf

@@ -1,0 +1,14 @@
+#include "suppressed.h"
+
+namespace dpcf {
+
+// Exercises the suppression mechanism: both spellings must silence the
+// naked-new rule, so this file lints clean despite two violations.
+int* SuppressedNew() {
+  int* a = new int(1);  // NOLINT(dpcf-naked-new) fixture: same-line form
+  // NOLINTNEXTLINE(dpcf-naked-new)  fixture: next-line form
+  delete a;
+  return nullptr;
+}
+
+}  // namespace dpcf

@@ -1,0 +1,6 @@
+// Fixture: header pair for suppressed.cc.
+#pragma once
+
+namespace dpcf {
+int* SuppressedNew();
+}  // namespace dpcf

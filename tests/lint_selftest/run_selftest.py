@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Self-test for tools/lint/dpcf_lint.py, run as a ctest case.
+
+Each rule gets a violating fixture (must produce findings with the right
+rule id) and a clean fixture (must produce none); a final case checks that
+NOLINT / NOLINTNEXTLINE actually suppress. Fixtures live under fixtures/
+in a layout that mirrors the repo (src/, src/core/) and are linted with
+--rel-root so the path-scoped rules fire; the tree-wide lint skips the
+whole lint_selftest directory.
+"""
+
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+LINT = os.path.join(REPO, "tools", "lint", "dpcf_lint.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+
+# (rule id, fixture paths relative to fixtures/, expected finding count;
+#  None = "at least one").
+VIOLATING = [
+    ("dpcf-mutex-annotation", ["src/bad_mutex.h"], 2),
+    ("dpcf-nondeterminism", ["src/core/bad_random.h"], 3),
+    ("dpcf-discarded-status", ["src/bad_status.h", "src/bad_status.cc"], 2),
+    ("dpcf-include-hygiene", ["src/bad_include.h"], 2),
+    ("dpcf-naked-new", ["src/bad_new.h", "src/bad_new.cc"], 3),
+]
+
+CLEAN = [
+    ("dpcf-mutex-annotation", ["src/good_mutex.h"]),
+    ("dpcf-nondeterminism", ["src/core/good_random.h"]),
+    ("dpcf-discarded-status", ["src/bad_status.h", "src/good_status.cc"]),
+    ("dpcf-include-hygiene", ["src/good_include.h"]),
+    ("dpcf-naked-new", ["src/good_new.h", "src/good_new.cc"]),
+    # Violations present but suppressed -> clean.
+    ("dpcf-naked-new", ["src/suppressed.h", "src/suppressed.cc"]),
+]
+
+
+def run_lint(rule, rel_paths):
+    cmd = [sys.executable, LINT, "--rel-root", FIXTURES, "--rule", rule]
+    cmd += [os.path.join(FIXTURES, p) for p in rel_paths]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    return proc
+
+
+def main():
+    failures = []
+
+    for rule, paths, expected in VIOLATING:
+        proc = run_lint(rule, paths)
+        findings = [ln for ln in proc.stdout.splitlines() if f"[{rule}]" in ln]
+        if proc.returncode != 1:
+            failures.append(f"{rule} on {paths}: expected exit 1, got "
+                            f"{proc.returncode}\n{proc.stdout}{proc.stderr}")
+        elif expected is not None and len(findings) != expected:
+            failures.append(f"{rule} on {paths}: expected {expected} "
+                            f"finding(s), got {len(findings)}:\n"
+                            + "\n".join(findings))
+        else:
+            print(f"ok  (violating) {rule}: {len(findings)} finding(s)")
+
+    for rule, paths in CLEAN:
+        proc = run_lint(rule, paths)
+        if proc.returncode != 0:
+            failures.append(f"{rule} on {paths}: expected clean exit 0, got "
+                            f"{proc.returncode}\n{proc.stdout}{proc.stderr}")
+        else:
+            print(f"ok  (clean)     {rule}: {paths[-1]}")
+
+    # The tree-wide invocation must skip this fixture directory entirely.
+    proc = subprocess.run(
+        [sys.executable, LINT, os.path.join(REPO, "tests")],
+        capture_output=True, text=True)
+    if proc.returncode != 0:
+        failures.append("tree-wide lint of tests/ must skip lint_selftest "
+                        f"fixtures but exited {proc.returncode}:\n"
+                        f"{proc.stdout}{proc.stderr}")
+    else:
+        print("ok  (discovery) tests/ walk skips lint_selftest fixtures")
+
+    if failures:
+        print("\n".join(["", "FAILURES:"] + failures), file=sys.stderr)
+        return 1
+    print(f"\nlint selftest: all {len(VIOLATING) + len(CLEAN) + 1} cases "
+          "passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+// Control fixture: correct latching in the same shapes as the two
+// negative cases. This file MUST compile cleanly under
+// clang -Werror=thread-safety — it proves the negative cases fail because
+// of the seeded bugs, not because the harness flags are broken.
+
+#include "common/thread_annotations.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace dpcf {
+
+class Counter {
+ public:
+  int ReadLocked() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return value_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+int UseCounter() {
+  Counter c;
+  return c.ReadLocked();
+}
+
+void UsePool(BufferPool* pool) {
+  // Correct order: no latch held when entering the pool.
+  auto guard = pool->Fetch(PageId{0});
+  (void)guard;
+}
+
+}  // namespace dpcf

@@ -1,0 +1,23 @@
+// Negative-compilation fixture: calling into the buffer pool while
+// holding the disk latch. The machine-checked lock order is pool before
+// disk (BufferPool::mu_ is ACQUIRED_BEFORE DiskManager::mu_, and every
+// pool entry point EXCLUDES the disk latch), so this call site must NOT
+// compile under clang -Werror=thread-safety.
+//
+// The latch is taken through pool->disk_latch() so the held capability is
+// spelled exactly as Fetch's EXCLUDES clause spells it (pool->disk_->mu_)
+// — TSA matches expressions, not runtime aliases.
+
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace dpcf {
+
+void Inverted(BufferPool* pool) {
+  MutexLock hold_disk(pool->disk_latch());
+  // BUG UNDER TEST: Fetch() EXCLUDES the disk latch we are holding.
+  auto guard = pool->Fetch(PageId{0});
+  (void)guard;
+}
+
+}  // namespace dpcf

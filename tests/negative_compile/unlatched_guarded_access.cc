@@ -1,0 +1,29 @@
+// Negative-compilation fixture: reading a GUARDED_BY member without the
+// latch. Under clang -Werror=thread-safety this must NOT compile; the
+// CMake harness asserts the failure (see CMakeLists.txt here).
+
+#include "common/thread_annotations.h"
+
+namespace dpcf {
+
+class Counter {
+ public:
+  // BUG UNDER TEST: touches value_ without holding mu_.
+  int Read() const { return value_; }
+
+  int ReadLocked() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return value_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+int Use() {
+  Counter c;
+  return c.Read();
+}
+
+}  // namespace dpcf

@@ -95,7 +95,8 @@ TEST(GroupedPageCounterMergeTest, SumsDisjointPages) {
     drive(&whole, rows_per_page[p]);
     drive(p % 2 == 0 ? &part_a : &part_b, rows_per_page[p]);
   }
-  part_a.MergeFrom(part_b);
+  // void merge; the name collides with the bundles' Status MergeFrom.
+  part_a.MergeFrom(part_b);  // NOLINT(dpcf-discarded-status)
   EXPECT_EQ(part_a.pages_seen(), whole.pages_seen());
   EXPECT_EQ(part_a.pages_satisfying(), whole.pages_satisfying());
   EXPECT_EQ(part_a.rows_satisfying(), whole.rows_satisfying());
@@ -141,7 +142,7 @@ class ParallelScanTest : public SyntheticDbTest {
   }
 
   RunResult Run(Operator* op) {
-    db_->ColdCache();
+    DPCF_CHECK_OK(db_->ColdCache());
     ExecContext ctx(db_->buffer_pool());
     auto result = ExecutePlan(op, &ctx);
     EXPECT_TRUE(result.ok()) << result.status().ToString();

@@ -1,0 +1,254 @@
+#!/usr/bin/env python3
+"""DPCF repo-specific lint.
+
+Enforces the project's concurrency/determinism conventions that generic
+tools cannot know about (see DESIGN.md section 9 for the catalog):
+
+  dpcf-mutex-annotation   raw std::mutex members; dpcf::Mutex that guards
+                          nothing
+  dpcf-nondeterminism     wall-clock / ambient randomness in src/core,
+                          src/exec (breaks feedback determinism)
+  dpcf-discarded-status   Status/Result-returning call used as a bare
+                          statement
+  dpcf-include-hygiene    missing #pragma once, parent-relative includes,
+                          .cc not including its own header first
+  dpcf-naked-new          naked new/delete (ownership belongs in
+                          unique_ptr / the buffer pool's frame store)
+
+Usage:
+  tools/lint/dpcf_lint.py [--list-rules] [--rule ID]... PATH...
+
+PATH arguments may be files or directories (searched recursively for
+*.h / *.cc). Exit status is 0 when clean, 1 when any finding is reported,
+2 on usage errors.
+
+Suppression: append `// NOLINT(dpcf-<rule>)` to the offending line, or put
+`// NOLINTNEXTLINE(dpcf-<rule>)` on the line above. A bare `// NOLINT`
+suppresses every rule on that line. Suppressions are deliberate, reviewed
+exceptions — each one should say why in the surrounding code.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, _HERE)
+
+from rules import ALL_RULES  # noqa: E402  (path setup must precede)
+
+SOURCE_EXTENSIONS = (".h", ".cc")
+# lint_selftest holds deliberately-violating fixtures; the selftest lints
+# them explicitly (with --rel-root), tree-wide runs must not see them.
+SKIP_DIR_PATTERNS = re.compile(
+    r"^(build.*|\.git|\.cache|__pycache__|lint_selftest)$")
+
+NOLINT_RE = re.compile(r"//\s*NOLINT(?:NEXTLINE)?(?:\(([^)]*)\))?")
+NOLINTNEXTLINE_RE = re.compile(r"//\s*NOLINTNEXTLINE(?:\(([^)]*)\))?")
+
+
+class SourceFile:
+    """A parsed source file handed to every rule.
+
+    `raw_lines` is the file verbatim; `code_lines` has comments and string
+    literal contents blanked (same line count and column widths) so rules
+    can regex over code without matching prose.
+    """
+
+    def __init__(self, path, repo_relative, text):
+        self.path = path
+        self.rel = repo_relative
+        self.text = text
+        self.raw_lines = text.splitlines()
+        self.code_lines = _strip_comments_and_strings(text).splitlines()
+
+
+def _strip_comments_and_strings(text):
+    """Blanks //, /* */ comments and "..." / '...' contents, keeping
+    newlines and column positions so findings line up with the source."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | dquote | squote
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "dquote"
+                out.append(c)
+                i += 1
+                continue
+            if c == "'":
+                state = "squote"
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("dquote", "squote"):
+            quote = '"' if state == "dquote" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(c)
+            elif c == "\n":  # unterminated literal; resync
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def _suppressed_rules(raw_lines, line_no):
+    """Rule ids suppressed on 1-based `line_no` (None = all rules)."""
+    suppressed = set()
+    line = raw_lines[line_no - 1]
+    m = NOLINT_RE.search(line)
+    if m and not NOLINTNEXTLINE_RE.search(line):
+        if m.group(1) is None:
+            return None
+        suppressed.update(r.strip() for r in m.group(1).split(","))
+    if line_no >= 2:
+        m = NOLINTNEXTLINE_RE.search(raw_lines[line_no - 2])
+        if m:
+            if m.group(1) is None:
+                return None
+            suppressed.update(r.strip() for r in m.group(1).split(","))
+    return suppressed
+
+
+def discover_files(paths):
+    files = []
+    for p in paths:
+        if os.path.isfile(p):
+            files.append(p)
+        elif os.path.isdir(p):
+            for root, dirs, names in os.walk(p):
+                dirs[:] = sorted(
+                    d for d in dirs if not SKIP_DIR_PATTERNS.match(d))
+                for name in sorted(names):
+                    if name.endswith(SOURCE_EXTENSIONS):
+                        files.append(os.path.join(root, name))
+        else:
+            print(f"dpcf_lint: no such file or directory: {p}",
+                  file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+def repo_relative(path, rel_root=None):
+    """Path relative to the repo root (the directory holding tools/), or to
+    `rel_root` when given. Path-scoped rules key off this prefix, so the
+    lint selftest points --rel-root at a fixture tree whose layout mirrors
+    the repo (fixtures under <root>/src/ get the src/-only rules)."""
+    root = (os.path.abspath(rel_root) if rel_root
+            else os.path.dirname(os.path.dirname(_HERE)))
+    ap = os.path.abspath(path)
+    try:
+        return os.path.relpath(ap, root)
+    except ValueError:
+        return path
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", help="files or directories")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    parser.add_argument("--rule", action="append", default=[],
+                        help="run only this rule id (repeatable)")
+    parser.add_argument("--rel-root", default=None,
+                        help="directory paths are reported relative to "
+                             "(default: the repo root); also sets the "
+                             "prefix path-scoped rules match against")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.RULE_ID}: {rule.DESCRIPTION}")
+        return 0
+
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        return 2
+
+    rules = ALL_RULES
+    if args.rule:
+        known = {r.RULE_ID for r in ALL_RULES}
+        unknown = [r for r in args.rule if r not in known]
+        if unknown:
+            print(f"dpcf_lint: unknown rule id(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+        rules = [r for r in ALL_RULES if r.RULE_ID in args.rule]
+
+    files = discover_files(args.paths)
+    sources = []
+    for path in files:
+        try:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                text = f.read()
+        except OSError as e:
+            print(f"dpcf_lint: cannot read {path}: {e}", file=sys.stderr)
+            return 2
+        sources.append(
+            SourceFile(path, repo_relative(path, args.rel_root), text))
+
+    # Rules that need a whole-tree view (e.g. the set of Status-returning
+    # method names) get it up front.
+    corpus = {"sources": sources}
+    for rule in rules:
+        prepare = getattr(rule, "prepare", None)
+        if prepare:
+            prepare(corpus)
+
+    findings = []
+    for src in sources:
+        for rule in rules:
+            for line_no, message in rule.check(src):
+                suppressed = _suppressed_rules(src.raw_lines, line_no)
+                if suppressed is None:
+                    continue
+                if rule.RULE_ID in suppressed:
+                    continue
+                findings.append((src.rel, line_no, rule.RULE_ID, message))
+
+    findings.sort()
+    for rel, line_no, rule_id, message in findings:
+        print(f"{rel}:{line_no}: [{rule_id}] {message}")
+    if findings:
+        print(f"dpcf_lint: {len(findings)} finding(s) in "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

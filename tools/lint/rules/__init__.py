@@ -1,0 +1,17 @@
+"""Rule registry for dpcf_lint. Each rule module exposes RULE_ID,
+DESCRIPTION, check(source) -> iterable[(line_no, message)], and an
+optional prepare(corpus) for whole-tree context."""
+
+from rules import discarded_status
+from rules import include_hygiene
+from rules import mutex_annotation
+from rules import naked_new
+from rules import nondeterminism
+
+ALL_RULES = [
+    mutex_annotation,
+    nondeterminism,
+    discarded_status,
+    include_hygiene,
+    naked_new,
+]

@@ -1,0 +1,79 @@
+"""dpcf-discarded-status: a dropped Status is a swallowed failure.
+
+The whole-tree prepare pass harvests the names of methods declared to
+return Status or Result<T> from every header handed to the linter, then
+flags single-line statements that call one of those methods and do
+nothing with the value. Handle it with DPCF_RETURN_IF_ERROR /
+DPCF_ASSIGN_OR_RETURN, assign it, assert on it in tests, or — for the
+rare fire-and-forget case — write an explicit `(void)` cast plus a NOLINT
+explaining why the failure is ignorable.
+
+Heuristic limits (deliberate, to stay regex-light): only single-line call
+statements are checked, and methods whose name collides with a
+void-returning function elsewhere may false-positive — suppress with
+// NOLINT(dpcf-discarded-status) and a reason.
+"""
+
+import re
+
+RULE_ID = "dpcf-discarded-status"
+DESCRIPTION = "Status/Result-returning call used as a bare statement"
+
+_DECL_RE = re.compile(
+    r"^\s*(?:virtual\s+)?(?:static\s+)?(?:\[\[nodiscard\]\]\s*)?"
+    r"(?:Status|Result<[^;={}]*>)\s+(\w+)\s*\(")
+
+# Names too generic to flag on name alone (they collide with std:: and
+# test-fixture methods that return void).
+_IGNORED_NAMES = {"main", "Run", "TestBody"}
+
+_status_methods = set()
+
+
+def prepare(corpus):
+    _status_methods.clear()
+    for src in corpus["sources"]:
+        if not src.rel.endswith(".h"):
+            continue
+        for line in src.code_lines:
+            m = _DECL_RE.match(line)
+            if m and m.group(1) not in _IGNORED_NAMES:
+                _status_methods.add(m.group(1))
+
+
+def _call_statement_re():
+    if not _status_methods:
+        return None
+    names = "|".join(sorted(re.escape(n) for n in _status_methods))
+    # A full statement on one line: optional receiver chain (obj. / ptr->
+    # / ns:: only — a leading `outer(` means something consumes the
+    # value), one of the harvested names, parens, `;`, nothing else.
+    return re.compile(
+        rf"^\s*(?:[\w\]\[\*]+(?:\.|->|::))*({names})\s*\(.*\)\s*;\s*$")
+
+
+def check(source):
+    call_re = _call_statement_re()
+    if call_re is None:
+        return
+    for i, line in enumerate(source.code_lines, start=1):
+        raw = source.raw_lines[i - 1]
+        m = call_re.match(line)
+        if not m:
+            continue
+        # A continuation line of a multi-line call (e.g. the argument of a
+        # DPCF_RETURN_IF_ERROR spanning lines) has unbalanced parens, or
+        # follows a line that obviously continues into this one.
+        if line.count("(") != line.count(")"):
+            continue
+        if i >= 2:
+            prev = source.code_lines[i - 2].rstrip()
+            if prev.endswith(("=", "(", ",", "<<", "&&", "||", "?", ":",
+                              "return")):
+                continue
+        # Anything that consumes the value disqualifies the match.
+        if re.search(r"=|\breturn\b|\(void\)|RETURN_IF_ERROR|"
+                     r"ASSIGN_OR_RETURN|ASSERT_|EXPECT_|CHECK", raw):
+            continue
+        yield (i, f"result of '{m.group(1)}' (Status/Result) is discarded; "
+                  "propagate, assert, or cast to (void) with a reason")

@@ -1,0 +1,69 @@
+"""dpcf-include-hygiene: keep the include graph boring.
+
+  1. Every header must open with #pragma once (before any other
+     preprocessor directive or code).
+  2. No parent-relative includes (#include "../...") — all quoted
+     includes are rooted at src/, which is on the include path.
+  3. A src/**/foo.cc with a sibling foo.h must include "dir/foo.h" as its
+     FIRST include — the cheapest possible check that every header is
+     self-contained (it gets compiled once with nothing before it).
+  4. No <bits/stdc++.h> or other non-standard catch-all headers.
+"""
+
+import os
+import re
+
+RULE_ID = "dpcf-include-hygiene"
+DESCRIPTION = ("#pragma once, no parent-relative includes, "
+               ".cc includes its own header first")
+
+_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+([<"][^>"]+[>"])')
+
+
+def check(source):
+    rel = source.rel.replace("\\", "/")
+    includes = []  # (line_no, spelling)
+    pragma_once_line = None
+    first_directive_line = None
+    for i, line in enumerate(source.code_lines, start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith("#"):
+            if first_directive_line is None:
+                first_directive_line = i
+            if re.match(r"^#\s*pragma\s+once\b", stripped):
+                pragma_once_line = i
+        # The comment/string stripper blanks quoted include paths, so take
+        # the spelling from the raw line once the code view shows a
+        # directive there.
+        if _INCLUDE_RE.match(line) or re.match(r"^\s*#\s*include\b", line):
+            m = _INCLUDE_RE.match(source.raw_lines[i - 1])
+            if m:
+                includes.append((i, m.group(1)))
+
+    if rel.endswith(".h"):
+        if pragma_once_line is None:
+            yield (1, "header is missing #pragma once")
+        elif first_directive_line != pragma_once_line:
+            yield (pragma_once_line,
+                   "#pragma once must be the first directive in the header")
+
+    for line_no, spelling in includes:
+        if spelling.startswith('"../') or "/../" in spelling:
+            yield (line_no, f"parent-relative include {spelling}; quoted "
+                            "includes are rooted at src/")
+        if spelling == "<bits/stdc++.h>":
+            yield (line_no, "<bits/stdc++.h> is a non-standard catch-all; "
+                            "include what you use")
+
+    if rel.startswith("src/") and rel.endswith(".cc") and includes:
+        own_header = os.path.splitext(rel)[0][len("src/"):] + ".h"
+        if os.path.exists(
+                os.path.join(os.path.dirname(source.path),
+                             os.path.basename(own_header))):
+            expected = f'"{own_header}"'
+            if includes[0][1] != expected:
+                yield (includes[0][0],
+                       f"first include must be the file's own header "
+                       f"{expected} (self-containment check)")

@@ -1,0 +1,56 @@
+"""dpcf-mutex-annotation: every latch must be visible to clang TSA.
+
+Two checks, scoped to files under src/:
+  1. A member/variable of type std::mutex (or friends) is rejected —
+     dpcf::Mutex from common/thread_annotations.h is the same mutex plus a
+     CAPABILITY attribute, so the analysis can see who holds it.
+  2. A dpcf::Mutex member whose name is never referenced by a GUARDED_BY /
+     PT_GUARDED_BY / REQUIRES / ACQUIRE annotation in the same file guards
+     nothing: either annotate the state it protects or delete it.
+"""
+
+import re
+
+RULE_ID = "dpcf-mutex-annotation"
+DESCRIPTION = ("std::mutex members must be dpcf::Mutex, and every "
+               "dpcf::Mutex must guard something")
+
+_STD_MUTEX_RE = re.compile(
+    r"\bstd::(recursive_|shared_|timed_|recursive_timed_)?mutex\b")
+_MUTEX_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:dpcf::)?Mutex\s+(\w+)\s*[;\x20]")
+_ANNOTATION_USE = ("GUARDED_BY", "PT_GUARDED_BY", "REQUIRES",
+                   "REQUIRES_SHARED", "ACQUIRE", "ACQUIRE_SHARED",
+                   "EXCLUDES", "RETURN_CAPABILITY")
+
+
+def _in_scope(source):
+    rel = source.rel.replace("\\", "/")
+    return rel.startswith("src/")
+
+
+def check(source):
+    if not _in_scope(source):
+        return
+    for i, line in enumerate(source.code_lines, start=1):
+        m = _STD_MUTEX_RE.search(line)
+        if m:
+            # Declarations only; `#include <mutex>` or using-directives
+            # don't match the std:: spelling.
+            yield (i, "raw std::mutex is invisible to thread-safety "
+                      "analysis; use dpcf::Mutex + dpcf::MutexLock from "
+                      "common/thread_annotations.h")
+    # Check 2: a declared Mutex member must be named by some annotation.
+    whole = "\n".join(source.code_lines)
+    for i, line in enumerate(source.code_lines, start=1):
+        m = _MUTEX_MEMBER_RE.match(line)
+        if not m:
+            continue
+        name = m.group(1)
+        used = any(
+            re.search(rf"\b{macro}\s*\([^)]*\b{re.escape(name)}\b", whole)
+            for macro in _ANNOTATION_USE)
+        if not used:
+            yield (i, f"dpcf::Mutex '{name}' is not referenced by any "
+                      "GUARDED_BY/REQUIRES/EXCLUDES annotation in this "
+                      "file — annotate what it protects")

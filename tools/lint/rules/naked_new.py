@@ -1,0 +1,31 @@
+"""dpcf-naked-new: ownership lives in unique_ptr (or the pool's frames).
+
+Raw `new` leaks on every early Status return between allocation and the
+owning container; raw `delete` double-frees when two paths both think
+they own. The repo's convention: std::make_unique everywhere, and the
+only blessed raw-buffer owner is the buffer pool's preallocated frame
+store (which itself uses unique_ptr<char[]>). Private-constructor
+factories that cannot use make_unique get a NOLINT with a reason.
+"""
+
+import re
+
+RULE_ID = "dpcf-naked-new"
+DESCRIPTION = "naked new/delete outside sanctioned owners"
+
+# `new X(...)`, `new X[...]` — but not `Renew(`, not `new_x` identifiers.
+_NEW_RE = re.compile(r"(?<![\w_])new\s+[A-Za-z_:(]")
+# `delete p` / `delete[] p` — but not `= delete;` defaulted members and
+# not `operator delete`.
+_DELETE_RE = re.compile(r"(?<![\w_])delete\s*(?:\[\s*\]\s*)?[A-Za-z_(*]")
+_DELETED_FN_RE = re.compile(r"=\s*delete\b|operator\s+delete")
+
+
+def check(source):
+    for i, line in enumerate(source.code_lines, start=1):
+        if _NEW_RE.search(line):
+            yield (i, "naked new; use std::make_unique (NOLINT private-"
+                      "ctor factories with a reason)")
+        if _DELETE_RE.search(line) and not _DELETED_FN_RE.search(line):
+            yield (i, "naked delete; owners must be RAII "
+                      "(unique_ptr / PageGuard)")

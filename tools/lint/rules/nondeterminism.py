@@ -1,0 +1,52 @@
+"""dpcf-nondeterminism: feedback must be a pure function of (data, seed).
+
+The paper's monitors are only trustworthy re-optimization input if two
+runs over the same data produce bit-identical feedback (DESIGN.md section
+8's parallel-equivalence guarantee leans on this too). Ambient entropy —
+wall clock, process-global PRNGs, hardware entropy — inside the monitor
+core (src/core) or the execution path (src/exec) silently breaks that, so
+it is banned there; randomness must come from common/random.h generators
+seeded through MonitorOptions::seed.
+
+std::chrono::steady_clock is allowed: it feeds wall-time *reporting*
+(RunStatistics::wall_ms), never feedback state.
+"""
+
+import re
+
+RULE_ID = "dpcf-nondeterminism"
+DESCRIPTION = ("ambient entropy (rand, time, random_device, system_clock) "
+               "in src/core or src/exec")
+
+_PATTERNS = [
+    (re.compile(r"(?<![\w:])s?rand\s*\("),
+     "rand()/srand() is process-global state"),
+    (re.compile(r"\bstd::random_device\b"),
+     "std::random_device draws hardware entropy"),
+    (re.compile(r"(?<![\w:])(?:std::)?time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"),
+     "time() reads the wall clock"),
+    (re.compile(r"\bsystem_clock\b"),
+     "system_clock reads the wall clock"),
+    (re.compile(r"(?<![\w:])clock\s*\(\s*\)"),
+     "clock() reads CPU time"),
+    (re.compile(r"\bgettimeofday\b"),
+     "gettimeofday reads the wall clock"),
+    (re.compile(r"\bstd::mt19937(?:_64)?\s+\w+\s*;"),
+     "default-constructed mt19937 has an unseeded, implementation-defined "
+     "state; seed it from MonitorOptions::seed"),
+]
+
+
+def _in_scope(source):
+    rel = source.rel.replace("\\", "/")
+    return rel.startswith(("src/core/", "src/exec/"))
+
+
+def check(source):
+    if not _in_scope(source):
+        return
+    for i, line in enumerate(source.code_lines, start=1):
+        for pattern, why in _PATTERNS:
+            if pattern.search(line):
+                yield (i, f"{why}; feedback would differ run to run — "
+                          "use a seeded generator from common/random.h")

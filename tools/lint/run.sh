@@ -1,0 +1,9 @@
+#!/usr/bin/env sh
+# Runs the DPCF lint over the default tree (src tests bench examples
+# tools/lint ignores non-C++ files). Usage: tools/lint/run.sh [paths...]
+set -eu
+cd "$(dirname "$0")/../.."
+if [ "$#" -eq 0 ]; then
+  set -- src tests bench examples
+fi
+exec python3 tools/lint/dpcf_lint.py "$@"
