@@ -63,5 +63,6 @@ int main() {
   }
   std::printf("\nSUMMARY fig6: %d/%zu plans changed by feedback\n",
               changed, queries.size());
+  CheckIoInvariant(*pair.db->disk()->io_stats(), "fig6 accounting");
   return 0;
 }

@@ -64,5 +64,6 @@ int main() {
       "\nSUMMARY fig7: mean sim overhead %s, max %s (paper: <2%% for most "
       "queries)\n",
       Pct(sum / queries.size()).c_str(), Pct(worst).c_str());
+  CheckIoInvariant(*pair.db->disk()->io_stats(), "fig7 accounting");
   return 0;
 }

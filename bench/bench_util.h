@@ -19,6 +19,7 @@
 #include "common/string_util.h"
 #include "core/feedback_driver.h"
 #include "sql/binder.h"
+#include "storage/io_stats.h"
 #include "workload/query_gen.h"
 #include "workload/realworld.h"
 #include "workload/synthetic.h"
@@ -53,6 +54,21 @@ template <typename T>
 T CheckOk(Result<T> result, const char* what) {
   CheckOk(result.status(), what);
   return std::move(result).value();
+}
+
+/// Exact I/O-accounting invariant for figure benches: every logical read
+/// was a hit or exactly one physical read, and nothing was charged as a
+/// prefetch (serial figure runs never issue readahead). Dies on violation,
+/// so a figure can never be produced from counters the sharded pool
+/// silently perturbed relative to the pre-sharding (monolithic) values.
+inline void CheckIoInvariant(const IoStats& io, const char* what) {
+  if (static_cast<int64_t>(io.logical_reads) !=
+          static_cast<int64_t>(io.buffer_hits) + io.physical_reads() ||
+      static_cast<int64_t>(io.prefetch_reads) != 0) {
+    std::fprintf(stderr, "FATAL %s: inconsistent IoStats %s\n", what,
+                 io.ToString().c_str());
+    std::exit(1);
+  }
 }
 
 /// The synthetic pair: T (all indexes) and T1 (independent permutations,

@@ -57,6 +57,7 @@ Result<InstrumentedHooks> MonitorManager::ForSingleTable(
   out.hooks.seed = options_.seed;
   out.hooks.scan_threads = options_.scan_threads;
   out.hooks.morsel_pages = options_.morsel_pages;
+  out.hooks.prefetch_pages = options_.prefetch_pages;
   if (!options_.enabled) return out;
 
   switch (path.kind) {

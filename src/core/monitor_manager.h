@@ -53,6 +53,11 @@ struct MonitorOptions {
   int scan_threads = 1;
   /// Pages per morsel for the parallel dispatch.
   uint32_t morsel_pages = 32;
+  /// Readahead window for parallel scans (forwarded into
+  /// PlanMonitorHooks::prefetch_pages); 0 disables readahead. Readahead
+  /// only changes *when* pages enter the buffer pool, never the monitor
+  /// stream, so feedback stays bit-for-bit identical.
+  uint32_t prefetch_pages = 0;
 };
 
 /// What a monitor label refers to — kept alongside the hooks so the

@@ -69,6 +69,7 @@ Result<RunResult> ExecutePlan(Operator* root, ExecContext* ctx,
   stats.io.physical_rand_reads =
       io_after.physical_rand_reads - io_before.physical_rand_reads;
   stats.io.physical_writes = io_after.physical_writes - io_before.physical_writes;
+  stats.io.prefetch_reads = io_after.prefetch_reads - io_before.prefetch_reads;
   stats.io.logical_reads = io_after.logical_reads - io_before.logical_reads;
   stats.io.buffer_hits = io_after.buffer_hits - io_before.buffer_hits;
 

@@ -1,9 +1,12 @@
 #include "exec/parallel_scan.h"
 
 #include <atomic>
+#include <condition_variable>
+#include <thread>
 #include <utility>
 
 #include "common/string_util.h"
+#include "common/thread_annotations.h"
 #include "exec/executor.h"
 
 namespace dpcf {
@@ -17,6 +20,18 @@ void MaterializeProjection(const RowView& row,
     out->push_back(row.GetValue(static_cast<size_t>(col)));
   }
 }
+
+/// Shared cursor between the scan workers and the readahead thread. The
+/// prefetcher walks pages in order and sleeps whenever it is `window` pages
+/// ahead of the slowest published consumption point; workers bump
+/// pages_consumed per finished morsel (coarse on purpose — one latch
+/// round-trip per morsel, not per page).
+struct ReadaheadState {
+  Mutex mu;
+  std::condition_variable_any cv;
+  int64_t pages_consumed GUARDED_BY(mu) = 0;
+  bool stop GUARDED_BY(mu) = false;
+};
 }  // namespace
 
 ParallelTableScanOp::ParallelTableScanOp(
@@ -53,6 +68,37 @@ Status ParallelTableScanOp::Open(ExecContext* ctx) {
       worker_bundles[static_cast<size_t>(w)] = monitors_->Clone();
     }
   }
+
+  // Morsel readahead: a dedicated prefetch thread walks the pages in scan
+  // order and keeps up to `window` of them resident ahead of the workers,
+  // overlapping (simulated) I/O with predicate evaluation and monitor
+  // updates. The window is clamped to half the pool so prefetch pressure
+  // can never evict pages the scan is still consuming.
+  ReadaheadState ra;
+  std::thread ra_thread;
+  const SegmentId segment = file->segment();
+  const PageNo total_pages = file->page_count();
+  int64_t window = static_cast<int64_t>(options_.prefetch_pages);
+  const int64_t half_pool = static_cast<int64_t>(ctx->pool()->capacity() / 2);
+  if (window > half_pool) window = half_pool;
+  if (window > 0 && total_pages > 0) {
+    BufferPool* pool = ctx->pool();
+    ra_thread = std::thread([&ra, pool, segment, total_pages, window] {
+      for (PageNo p = 0; p < total_pages; ++p) {
+        ra.mu.lock();
+        while (!ra.stop &&
+               static_cast<int64_t>(p) >= ra.pages_consumed + window) {
+          ra.cv.wait(ra.mu);
+        }
+        const bool stop_requested = ra.stop;
+        ra.mu.unlock();
+        if (stop_requested) return;
+        Status st = pool->Prefetch(PageId{segment, p});
+        if (!st.ok()) return;  // demand fetches will surface disk errors
+      }
+    });
+  }
+  ReadaheadState* ra_ptr = ra_thread.joinable() ? &ra : nullptr;
 
   std::atomic<bool> stop{false};
   Status status = RunOnWorkers(num_workers, [&](int w) -> Status {
@@ -95,6 +141,12 @@ Status ParallelTableScanOp::Open(ExecContext* ctx) {
         }
         if (bundle != nullptr) bundle->EndPage();
       }
+      if (ra_ptr != nullptr) {
+        ra_ptr->mu.lock();
+        ra_ptr->pages_consumed += static_cast<int64_t>(end - begin);
+        ra_ptr->mu.unlock();
+        ra_ptr->cv.notify_all();
+      }
     }
     // Each worker folds its CPU tally into the context as it finishes;
     // MergeCpu latches, so workers may race each other here but never
@@ -103,6 +155,15 @@ Status ParallelTableScanOp::Open(ExecContext* ctx) {
     ctx->MergeCpu(ws.cpu);
     return Status::OK();
   });
+  // Retire the prefetcher before error propagation: a joinable thread must
+  // never reach ra's end of scope.
+  if (ra_thread.joinable()) {
+    ra.mu.lock();
+    ra.stop = true;
+    ra.mu.unlock();
+    ra.cv.notify_all();
+    ra_thread.join();
+  }
   DPCF_RETURN_IF_ERROR(status);
 
   // Fold the monitor bundles back into the operator's own. The workers
@@ -144,13 +205,17 @@ Status ParallelTableScanOp::Close(ExecContext* ctx) {
 }
 
 std::string ParallelTableScanOp::Describe() const {
-  return StrFormat("Parallel%s(%s, %s, threads=%d)",
+  std::string prefetch =
+      options_.prefetch_pages > 0
+          ? StrFormat(", prefetch=%u", options_.prefetch_pages)
+          : std::string();
+  return StrFormat("Parallel%s(%s, %s, threads=%d%s)",
                    table_->organization() == TableOrganization::kClustered
                        ? "ClusteredIndexScan"
                        : "TableScan",
                    table_->name().c_str(),
                    pushed_.ToString(table_->schema()).c_str(),
-                   options_.num_threads);
+                   options_.num_threads, prefetch.c_str());
 }
 
 void ParallelTableScanOp::CollectMonitorRecords(

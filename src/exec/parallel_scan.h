@@ -31,6 +31,13 @@ struct ParallelScanOptions {
   /// Pages per morsel. Small enough to balance load across workers, large
   /// enough that queue traffic is negligible next to page work.
   uint32_t morsel_pages = 32;
+  /// Readahead window: a dedicated prefetch thread keeps up to this many
+  /// pages ahead of the scan cursor resident in the buffer pool (clamped to
+  /// half the pool so prefetch can never evict pages the scan still needs).
+  /// Prefetched pages are charged to IoStats::prefetch_reads, not physical
+  /// reads, and readahead never touches monitors, so feedback stays
+  /// bit-for-bit identical to the serial scan. 0 disables readahead.
+  uint32_t prefetch_pages = 0;
 };
 
 /// Per-worker tallies, exposed after the scan for load-balance reporting

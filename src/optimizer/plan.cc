@@ -254,7 +254,8 @@ Result<OperatorPtr> BuildSingleTableExec(const AccessPathPlan& path,
                         hooks.fetch_requests, hooks.scan_sample_fraction,
                         hooks.seed,
                         ParallelScanOptions{hooks.scan_threads,
-                                            hooks.morsel_pages}));
+                                            hooks.morsel_pages,
+                                            hooks.prefetch_pages}));
   if (query.count_star) {
     op = OperatorPtr(std::make_unique<AggregateCountOp>(std::move(op)));
   }

@@ -159,6 +159,9 @@ struct PlanMonitorHooks {
   int scan_threads = 1;
   /// Pages per morsel for the parallel scan dispatch.
   uint32_t morsel_pages = 32;
+  /// Readahead window for the parallel scan (see
+  /// ParallelScanOptions::prefetch_pages). 0 disables readahead.
+  uint32_t prefetch_pages = 0;
 };
 
 /// Lowers an access-path descriptor to an operator tree over `table`.

@@ -7,12 +7,14 @@
 
 namespace dpcf {
 
-PageGuard::PageGuard(BufferPool* pool, int32_t frame, char* data)
-    : pool_(pool), frame_(frame), data_(data) {}
+PageGuard::PageGuard(BufferPool* pool, uint32_t shard, int32_t frame,
+                     char* data)
+    : pool_(pool), shard_(shard), frame_(frame), data_(data) {}
 
 PageGuard::PageGuard(PageGuard&& o) noexcept
-    : pool_(o.pool_), frame_(o.frame_), data_(o.data_) {
+    : pool_(o.pool_), shard_(o.shard_), frame_(o.frame_), data_(o.data_) {
   o.pool_ = nullptr;
+  o.shard_ = 0;
   o.frame_ = -1;
   o.data_ = nullptr;
 }
@@ -21,9 +23,11 @@ PageGuard& PageGuard::operator=(PageGuard&& o) noexcept {
   if (this != &o) {
     Release();
     pool_ = o.pool_;
+    shard_ = o.shard_;
     frame_ = o.frame_;
     data_ = o.data_;
     o.pool_ = nullptr;
+    o.shard_ = 0;
     o.frame_ = -1;
     o.data_ = nullptr;
   }
@@ -34,49 +38,88 @@ PageGuard::~PageGuard() { Release(); }
 
 char* PageGuard::mutable_data() {
   assert(valid());
-  pool_->MarkDirty(frame_);
+  pool_->MarkDirty(shard_, frame_);
   return data_;
 }
 
 void PageGuard::Release() {
   if (pool_ != nullptr) {
-    pool_->Unpin(frame_);
+    pool_->Unpin(shard_, frame_);
     pool_ = nullptr;
+    shard_ = 0;
     frame_ = -1;
     data_ = nullptr;
   }
 }
 
-BufferPool::BufferPool(DiskManager* disk, size_t capacity_pages)
-    : disk_(disk), capacity_pages_(capacity_pages) {
+size_t BufferPool::PickShardCount(size_t capacity, size_t requested) {
+  // Auto default: one shard per 8 frames, capped at 8, so tiny pools (every
+  // unit test with capacity <= 15) stay monolithic and large pools spread
+  // contention. An explicit request is honored up to the capacity.
+  size_t target = requested;
+  if (target == 0) {
+    constexpr size_t kFramesPerShard = 8;
+    constexpr size_t kMaxAutoShards = 8;
+    target = capacity / kFramesPerShard;
+    if (target > kMaxAutoShards) target = kMaxAutoShards;
+  }
+  if (target > capacity) target = capacity;
+  size_t shards = 1;
+  while (shards * 2 <= target) shards *= 2;  // round down to a power of two
+  return shards;
+}
+
+BufferPool::BufferPool(DiskManager* disk, size_t capacity_pages,
+                       BufferPoolOptions options)
+    : disk_(disk), capacity_pages_(capacity_pages), options_(options) {
   assert(capacity_pages > 0);
-  frames_.resize(capacity_pages);
-  free_frames_.reserve(capacity_pages);
-  for (size_t i = 0; i < capacity_pages; ++i) {
-    frames_[i].data = std::make_unique<char[]>(disk_->page_size());
-    frames_[i].lru_pos = lru_.end();
-    free_frames_.push_back(static_cast<int32_t>(capacity_pages - 1 - i));
+  const size_t n = PickShardCount(capacity_pages, options.num_shards);
+  shards_.reserve(n);
+  const size_t base = capacity_pages / n;
+  const size_t rem = capacity_pages % n;
+  for (size_t si = 0; si < n; ++si) {
+    auto shard = std::make_unique<Shard>(disk_);
+    const size_t frames = base + (si < rem ? 1 : 0);
+    MutexLock lock(&shard->mu);  // ctor-private; satisfies TSA, uncontended
+    shard->frames.resize(frames);
+    shard->free_frames.reserve(frames);
+    for (size_t i = 0; i < frames; ++i) {
+      shard->frames[i].data = std::make_unique<char[]>(disk_->page_size());
+      shard->frames[i].lru_pos = shard->lru.end();
+      shard->free_frames.push_back(static_cast<int32_t>(frames - 1 - i));
+    }
+    shards_.push_back(std::move(shard));
   }
 }
 
-int32_t BufferPool::AcquireFrame(Status* status) {
-  if (!free_frames_.empty()) {
-    int32_t f = free_frames_.back();
-    free_frames_.pop_back();
+size_t BufferPool::shard_capacity(size_t s) const {
+  MutexLock lock(&shards_[s]->mu);
+  return shards_[s]->frames.size();
+}
+
+int32_t BufferPool::AcquireFrameLocked(Shard* s, Status* status) {
+  if (!s->free_frames.empty()) {
+    int32_t f = s->free_frames.back();
+    s->free_frames.pop_back();
     return f;
   }
-  if (lru_.empty()) {
-    *status = Status::ResourceExhausted("all buffer-pool frames are pinned");
+  if (s->lru.empty()) {
+    *status = Status::ResourceExhausted(
+        "all frames of the page's buffer-pool shard are pinned or loading");
     return -1;
   }
-  int32_t victim = lru_.back();
-  lru_.pop_back();
-  Frame& fr = frames_[victim];
+  int32_t victim = s->lru.back();
+  s->lru.pop_back();
+  Frame& fr = s->frames[static_cast<size_t>(victim)];
   fr.in_lru = false;
-  page_table_.erase(fr.pid);
+  s->table.erase(fr.pid);
   if (fr.dirty) {
+    // Writeback stays under the shard latch: a concurrent miss of fr.pid
+    // must not read the page from disk until these bytes have landed.
     Status st = disk_->WritePage(fr.pid, fr.data.get());
     if (!st.ok()) {
+      fr.state = FrameState::kFree;
+      s->free_frames.push_back(victim);  // contents lost, frame reusable
       *status = st;
       return -1;
     }
@@ -86,60 +129,161 @@ int32_t BufferPool::AcquireFrame(Status* status) {
 }
 
 Result<PageGuard> BufferPool::Fetch(PageId pid) {
-  MutexLock lock(&mu_);
+  const uint32_t si = static_cast<uint32_t>(shard_index(pid));
+  Shard& s = *shards_[si];
   IoStats* io = disk_->io_stats();
-  ++io->logical_reads;
-  auto it = page_table_.find(pid);
-  if (it != page_table_.end()) {
-    ++io->buffer_hits;
-    Frame& fr = frames_[it->second];
-    if (fr.in_lru) {
-      lru_.erase(fr.lru_pos);
-      fr.in_lru = false;
-      fr.lru_pos = lru_.end();
+  s.mu.lock();
+  for (;;) {
+    auto it = s.table.find(pid);
+    if (it != s.table.end()) {
+      Frame& fr = s.frames[static_cast<size_t>(it->second)];
+      if (fr.state == FrameState::kLoading) {
+        // Another fetcher is reading this page off disk. Wait (the latch is
+        // released inside the wait) and re-check from the top; a wake-up
+        // with the entry gone means the load failed or the frame was
+        // evicted, in which case this fetch becomes the loader.
+        s.cv.wait(s.mu);
+        continue;
+      }
+      if (fr.in_lru) {
+        s.lru.erase(fr.lru_pos);
+        fr.in_lru = false;
+        fr.lru_pos = s.lru.end();
+      }
+      ++fr.pin_count;
+      ++io->logical_reads;
+      ++io->buffer_hits;
+      PageGuard guard(this, si, it->second, fr.data.get());
+      s.mu.unlock();
+      return guard;
     }
-    ++fr.pin_count;
-    return PageGuard(this, it->second, fr.data.get());
+    // Miss: claim a frame and publish it as kLoading so concurrent
+    // fetchers of the same page wait instead of duplicating the read.
+    Status status = Status::OK();
+    int32_t f = AcquireFrameLocked(&s, &status);
+    if (f < 0) {
+      s.mu.unlock();
+      return status;
+    }
+    Frame& fr = s.frames[static_cast<size_t>(f)];
+    fr.pid = pid;
+    fr.state = FrameState::kLoading;
+    fr.pin_count = 1;  // loading frames are never victims
+    fr.dirty = false;
+    s.table[pid] = f;
+    char* dst = fr.data.get();
+    Status st;
+    if (options_.serialize_miss_io) {
+      // Legacy mode: the read happens under the latch, as in the
+      // monolithic pool. Lock order shard -> disk either way.
+      st = disk_->ReadPage(pid, dst);
+    } else {
+      s.mu.unlock();
+      st = disk_->ReadPage(pid, dst);
+      s.mu.lock();
+    }
+    if (!st.ok()) {
+      s.table.erase(pid);
+      fr.state = FrameState::kFree;
+      fr.pin_count = 0;
+      s.free_frames.push_back(f);
+      s.cv.notify_all();
+      s.mu.unlock();
+      return st;
+    }
+    fr.state = FrameState::kReady;
+    // The physical read was charged inside ReadPage; charging logical here,
+    // after the load succeeded, keeps logical == hits + physical exact even
+    // when fetches fail (satisfying no-charge-on-failure).
+    ++io->logical_reads;
+    s.cv.notify_all();
+    PageGuard guard(this, si, f, dst);
+    s.mu.unlock();
+    return guard;
   }
-  // Miss: the disk read happens under the latch so no second worker can
-  // race a duplicate load of the same page into another frame.
+}
+
+Status BufferPool::Prefetch(PageId pid) {
+  const uint32_t si = static_cast<uint32_t>(shard_index(pid));
+  Shard& s = *shards_[si];
+  s.mu.lock();
+  if (s.table.find(pid) != s.table.end()) {
+    // Cached or already loading (demand fetchers wait on it themselves):
+    // nothing to do.
+    s.mu.unlock();
+    return Status::OK();
+  }
   Status status = Status::OK();
-  int32_t f = AcquireFrame(&status);
-  if (f < 0) return status;
-  Frame& fr = frames_[f];
-  Status st = disk_->ReadPage(pid, fr.data.get());
-  if (!st.ok()) {
-    free_frames_.push_back(f);
-    return st;
+  int32_t f = AcquireFrameLocked(&s, &status);
+  if (f < 0) {
+    // A full shard just means readahead is running too far ahead of the
+    // consumers; skipping the page is the correct backpressure.
+    s.mu.unlock();
+    return Status::OK();
   }
+  Frame& fr = s.frames[static_cast<size_t>(f)];
   fr.pid = pid;
+  fr.state = FrameState::kLoading;
   fr.pin_count = 1;
   fr.dirty = false;
-  page_table_[pid] = f;
-  return PageGuard(this, f, fr.data.get());
+  s.table[pid] = f;
+  char* dst = fr.data.get();
+  Status st;
+  if (options_.serialize_miss_io) {
+    st = disk_->ReadPage(pid, dst, ReadClass::kPrefetch);
+  } else {
+    s.mu.unlock();
+    st = disk_->ReadPage(pid, dst, ReadClass::kPrefetch);
+    s.mu.lock();
+  }
+  if (!st.ok()) {
+    s.table.erase(pid);
+    fr.state = FrameState::kFree;
+    fr.pin_count = 0;
+    s.free_frames.push_back(f);
+    s.cv.notify_all();
+    s.mu.unlock();
+    return st;
+  }
+  fr.state = FrameState::kReady;
+  // Unpin straight to the front of the LRU: most recently used, so the
+  // window of prefetched-but-unconsumed pages survives until the scan
+  // cursor arrives (unless the shard is under real pressure).
+  fr.pin_count = 0;
+  s.lru.push_front(f);
+  fr.lru_pos = s.lru.begin();
+  fr.in_lru = true;
+  s.cv.notify_all();
+  s.mu.unlock();
+  return Status::OK();
 }
 
 Result<PageGuard> BufferPool::NewPage(SegmentId segment, PageId* out_pid) {
-  MutexLock lock(&mu_);
-  Status status = Status::OK();
-  int32_t f = AcquireFrame(&status);
-  if (f < 0) return status;
+  // Allocation is disk metadata only; it must happen before the shard can
+  // be known (the shard is a function of the new page id).
   PageNo no = disk_->AllocatePage(segment);
   PageId pid{segment, no};
-  Frame& fr = frames_[f];
+  const uint32_t si = static_cast<uint32_t>(shard_index(pid));
+  Shard& s = *shards_[si];
+  MutexLock lock(&s.mu);
+  Status status = Status::OK();
+  int32_t f = AcquireFrameLocked(&s, &status);
+  if (f < 0) return status;
+  Frame& fr = s.frames[static_cast<size_t>(f)];
   std::memset(fr.data.get(), 0, disk_->page_size());
   fr.pid = pid;
+  fr.state = FrameState::kReady;
   fr.pin_count = 1;
   fr.dirty = true;
-  page_table_[pid] = f;
+  s.table[pid] = f;
   *out_pid = pid;
-  return PageGuard(this, f, fr.data.get());
+  return PageGuard(this, si, f, fr.data.get());
 }
 
-Status BufferPool::FlushAllLocked() {
-  for (auto& [pid, f] : page_table_) {
-    Frame& fr = frames_[f];
-    if (fr.dirty) {
+Status BufferPool::FlushShardLocked(Shard* s) {
+  for (auto& [pid, f] : s->table) {
+    Frame& fr = s->frames[static_cast<size_t>(f)];
+    if (fr.state == FrameState::kReady && fr.dirty) {
       DPCF_RETURN_IF_ERROR(disk_->WritePage(fr.pid, fr.data.get()));
       fr.dirty = false;
     }
@@ -148,45 +292,73 @@ Status BufferPool::FlushAllLocked() {
 }
 
 Status BufferPool::FlushAll() {
-  MutexLock lock(&mu_);
-  return FlushAllLocked();
+  // One shard latch at a time, in increasing shard-index order (the
+  // documented aggregate order; also what keeps this deadlock-free against
+  // any future code that might hold one shard latch).
+  for (auto& shard : shards_) {
+    MutexLock lock(&shard->mu);
+    DPCF_RETURN_IF_ERROR(FlushShardLocked(shard.get()));
+  }
+  return Status::OK();
 }
 
 Status BufferPool::ColdReset() {
-  MutexLock lock(&mu_);
-  for (auto& [pid, f] : page_table_) {
-    if (frames_[f].pin_count > 0) {
-      return Status::InvalidArgument(StrFormat(
-          "ColdReset with pinned page %s", pid.ToString().c_str()));
+  // Pass 1: verify quiescence, one shard at a time in index order. A pin or
+  // in-flight load appearing *after* its shard was checked would be a caller
+  // bug — ColdReset's contract requires a quiescent pool, as before.
+  for (auto& shard : shards_) {
+    MutexLock lock(&shard->mu);
+    for (auto& [pid, f] : shard->table) {
+      const Frame& fr = shard->frames[static_cast<size_t>(f)];
+      if (fr.pin_count > 0 || fr.state == FrameState::kLoading) {
+        return Status::InvalidArgument(StrFormat(
+            "ColdReset with pinned page %s", pid.ToString().c_str()));
+      }
     }
   }
-  DPCF_RETURN_IF_ERROR(FlushAllLocked());
-  for (auto& [pid, f] : page_table_) {
-    Frame& fr = frames_[f];
-    fr.in_lru = false;
-    fr.lru_pos = lru_.end();
-    free_frames_.push_back(f);
+  // Pass 2: flush and clear, same order.
+  for (auto& shard : shards_) {
+    MutexLock lock(&shard->mu);
+    DPCF_RETURN_IF_ERROR(FlushShardLocked(shard.get()));
+    for (auto& [pid, f] : shard->table) {
+      Frame& fr = shard->frames[static_cast<size_t>(f)];
+      fr.state = FrameState::kFree;
+      fr.in_lru = false;
+      fr.lru_pos = shard->lru.end();
+      shard->free_frames.push_back(f);
+    }
+    shard->table.clear();
+    shard->lru.clear();
   }
-  page_table_.clear();
-  lru_.clear();
   disk_->ResetReadHead();
   return Status::OK();
 }
 
-void BufferPool::Unpin(int32_t frame) {
-  MutexLock lock(&mu_);
-  Frame& fr = frames_[frame];
+size_t BufferPool::cached_pages() const {
+  size_t total = 0;
+  for (auto& shard : shards_) {  // one latch at a time, index order
+    MutexLock lock(&shard->mu);
+    total += shard->table.size();
+  }
+  return total;
+}
+
+void BufferPool::Unpin(uint32_t shard, int32_t frame) {
+  Shard& s = *shards_[shard];
+  MutexLock lock(&s.mu);
+  Frame& fr = s.frames[static_cast<size_t>(frame)];
   assert(fr.pin_count > 0);
   if (--fr.pin_count == 0) {
-    lru_.push_front(frame);
-    fr.lru_pos = lru_.begin();
+    s.lru.push_front(frame);
+    fr.lru_pos = s.lru.begin();
     fr.in_lru = true;
   }
 }
 
-void BufferPool::MarkDirty(int32_t frame) {
-  MutexLock lock(&mu_);
-  frames_[frame].dirty = true;
+void BufferPool::MarkDirty(uint32_t shard, int32_t frame) {
+  Shard& s = *shards_[shard];
+  MutexLock lock(&s.mu);
+  s.frames[static_cast<size_t>(frame)].dirty = true;
 }
 
 }  // namespace dpcf

@@ -1,4 +1,4 @@
-// LRU buffer pool over the simulated disk.
+// Sharded LRU buffer pool over the simulated disk.
 //
 // Every page access during query execution goes through Fetch(), which
 // charges a logical read and, on a miss, a physical read; this is exactly the
@@ -7,21 +7,42 @@
 // ColdReset() empties the pool between measured runs to reproduce the
 // paper's cold-cache methodology.
 //
-// Thread-safe: one latch guards the frame table, pin counts and the LRU
-// list, and is held across the miss path (disk read into the frame) so two
-// workers fetching the same absent page cannot both load it. Page *data*
-// reads happen outside the latch, protected by the pin: a pinned frame is
-// never a victim, so its bytes are stable while any PageGuard is alive.
-// Morsel-parallel scan workers therefore share one pool directly.
+// Sharding: frames are partitioned into N shards (N a power of two), and a
+// page belongs to shard PageIdHash(pid) & (N-1). Each shard has its own
+// latch, page table, free list and LRU list, so concurrent fetches of pages
+// in different shards never touch the same latch.
 //
-// Lock order: BufferPool::mu_ before DiskManager::mu_ (the miss path calls
-// into the disk while latched). The order is machine-checked two ways:
-// ACQUIRED_BEFORE on mu_ (clang -Wthread-safety-beta) and EXCLUDES of the
-// disk latch on every public entry point, so calling into the pool while
-// holding the disk latch fails to compile under plain -Wthread-safety.
+// Miss protocol (LOADING): on a miss the fetching thread claims a frame,
+// publishes it in the shard's page table in the kLoading state, and *drops
+// the shard latch for the disk read*. A second fetcher of the same page
+// finds the kLoading entry and waits on the shard's condvar (releasing the
+// latch) instead of issuing a duplicate read; fetchers of other pages in the
+// shard proceed unimpeded. The loader re-latches to flip the frame to
+// kReady and wakes the waiters, who re-check from the top. Page *data*
+// reads happen outside the latch, protected by the pin: a pinned or loading
+// frame is never a victim, so its bytes are stable while any PageGuard is
+// alive. Dirty-victim writeback stays *under* the shard latch — dropping it
+// there would let a concurrent miss of the victim page read stale bytes
+// from the disk mid-writeback.
+//
+// Accounting is exact, not approximate: logical_reads is charged only when
+// a fetch succeeds (hit, wait-behind-loader, or completed load), so
+//   logical_reads == buffer_hits + physical_reads()
+// holds under any interleaving, including ResourceExhausted failures.
+//
+// Lock order: any shard latch before DiskManager::mu_ (the miss and
+// writeback paths call into the disk at most below one shard latch; no code
+// path holds two shard latches at once — aggregate operations such as
+// cached_pages()/ColdReset()/FlushAll() visit shards one at a time in
+// increasing shard-index order). The order is machine-checked two ways:
+// ACQUIRED_BEFORE on each shard's latch (clang -Wthread-safety-beta) and
+// EXCLUDES of the disk latch on every public entry point, so calling into
+// the pool while holding the disk latch fails to compile under plain
+// -Wthread-safety.
 
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -42,7 +63,7 @@ class BufferPool;
 class PageGuard {
  public:
   PageGuard() = default;
-  PageGuard(BufferPool* pool, int32_t frame, char* data);
+  PageGuard(BufferPool* pool, uint32_t shard, int32_t frame, char* data);
   PageGuard(PageGuard&& o) noexcept;
   PageGuard& operator=(PageGuard&& o) noexcept;
   PageGuard(const PageGuard&) = delete;
@@ -60,42 +81,76 @@ class PageGuard {
 
  private:
   BufferPool* pool_ = nullptr;
+  uint32_t shard_ = 0;
   int32_t frame_ = -1;
   char* data_ = nullptr;
 };
 
-/// Fixed-capacity page cache with LRU replacement and pin counts.
+struct BufferPoolOptions {
+  /// Number of shards; rounded down to a power of two and clamped to
+  /// [1, capacity]. 0 picks a default that scales with capacity (1 shard
+  /// for tiny pools, up to 8) so small single-threaded pools behave exactly
+  /// like the historical monolithic pool.
+  size_t num_shards = 0;
+  /// Compatibility/benchmark mode: hold the shard latch across the miss
+  /// disk read (the pre-sharding behavior). With num_shards = 1 this
+  /// reproduces the monolithic pool bit for bit; bench_buffer_contention
+  /// uses it as the A side of its A/B comparison.
+  bool serialize_miss_io = false;
+};
+
+/// Fixed-capacity sharded page cache with per-shard LRU replacement and pin
+/// counts.
 class BufferPool {
  public:
-  /// `capacity_pages` frames are preallocated eagerly.
-  BufferPool(DiskManager* disk, size_t capacity_pages);
+  /// `capacity_pages` frames are preallocated eagerly and split as evenly
+  /// as possible across the shards (earlier shards get the remainder).
+  BufferPool(DiskManager* disk, size_t capacity_pages,
+             BufferPoolOptions options = BufferPoolOptions{});
 
   /// Pins the page, reading it from disk on a miss. Fails with
-  /// ResourceExhausted if every frame is pinned.
-  Result<PageGuard> Fetch(PageId pid) EXCLUDES(mu_, disk_->mu_);
+  /// ResourceExhausted if every frame of the page's shard is pinned or
+  /// loading. Nothing is charged to IoStats on failure.
+  Result<PageGuard> Fetch(PageId pid) EXCLUDES(disk_->mu_);
+
+  /// Speculatively loads the page into its shard (unpinned, most recently
+  /// used) so a subsequent Fetch is a hit. Charges IoStats::prefetch_reads
+  /// instead of a physical read and never moves the disk read head. A page
+  /// already cached or loading, and a shard with no evictable frame, are
+  /// benign no-ops (Status::OK()).
+  Status Prefetch(PageId pid) EXCLUDES(disk_->mu_);
 
   /// Allocates a fresh zeroed page in `segment`, pins it, and returns the
   /// guard together with its id via `out_pid`. No physical read is charged
   /// (the page had no prior contents); the write is charged on eviction.
   Result<PageGuard> NewPage(SegmentId segment, PageId* out_pid)
-      EXCLUDES(mu_, disk_->mu_);
+      EXCLUDES(disk_->mu_);
 
-  /// Writes back all dirty frames (keeps them cached).
-  Status FlushAll() EXCLUDES(mu_, disk_->mu_);
+  /// Writes back all dirty frames (keeps them cached). Visits shards one at
+  /// a time in increasing index order; never holds two shard latches.
+  Status FlushAll() EXCLUDES(disk_->mu_);
 
   /// Writes back dirty frames and empties the pool: the next Fetch of any
-  /// page is a physical read. Fails if any page is still pinned.
-  Status ColdReset() EXCLUDES(mu_, disk_->mu_);
+  /// page is a physical read. Fails if any page is still pinned or loading.
+  /// Two shard-ordered passes (check, then flush+clear), one latch at a
+  /// time; callers must be at a quiescent point, as with the monolithic
+  /// pool.
+  Status ColdReset() EXCLUDES(disk_->mu_);
 
   size_t capacity() const { return capacity_pages_; }
-  size_t cached_pages() const EXCLUDES(mu_) {
-    MutexLock lock(&mu_);
-    return page_table_.size();
+  size_t num_shards() const { return shards_.size(); }
+  /// Which shard `pid` lives in (stable for the pool's lifetime).
+  size_t shard_index(PageId pid) const {
+    return PageIdHash{}(pid) & (shards_.size() - 1);
   }
-  DiskManager* disk() const { return disk_; }
+  /// Frame count of shard `s` (they differ by at most one).
+  size_t shard_capacity(size_t s) const;
 
-  /// Names the pool latch in annotations and tests (see DiskManager::latch).
-  Mutex* latch() const RETURN_CAPABILITY(mu_) { return &mu_; }
+  /// Cached-page count, summed shard by shard (one latch at a time). Exact
+  /// only at quiescent points, like every cross-shard aggregate.
+  size_t cached_pages() const EXCLUDES(disk_->mu_);
+
+  DiskManager* disk() const { return disk_; }
 
   /// The disk latch as this pool's annotations spell it. TSA matches
   /// capability *expressions*, so code that locks `disk()->latch()` under
@@ -109,34 +164,59 @@ class BufferPool {
  private:
   friend class PageGuard;
 
+  enum class FrameState : uint8_t {
+    kFree,     // on the shard free list; pid meaningless
+    kLoading,  // published in the page table; disk read in flight
+    kReady,    // contents valid
+  };
+
   struct Frame {
     PageId pid;
     std::unique_ptr<char[]> data;
+    FrameState state = FrameState::kFree;
     int32_t pin_count = 0;
     bool dirty = false;
-    // Position in lru_ when pin_count == 0; lru_.end() otherwise.
+    // Position in the shard lru when pin_count == 0; lru.end() otherwise.
     std::list<int32_t>::iterator lru_pos;
     bool in_lru = false;
   };
 
-  /// Returns a usable frame index: a free frame, or the LRU victim
-  /// (written back if dirty). -1 if everything is pinned.
-  int32_t AcquireFrame(Status* status) REQUIRES(mu_);
+  /// One latch domain. `disk` duplicates the pool's pointer so the
+  /// ACQUIRED_BEFORE edge can be spelled per shard (TSA attributes resolve
+  /// member expressions; Shard is a nested class of DiskManager's friend,
+  /// so naming disk->mu_ here is well-formed).
+  struct Shard {
+    explicit Shard(DiskManager* d) : disk(d) {}
+    DiskManager* const disk;
+    mutable Mutex mu ACQUIRED_BEFORE(disk->mu_);
+    /// Signaled whenever a kLoading frame resolves (to kReady or back to
+    /// the free list on error); waiters re-check the page table.
+    std::condition_variable_any cv;
+    std::vector<Frame> frames GUARDED_BY(mu);
+    std::vector<int32_t> free_frames GUARDED_BY(mu);
+    std::list<int32_t> lru GUARDED_BY(mu);  // front = most recent
+    std::unordered_map<PageId, int32_t, PageIdHash> table GUARDED_BY(mu);
+  };
 
-  /// Writes back all dirty frames.
-  Status FlushAllLocked() REQUIRES(mu_);
+  /// Returns a usable frame index in `s`: a free frame, or the LRU victim
+  /// (written back under the latch if dirty). -1 if every frame is pinned
+  /// or loading.
+  int32_t AcquireFrameLocked(Shard* s, Status* status) REQUIRES(s->mu);
 
-  void Unpin(int32_t frame) EXCLUDES(mu_);
-  void MarkDirty(int32_t frame) EXCLUDES(mu_);
+  /// Writes back all dirty kReady frames of `s`.
+  Status FlushShardLocked(Shard* s) REQUIRES(s->mu);
+
+  void Unpin(uint32_t shard, int32_t frame);
+  void MarkDirty(uint32_t shard, int32_t frame);
+
+  static size_t PickShardCount(size_t capacity, size_t requested);
 
   DiskManager* disk_;
-  size_t capacity_pages_;  // == frames_.size(); immutable after the ctor
-  mutable Mutex mu_ ACQUIRED_BEFORE(disk_->mu_);
-  std::vector<Frame> frames_ GUARDED_BY(mu_);
-  std::vector<int32_t> free_frames_ GUARDED_BY(mu_);
-  std::list<int32_t> lru_ GUARDED_BY(mu_);  // front = most recent
-  std::unordered_map<PageId, int32_t, PageIdHash> page_table_
-      GUARDED_BY(mu_);
+  size_t capacity_pages_;  // == sum of shard frame counts; ctor-immutable
+  BufferPoolOptions options_;
+  // Immutable after the ctor (the Shard contents are latched, the vector
+  // itself never changes).
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace dpcf

@@ -1,6 +1,8 @@
 #include "storage/disk_manager.h"
 
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "common/string_util.h"
 
@@ -38,35 +40,52 @@ bool DiskManager::ValidPage(PageId pid) const {
          pid.page_no < segments_[pid.segment].pages.size();
 }
 
-Status DiskManager::ReadPage(PageId pid, char* out) {
-  MutexLock lock(&mu_);
-  if (!ValidPage(pid)) {
-    return Status::OutOfRange(StrFormat("read of unknown page %s",
-                                        pid.ToString().c_str()));
+Status DiskManager::ReadPage(PageId pid, char* out, ReadClass cls) {
+  const char* src = nullptr;
+  {
+    MutexLock lock(&mu_);
+    if (!ValidPage(pid)) {
+      return Status::OutOfRange(StrFormat("read of unknown page %s",
+                                          pid.ToString().c_str()));
+    }
+    if (cls == ReadClass::kPrefetch) {
+      // Speculative: charged separately and invisible to the read head, so
+      // readahead cannot flip demand reads between seq and rand.
+      ++io_stats_.prefetch_reads;
+    } else {
+      const bool sequential = last_read_.valid() &&
+                              last_read_.segment == pid.segment &&
+                              pid.page_no == last_read_.page_no + 1;
+      if (sequential) {
+        ++io_stats_.physical_seq_reads;
+      } else {
+        ++io_stats_.physical_rand_reads;
+      }
+      last_read_ = pid;
+    }
+    src = segments_[pid.segment].pages[pid.page_no].get();
   }
-  const bool sequential = last_read_.valid() &&
-                          last_read_.segment == pid.segment &&
-                          pid.page_no == last_read_.page_no + 1;
-  if (sequential) {
-    ++io_stats_.physical_seq_reads;
-  } else {
-    ++io_stats_.physical_rand_reads;
-  }
-  last_read_ = pid;
-  std::memcpy(out, segments_[pid.segment].pages[pid.page_no].get(),
-              page_size_);
+  // Transfer outside the latch: `src` is a stable heap allocation (pages are
+  // never freed or reallocated), and the buffer pool orders conflicting
+  // transfers of the same page through its shard latches (class comment).
+  const int64_t lat = read_latency_us_.load(std::memory_order_relaxed);
+  if (lat > 0) std::this_thread::sleep_for(std::chrono::microseconds(lat));
+  std::memcpy(out, src, page_size_);
   return Status::OK();
 }
 
 Status DiskManager::WritePage(PageId pid, const char* data) {
-  MutexLock lock(&mu_);
-  if (!ValidPage(pid)) {
-    return Status::OutOfRange(StrFormat("write of unknown page %s",
-                                        pid.ToString().c_str()));
+  char* dst = nullptr;
+  {
+    MutexLock lock(&mu_);
+    if (!ValidPage(pid)) {
+      return Status::OutOfRange(StrFormat("write of unknown page %s",
+                                          pid.ToString().c_str()));
+    }
+    ++io_stats_.physical_writes;
+    dst = segments_[pid.segment].pages[pid.page_no].get();
   }
-  ++io_stats_.physical_writes;
-  std::memcpy(segments_[pid.segment].pages[pid.page_no].get(), data,
-              page_size_);
+  std::memcpy(dst, data, page_size_);
   return Status::OK();
 }
 

@@ -10,6 +10,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -22,14 +23,25 @@
 
 namespace dpcf {
 
+/// How a read should be charged to IoStats. Demand reads go through the
+/// read-head classifier (sequential vs random); prefetch reads are charged
+/// to the separate prefetch_reads counter and do NOT move the read head, so
+/// readahead cannot perturb the classification of the demand stream.
+enum class ReadClass { kDemand, kPrefetch };
+
 /// In-memory simulated disk with per-segment page arrays and I/O accounting.
 ///
-/// Thread-safe: a single latch serializes page transfers and the read-head
+/// Thread-safe: a single latch serializes segment metadata and the read-head
 /// classification (sequential vs random is inherently a property of the
 /// global request order, so it must be decided under the latch), and the
-/// IoStats counters are relaxed atomics. With morsel-parallel scans the
-/// interleaving of workers means fewer reads classify as sequential than in
-/// a serial scan — exactly as on real hardware with one arm.
+/// IoStats counters are relaxed atomics. The byte transfer itself happens
+/// *outside* the latch: page buffers are stable heap allocations, and the
+/// buffer pool orders conflicting transfers through its own shard latches
+/// (a frame being filled is LOADING — unreachable by readers — and a dirty
+/// victim is written back under the shard latch before the frame is
+/// reused). With morsel-parallel scans the interleaving of workers means
+/// fewer reads classify as sequential than in a serial scan — exactly as on
+/// real hardware with one arm.
 class DiskManager {
  public:
   explicit DiskManager(size_t page_size = kDefaultPageSize);
@@ -48,9 +60,12 @@ class DiskManager {
 
   const std::string& SegmentName(SegmentId segment) const EXCLUDES(mu_);
 
-  /// Physical read of a page into `out` (page_size bytes). Charged to
-  /// IoStats as sequential or random per the read-head model.
-  Status ReadPage(PageId pid, char* out) EXCLUDES(mu_);
+  /// Physical read of a page into `out` (page_size bytes). Demand reads are
+  /// charged to IoStats as sequential or random per the read-head model;
+  /// prefetch reads are charged to prefetch_reads only. The simulated device
+  /// latency (if any) is slept outside the latch so concurrent reads overlap.
+  Status ReadPage(PageId pid, char* out, ReadClass cls = ReadClass::kDemand)
+      EXCLUDES(mu_);
 
   /// Physical write of a page. Charged as a write.
   Status WritePage(PageId pid, const char* data) EXCLUDES(mu_);
@@ -73,6 +88,17 @@ class DiskManager {
   /// a disk-before-pool acquisition a compile error at the call site).
   Mutex* latch() const RETURN_CAPABILITY(mu_) { return &mu_; }
 
+  /// Simulated per-read device latency, slept outside any latch so reads
+  /// issued by different threads overlap (as on a disk with queue depth).
+  /// Contention benches and tests use this to make miss-path latch holds
+  /// measurable; 0 (the default) disables the sleep entirely.
+  void set_read_latency_us(int64_t us) {
+    read_latency_us_.store(us, std::memory_order_relaxed);
+  }
+  int64_t read_latency_us() const {
+    return read_latency_us_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class BufferPool;  // names mu_ in its lock-order annotations
 
@@ -88,6 +114,7 @@ class DiskManager {
   std::vector<Segment> segments_ GUARDED_BY(mu_);
   IoStats io_stats_;  // relaxed atomics: charged without the latch
   PageId last_read_ GUARDED_BY(mu_);  // invalid when head position unknown
+  std::atomic<int64_t> read_latency_us_{0};  // its own synchronization
 };
 
 }  // namespace dpcf

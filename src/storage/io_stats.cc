@@ -6,10 +6,12 @@ namespace dpcf {
 
 std::string IoStats::ToString() const {
   return StrFormat(
-      "IoStats{seq=%lld rand=%lld writes=%lld logical=%lld hits=%lld}",
+      "IoStats{seq=%lld rand=%lld writes=%lld prefetch=%lld logical=%lld "
+      "hits=%lld}",
       static_cast<long long>(physical_seq_reads),
       static_cast<long long>(physical_rand_reads),
       static_cast<long long>(physical_writes),
+      static_cast<long long>(prefetch_reads),
       static_cast<long long>(logical_reads),
       static_cast<long long>(buffer_hits));
 }
@@ -30,6 +32,10 @@ double SimulatedMillis(const IoStats& io, const CpuStats& cpu,
   double ms = 0.0;
   ms += static_cast<double>(io.physical_seq_reads) * p.seq_read_ms;
   ms += static_cast<double>(io.physical_rand_reads) * p.rand_read_ms;
+  // Readahead streams pages in order ahead of the scan cursor, so a
+  // prefetched page costs a sequential transfer even though it bypasses
+  // the read-head classifier.
+  ms += static_cast<double>(io.prefetch_reads) * p.seq_read_ms;
   ms += static_cast<double>(io.physical_writes) * p.write_ms;
   ms += static_cast<double>(cpu.rows_processed) * p.cpu_row_ms;
   ms += static_cast<double>(cpu.predicate_atom_evals) * p.cpu_pred_atom_ms;

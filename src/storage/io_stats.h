@@ -71,7 +71,16 @@ struct IoStats {
   AtomicCounter physical_rand_reads;
   AtomicCounter physical_writes;
 
-  // Logical I/O (every buffer-pool page request, hit or miss).
+  // Speculative reads issued by scan readahead. Charged *instead of* a
+  // physical read so a prefetched page that is never consumed does not
+  // inflate the figures; when the scan later fetches it, that fetch is a
+  // logical read + buffer hit. Invariant at quiescent points:
+  //   logical_reads == buffer_hits + physical_reads().
+  AtomicCounter prefetch_reads;
+
+  // Logical I/O: every *successful* buffer-pool page request, hit or miss.
+  // Failed fetches (e.g. ResourceExhausted) charge nothing, which keeps the
+  // invariant above exact rather than approximate under contention.
   AtomicCounter logical_reads;
   AtomicCounter buffer_hits;
 
@@ -85,6 +94,7 @@ struct IoStats {
     physical_seq_reads += o.physical_seq_reads;
     physical_rand_reads += o.physical_rand_reads;
     physical_writes += o.physical_writes;
+    prefetch_reads += o.prefetch_reads;
     logical_reads += o.logical_reads;
     buffer_hits += o.buffer_hits;
     return *this;

@@ -57,7 +57,8 @@ std::vector<Index*> Catalog::Indexes() const {
 Database::Database(DatabaseOptions options)
     : options_(options),
       disk_(options.page_size),
-      pool_(&disk_, options.buffer_pool_pages) {}
+      pool_(&disk_, options.buffer_pool_pages,
+            BufferPoolOptions{options.buffer_pool_shards}) {}
 
 Result<Table*> Database::CreateTable(const std::string& name, Schema schema,
                                      TableOrganization organization,

@@ -43,6 +43,9 @@ class Catalog {
 struct DatabaseOptions {
   size_t page_size = kDefaultPageSize;
   size_t buffer_pool_pages = 4096;
+  /// Buffer-pool shards (see BufferPoolOptions::num_shards); 0 picks the
+  /// capacity-scaled default.
+  size_t buffer_pool_shards = 0;
   /// Simulated device/CPU cost constants used when deriving run times.
   SimCostParams cost_params;
 };

@@ -1,10 +1,14 @@
 // Multi-threaded buffer-pool stress: concurrent Fetch/pin/unpin with
 // eviction pressure, concurrent dirty writes with writeback, and concurrent
-// NewPage allocation. Verifies page *content* integrity (a stamp in every
-// page) and I/O accounting, and is run under ThreadSanitizer in CI.
+// NewPage allocation, each run against 1, 2 and 8 shards (1 shard is the
+// historical monolithic configuration). Verifies page *content* integrity
+// (a stamp in every page) and that I/O accounting is *exact* under
+// contention — logical_reads == buffer_hits + physical_reads() as an
+// equality, never an approximation. Run under ThreadSanitizer in CI.
 
 #include <algorithm>
 #include <atomic>
+#include <barrier>
 #include <cstring>
 #include <thread>
 #include <vector>
@@ -28,10 +32,16 @@ int64_t ReadStamp(const char* data) {
 
 void WriteStamp(char* data, int64_t v) { std::memcpy(data, &v, sizeof(v)); }
 
-TEST(BufferPoolConcurrencyTest, ConcurrentFetchKeepsContentsIntact) {
+/// Param: shard count. Capacities below are chosen so that the worst-case
+/// concentration of simultaneous pins into one shard still fits in that
+/// shard's frame quota — fetches must then never fail, which is what makes
+/// the exact accounting assertions valid.
+class BufferPoolConcurrencyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BufferPoolConcurrencyTest, ConcurrentFetchKeepsContentsIntact) {
   DiskManager disk(kPageSize);
   SegmentId seg = disk.CreateSegment("t");
-  const PageNo kPages = 128;
+  const PageNo kPages = 512;
   std::vector<char> buf(kPageSize, 0);
   for (PageNo p = 0; p < kPages; ++p) {
     disk.AllocatePage(seg);
@@ -40,8 +50,10 @@ TEST(BufferPoolConcurrencyTest, ConcurrentFetchKeepsContentsIntact) {
   }
 
   // Capacity well below the page count so eviction and writeback run
-  // constantly under contention.
-  BufferPool pool(&disk, 32);
+  // constantly under contention; 8 threads hold at most 2 pins each, and
+  // 16 <= 128/8 frames per shard, so no fetch can exhaust a shard.
+  BufferPool pool(&disk, 128, BufferPoolOptions{GetParam()});
+  ASSERT_EQ(pool.num_shards(), GetParam());
 
   const int kThreads = 8;
   const int kIters = 4000;
@@ -86,14 +98,16 @@ TEST(BufferPoolConcurrencyTest, ConcurrentFetchKeepsContentsIntact) {
   for (std::thread& th : threads) th.join();
   ASSERT_EQ(failures.load(), 0);
 
-  // Accounting: every Fetch charged one logical read, and each one was
-  // either a hit or exactly one physical read (no duplicate loads).
+  // Exact accounting under contention (regression for the miss-path charge
+  // ordering): every successful Fetch charged exactly one logical read, and
+  // each was either a hit or exactly one physical read — no duplicate loads
+  // of a page two threads raced on, and no charge was dropped or doubled
+  // across the latch-free miss window.
   IoStats* io = disk.io_stats();
   EXPECT_EQ(static_cast<int64_t>(io->logical_reads), fetches.load());
-  EXPECT_EQ(static_cast<int64_t>(io->buffer_hits) +
-                static_cast<int64_t>(io->physical_seq_reads) +
-                static_cast<int64_t>(io->physical_rand_reads),
+  EXPECT_EQ(static_cast<int64_t>(io->buffer_hits) + io->physical_reads(),
             fetches.load());
+  EXPECT_EQ(static_cast<int64_t>(io->prefetch_reads), 0);
 
   // All stamps still intact after writeback of every dirty frame.
   ASSERT_OK(pool.FlushAll());
@@ -103,10 +117,61 @@ TEST(BufferPoolConcurrencyTest, ConcurrentFetchKeepsContentsIntact) {
   }
 }
 
-TEST(BufferPoolConcurrencyTest, ConcurrentNewPageAllocatesDistinctPages) {
+TEST_P(BufferPoolConcurrencyTest, SamePageColdFetchYieldsOnePhysicalRead) {
+  DiskManager disk(kPageSize);
+  SegmentId seg = disk.CreateSegment("t");
+  const PageNo kPages = 64;
+  std::vector<char> buf(kPageSize, 0);
+  for (PageNo p = 0; p < kPages; ++p) {
+    disk.AllocatePage(seg);
+    WriteStamp(buf.data(), 9000 + p);
+    ASSERT_OK(disk.WritePage(PageId{seg, p}, buf.data()));
+  }
+  // Slow the simulated device so every thread reliably arrives while the
+  // loader still has the page in kLoading (the window would otherwise be
+  // nanoseconds and the waiters' path would rarely run).
+  disk.set_read_latency_us(200);
+
+  // Capacity >= page count: no eviction, so the counters below are exact.
+  BufferPool pool(&disk, 128, BufferPoolOptions{GetParam()});
+
+  const int kThreads = 8;
+  std::barrier sync(kThreads);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (PageNo p = 0; p < kPages; ++p) {
+        // All threads release the barrier together and race Fetch on the
+        // same absent page; exactly one must become the loader.
+        sync.arrive_and_wait();
+        auto guard = pool.Fetch(PageId{seg, p});
+        if (!guard.ok() || ReadStamp(guard->data()) != 9000 + p) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  // One physical read per page despite 8 concurrent fetchers of it; every
+  // non-loader was a buffer hit (either waited on the loading frame or
+  // arrived after it became ready).
+  IoStats* io = disk.io_stats();
+  EXPECT_EQ(io->physical_reads(), static_cast<int64_t>(kPages));
+  EXPECT_EQ(static_cast<int64_t>(io->logical_reads),
+            static_cast<int64_t>(kPages) * kThreads);
+  EXPECT_EQ(static_cast<int64_t>(io->buffer_hits),
+            static_cast<int64_t>(kPages) * (kThreads - 1));
+}
+
+TEST_P(BufferPoolConcurrencyTest, ConcurrentNewPageAllocatesDistinctPages) {
   DiskManager disk(kPageSize);
   SegmentId seg = disk.CreateSegment("scratch");
-  BufferPool pool(&disk, 16);
+  // 4 single-pin threads never fill an 8-frame shard (64/8).
+  BufferPool pool(&disk, 64, BufferPoolOptions{GetParam()});
 
   const int kThreads = 4;
   const int kPagesPerThread = 50;
@@ -150,7 +215,7 @@ TEST(BufferPoolConcurrencyTest, ConcurrentNewPageAllocatesDistinctPages) {
   EXPECT_EQ(disk.SegmentPageCount(seg), static_cast<PageNo>(all.size()));
 }
 
-TEST(BufferPoolConcurrencyTest, EvictionStormUnderTinyPool) {
+TEST_P(BufferPoolConcurrencyTest, EvictionStormUnderTinyPool) {
   DiskManager disk(kPageSize);
   SegmentId seg = disk.CreateSegment("t");
   const PageNo kPages = 64;
@@ -160,8 +225,10 @@ TEST(BufferPoolConcurrencyTest, EvictionStormUnderTinyPool) {
     WriteStamp(buf.data(), 42 + p);
     ASSERT_OK(disk.WritePage(PageId{seg, p}, buf.data()));
   }
-  // Only 8 frames for 4 threads: nearly every fetch evicts.
-  BufferPool pool(&disk, 8);
+  // A few frames per shard for 4 single-pin threads: nearly every fetch
+  // evicts, but a shard (>= 4 frames) can always seat one more fetch.
+  const size_t capacity = std::max<size_t>(8, 4 * GetParam());
+  BufferPool pool(&disk, capacity, BufferPoolOptions{GetParam()});
   std::atomic<int> failures{0};
   std::vector<std::thread> threads;
   for (int t = 0; t < 4; ++t) {
@@ -180,7 +247,45 @@ TEST(BufferPoolConcurrencyTest, EvictionStormUnderTinyPool) {
   }
   for (std::thread& th : threads) th.join();
   EXPECT_EQ(failures.load(), 0);
+  const IoStats& io = *disk.io_stats();
+  EXPECT_EQ(static_cast<int64_t>(io.logical_reads),
+            static_cast<int64_t>(io.buffer_hits) + io.physical_reads());
 }
+
+TEST_P(BufferPoolConcurrencyTest, ShardAggregatesAndColdReset) {
+  DiskManager disk(kPageSize);
+  SegmentId seg = disk.CreateSegment("t");
+  const PageNo kPages = 32;
+  for (PageNo p = 0; p < kPages; ++p) disk.AllocatePage(seg);
+  BufferPool pool(&disk, 64, BufferPoolOptions{GetParam()});
+
+  for (PageNo p = 0; p < kPages; ++p) {
+    auto g = pool.Fetch(PageId{seg, p});
+    ASSERT_OK(g.status());
+  }
+  // cached_pages() sums the per-shard tables (one latch at a time).
+  EXPECT_EQ(pool.cached_pages(), static_cast<size_t>(kPages));
+
+  {
+    auto pinned = pool.Fetch(PageId{seg, 0});
+    ASSERT_OK(pinned.status());
+    EXPECT_FALSE(pool.ColdReset().ok());  // pinned page anywhere blocks it
+  }
+  ASSERT_OK(pool.ColdReset());
+  EXPECT_EQ(pool.cached_pages(), 0u);
+
+  // The next fetch of every page is physical again.
+  int64_t phys_before = disk.io_stats()->physical_reads();
+  for (PageNo p = 0; p < kPages; ++p) {
+    auto g = pool.Fetch(PageId{seg, p});
+    ASSERT_OK(g.status());
+  }
+  EXPECT_EQ(disk.io_stats()->physical_reads() - phys_before,
+            static_cast<int64_t>(kPages));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, BufferPoolConcurrencyTest,
+                         ::testing::Values(1u, 2u, 8u));
 
 }  // namespace
 }  // namespace dpcf

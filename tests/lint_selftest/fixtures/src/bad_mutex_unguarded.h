@@ -1,0 +1,23 @@
+// Fixture: violates dpcf-mutex-annotation check 3 once — the latch shows
+// up in lock-discipline annotations (EXCLUDES), so check 2 is satisfied,
+// but no member is GUARDED_BY it, so TSA cannot catch an unlocked access
+// to `value_`.
+#pragma once
+
+#include "common/thread_annotations.h"
+
+namespace dpcf {
+
+class BadMutexUnguarded {
+ public:
+  void Touch() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    ++value_;
+  }
+
+ private:
+  mutable Mutex mu_;  // finding: locked, but guards no annotated state
+  int value_ = 0;
+};
+
+}  // namespace dpcf

@@ -22,6 +22,7 @@ FIXTURES = os.path.join(HERE, "fixtures")
 #  None = "at least one").
 VIOLATING = [
     ("dpcf-mutex-annotation", ["src/bad_mutex.h"], 2),
+    ("dpcf-mutex-annotation", ["src/bad_mutex_unguarded.h"], 1),
     ("dpcf-nondeterminism", ["src/core/bad_random.h"], 3),
     ("dpcf-discarded-status", ["src/bad_status.h", "src/bad_status.cc"], 2),
     ("dpcf-include-hygiene", ["src/bad_include.h"], 2),

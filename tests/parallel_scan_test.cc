@@ -190,6 +190,56 @@ TEST_F(ParallelScanTest, MatchesSerialTuplesAndFeedback) {
   }
 }
 
+TEST_F(ParallelScanTest, ReadaheadPreservesFeedbackAndAccounting) {
+  TableScanOp serial(t_, Pushed(), {kC1, kC5}, MakeBundle());
+  RunResult serial_run = Run(&serial);
+  ASSERT_GT(serial_run.output.size(), 0u);
+  EXPECT_EQ(serial_run.stats.io.prefetch_reads, 0);
+
+  for (int threads : {1, 4}) {
+    ParallelTableScanOp parallel(
+        t_, Pushed(), {kC1, kC5}, MakeBundle(),
+        ParallelScanOptions{threads, 8, /*prefetch_pages=*/64});
+    RunResult parallel_run = Run(&parallel);
+
+    // Identical tuples in identical order — readahead only changes *when*
+    // pages enter the pool, never what the scan sees.
+    ASSERT_EQ(parallel_run.output.size(), serial_run.output.size())
+        << "threads=" << threads;
+    for (size_t i = 0; i < serial_run.output.size(); ++i) {
+      ASSERT_TRUE(parallel_run.output[i] == serial_run.output[i])
+          << "tuple " << i << " differs at threads=" << threads;
+    }
+
+    // Bit-for-bit identical merged DPC feedback with readahead enabled.
+    ASSERT_EQ(parallel_run.stats.monitors.size(),
+              serial_run.stats.monitors.size());
+    for (size_t i = 0; i < serial_run.stats.monitors.size(); ++i) {
+      const MonitorRecord& s = serial_run.stats.monitors[i];
+      const MonitorRecord& p = parallel_run.stats.monitors[i];
+      EXPECT_EQ(p.label, s.label);
+      EXPECT_EQ(p.actual_dpc, s.actual_dpc)
+          << s.label << " at threads=" << threads;
+      EXPECT_EQ(p.actual_cardinality, s.actual_cardinality)
+          << s.label << " at threads=" << threads;
+    }
+
+    // Honest accounting: the readahead thread actually ran, and every page
+    // entered the pool exactly once — charged either as a prefetch or as a
+    // demand physical read, never both (a prefetched page's later fetch is
+    // a logical read + buffer hit).
+    EXPECT_GT(parallel_run.stats.io.prefetch_reads, 0)
+        << "threads=" << threads;
+    EXPECT_EQ(static_cast<int64_t>(parallel_run.stats.io.prefetch_reads) +
+                  parallel_run.stats.io.physical_reads(),
+              serial_run.stats.io.physical_reads())
+        << "threads=" << threads;
+    EXPECT_EQ(parallel_run.stats.io.logical_reads,
+              serial_run.stats.io.logical_reads)
+        << "threads=" << threads;
+  }
+}
+
 TEST_F(ParallelScanTest, EmptyPredicateFullScanMatches) {
   TableScanOp serial(t_, Predicate(), {kC1}, nullptr);
   RunResult serial_run = Run(&serial);
@@ -226,9 +276,12 @@ TEST_F(ParallelScanTest, PlannerLowersToParallelScan) {
   PlanMonitorHooks parallel_hooks;
   parallel_hooks.scan_threads = 4;
   parallel_hooks.morsel_pages = 8;
+  parallel_hooks.prefetch_pages = 32;
   ASSERT_OK_AND_ASSIGN(OperatorPtr parallel_op,
                        BuildSingleTableExec(path, query, parallel_hooks));
   EXPECT_NE(DescribeTree(*parallel_op).find("Parallel"), std::string::npos);
+  EXPECT_NE(DescribeTree(*parallel_op).find("prefetch=32"),
+            std::string::npos);
   RunResult parallel_run = Run(parallel_op.get());
 
   ASSERT_EQ(parallel_run.output.size(), 1u);

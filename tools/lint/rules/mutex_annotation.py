@@ -1,12 +1,17 @@
 """dpcf-mutex-annotation: every latch must be visible to clang TSA.
 
-Two checks, scoped to files under src/:
+Three checks, scoped to files under src/:
   1. A member/variable of type std::mutex (or friends) is rejected —
      dpcf::Mutex from common/thread_annotations.h is the same mutex plus a
      CAPABILITY attribute, so the analysis can see who holds it.
   2. A dpcf::Mutex member whose name is never referenced by a GUARDED_BY /
      PT_GUARDED_BY / REQUIRES / ACQUIRE annotation in the same file guards
      nothing: either annotate the state it protects or delete it.
+  3. A dpcf::Mutex that appears only in lock-discipline annotations
+     (REQUIRES / EXCLUDES / ACQUIRE / ...) but never in a GUARDED_BY /
+     PT_GUARDED_BY is suspicious for the opposite reason: functions hold it
+     but no data is declared as protected by it, so TSA cannot catch an
+     unlocked access to whatever it is meant to cover. Annotate the state.
 """
 
 import re
@@ -54,3 +59,14 @@ def check(source):
             yield (i, f"dpcf::Mutex '{name}' is not referenced by any "
                       "GUARDED_BY/REQUIRES/EXCLUDES annotation in this "
                       "file — annotate what it protects")
+            continue
+        # Check 3 (mutually exclusive with check 2): referenced by
+        # lock-discipline annotations, but no state is GUARDED_BY it.
+        guards_state = any(
+            re.search(rf"\b{macro}\s*\([^)]*\b{re.escape(name)}\b", whole)
+            for macro in ("GUARDED_BY", "PT_GUARDED_BY"))
+        if not guards_state:
+            yield (i, f"dpcf::Mutex '{name}' appears in lock annotations "
+                      "but no member is GUARDED_BY it — TSA cannot catch "
+                      "unlocked access to the state it protects; add "
+                      "GUARDED_BY to that state")
