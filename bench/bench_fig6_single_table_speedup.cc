@@ -27,11 +27,19 @@ int main() {
   // The paper optimizes each query independently; cross-query DPC-
   // histogram learning is evaluated separately (ablation_feedback_reuse).
   options.learn_dpc_histograms = false;
+  // Feedback is thread-count and readahead invariant (the monitor bundles
+  // are mergeable sketches), so the parallel knobs only change run time.
+  options.monitor.scan_threads = ScanThreads();
+  options.monitor.prefetch_pages = PrefetchPages();
+  // An observability dump wants the annotated EXPLAIN ANALYZE plan, which
+  // requires per-operator profiling.
+  options.profile_operators = ObsDir() != nullptr;
   FeedbackDriver driver(pair.db.get(), &pair.stats, options);
 
   TablePrinter table({"q#", "col", "sel", "plan P", "plan P'", "T(ms)",
                       "T'(ms)", "SpeedUp"});
   std::map<int, std::vector<double>> by_col;
+  std::string last_annotated_plan;
   int changed = 0;
   for (size_t i = 0; i < queries.size(); ++i) {
     const GeneratedSingleQuery& g = queries[i];
@@ -43,6 +51,9 @@ int main() {
         CheckOk(driver.RunSingleTable(g.query), "feedback run");
     by_col[g.column].push_back(out.speedup);
     changed += out.plan_changed;
+    if (!out.annotated_plan.empty()) {
+      last_annotated_plan = out.annotated_plan;
+    }
     table.AddRow({std::to_string(i + 1), ColumnName(*pair.t, g.column),
                   Pct(g.target_selectivity), ShortPlan(out.plan_before),
                   ShortPlan(out.plan_after),
@@ -61,8 +72,14 @@ int main() {
     std::printf("  %-3s mean=%-8s max=%s\n", ColumnName(*pair.t, col),
                 Pct(sum / speeds.size()).c_str(), Pct(mx).c_str());
   }
+  std::printf("\nEstimation error by (table, mechanism):\n%s",
+              driver.error_tracker()->Report().c_str());
+
   std::printf("\nSUMMARY fig6: %d/%zu plans changed by feedback\n",
               changed, queries.size());
-  CheckIoInvariant(*pair.db->disk()->io_stats(), "fig6 accounting");
+  CheckIoInvariant(*pair.db->disk()->io_stats(), "fig6 accounting",
+                   /*expect_no_prefetch=*/PrefetchPages() == 0);
+  MaybeDumpObservability(pair.db.get(), last_annotated_plan,
+                         driver.error_tracker()->Report());
   return 0;
 }

@@ -1,9 +1,15 @@
 // Shared helpers for the figure-reproduction benchmark binaries.
 //
 // Scale knobs (environment variables):
-//   DPCF_ROWS      synthetic table rows           (default 400000)
-//   DPCF_SCALE     real-world dataset scale        (default 1.0)
-//   DPCF_TPCH_ROWS tpch-like lineitem rows         (default 240000)
+//   DPCF_ROWS         synthetic table rows           (default 400000)
+//   DPCF_SCALE        real-world dataset scale       (default 1.0)
+//   DPCF_TPCH_ROWS    tpch-like lineitem rows        (default 240000)
+//   DPCF_SCAN_THREADS morsel workers for monitored scans (default 1)
+//   DPCF_PREFETCH     readahead window in pages      (default 0 = off)
+//   DPCF_OBS_DIR      when set, benches that support it enable tracing and
+//                     dump metrics.prom / metrics.json / trace.json /
+//                     explain.txt there (validated by
+//                     tools/check_observability.py)
 // Each binary prints the series of one paper table/figure as an aligned
 // text table plus a one-line SUMMARY, so `for b in build/bench/*; do $b;
 // done` regenerates the whole evaluation.
@@ -40,6 +46,14 @@ inline double EnvDouble(const char* name, double def) {
 inline int64_t SyntheticRows() { return EnvInt("DPCF_ROWS", 400'000); }
 inline double RealWorldScale() { return EnvDouble("DPCF_SCALE", 1.0); }
 inline int64_t TpchRows() { return EnvInt("DPCF_TPCH_ROWS", 240'000); }
+inline int ScanThreads() {
+  return static_cast<int>(EnvInt("DPCF_SCAN_THREADS", 1));
+}
+inline uint32_t PrefetchPages() {
+  return static_cast<uint32_t>(EnvInt("DPCF_PREFETCH", 0));
+}
+/// Observability dump directory; nullptr when DPCF_OBS_DIR is unset.
+inline const char* ObsDir() { return std::getenv("DPCF_OBS_DIR"); }
 
 /// Dies on error — benches have no meaningful recovery.
 inline void CheckOk(const Status& status, const char* what) {
@@ -57,14 +71,24 @@ T CheckOk(Result<T> result, const char* what) {
 }
 
 /// Exact I/O-accounting invariant for figure benches: every logical read
-/// was a hit or exactly one physical read, and nothing was charged as a
-/// prefetch (serial figure runs never issue readahead). Dies on violation,
-/// so a figure can never be produced from counters the sharded pool
-/// silently perturbed relative to the pre-sharding (monolithic) values.
-inline void CheckIoInvariant(const IoStats& io, const char* what) {
-  if (static_cast<int64_t>(io.logical_reads) !=
-          static_cast<int64_t>(io.buffer_hits) + io.physical_reads() ||
-      static_cast<int64_t>(io.prefetch_reads) != 0) {
+/// was a hit or exactly one physical read, and no prefetched load was
+/// demanded more often than it was issued (prefetch_hits <= prefetch_reads
+/// at every quiescent point). With `expect_no_prefetch` (the default —
+/// serial figure runs never issue readahead) any prefetch charge at all is
+/// fatal. Dies on violation, so a figure can never be produced from
+/// counters the sharded pool silently perturbed relative to the
+/// pre-sharding (monolithic) values.
+inline void CheckIoInvariant(const IoStats& io, const char* what,
+                             bool expect_no_prefetch = true) {
+  const bool balanced =
+      static_cast<int64_t>(io.logical_reads) ==
+      static_cast<int64_t>(io.buffer_hits) + io.physical_reads();
+  const bool prefetch_ok =
+      static_cast<int64_t>(io.prefetch_hits) <=
+          static_cast<int64_t>(io.prefetch_reads) &&
+      (!expect_no_prefetch ||
+       static_cast<int64_t>(io.prefetch_reads) == 0);
+  if (!balanced || !prefetch_ok) {
     std::fprintf(stderr, "FATAL %s: inconsistent IoStats %s\n", what,
                  io.ToString().c_str());
     std::exit(1);
@@ -84,6 +108,9 @@ inline SyntheticPair BuildSyntheticPair(bool with_t1) {
   SyntheticPair out;
   DatabaseOptions db_opts;
   db_opts.buffer_pool_pages = 4096;
+  // An observability dump was requested: record trace events from the
+  // start so the dump covers the whole bench, not just the final query.
+  db_opts.observability.tracing = ObsDir() != nullptr;
   out.db = std::make_unique<Database>(db_opts);
   SyntheticOptions opts;
   opts.num_rows = SyntheticRows();
@@ -103,6 +130,40 @@ inline SyntheticPair BuildSyntheticPair(bool with_t1) {
     CheckOk(out.stats.BuildAll(out.db->disk(), *out.t1), "stats T1");
   }
   return out;
+}
+
+/// Writes `text` to `dir`/`file`, dying on I/O failure (like CheckOk: the
+/// dump is the point of an observability run, so a half-written one must
+/// not look like success).
+inline void WriteFileOrDie(const std::string& dir, const char* file,
+                           const std::string& text) {
+  const std::string path = dir + "/" + file;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr ||
+      std::fwrite(text.data(), 1, text.size(), f) != text.size() ||
+      std::fclose(f) != 0) {
+    std::fprintf(stderr, "FATAL: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+}
+
+/// When DPCF_OBS_DIR is set, dumps the Database's observability state
+/// there: metrics.prom (Prometheus text), metrics.json, trace.json
+/// (chrome://tracing / Perfetto), and explain.txt (`annotated_plan` plus
+/// `error_report`, typically FeedbackOutcome::annotated_plan and the
+/// driver's EstimationErrorTracker Report()). The directory must already
+/// exist. No-op when the variable is unset.
+inline void MaybeDumpObservability(Database* db,
+                                   const std::string& annotated_plan,
+                                   const std::string& error_report) {
+  const char* dir = ObsDir();
+  if (dir == nullptr) return;
+  WriteFileOrDie(dir, "metrics.prom", db->metrics()->PrometheusText());
+  WriteFileOrDie(dir, "metrics.json", db->metrics()->ToJson());
+  WriteFileOrDie(dir, "trace.json", db->trace()->ToJson());
+  WriteFileOrDie(dir, "explain.txt",
+                 annotated_plan + "\n" + error_report);
+  std::printf("observability dump written to %s\n", dir);
 }
 
 /// Aligned text-table printer.

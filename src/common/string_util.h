@@ -19,6 +19,11 @@ std::string Join(const std::vector<std::string>& parts,
 /// Escapes a string for embedding in the XML-ish run reports.
 std::string XmlEscape(const std::string& s);
 
+/// Escapes a string for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters). Used by the observability exports
+/// (trace_event / metrics JSON).
+std::string JsonEscape(const std::string& s);
+
 /// Formats a double with `digits` significant decimals, trimming zeros.
 std::string FormatDouble(double v, int digits = 4);
 

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/string_util.h"
+#include "obs/op_profile.h"
 
 namespace dpcf {
 
@@ -153,6 +154,8 @@ Result<RunStatistics> FeedbackDriver::ExecuteSingle(
     int64_t* count_result) {
   DPCF_RETURN_IF_ERROR(db_->ColdCache());
   ExecContext ctx(db_->buffer_pool(), options_.exec_seed);
+  ctx.set_trace(db_->trace());
+  ctx.set_profiling(options_.profile_operators);
   PlanMonitorHooks hooks;
   hooks.scan_sample_fraction = options_.monitor.scan_sample_fraction;
   hooks.seed = options_.monitor.seed;
@@ -176,6 +179,8 @@ Result<RunStatistics> FeedbackDriver::ExecuteJoin(
     std::vector<MonitoredExpr>* entries, int64_t* count_result) {
   DPCF_RETURN_IF_ERROR(db_->ColdCache());
   ExecContext ctx(db_->buffer_pool(), options_.exec_seed);
+  ctx.set_trace(db_->trace());
+  ctx.set_profiling(options_.profile_operators);
   PlanMonitorHooks hooks;
   hooks.scan_sample_fraction = options_.monitor.scan_sample_fraction;
   hooks.seed = options_.monitor.seed;
@@ -267,6 +272,11 @@ Result<FeedbackOutcome> FeedbackDriver::RunSingleTable(
                         ExecuteSingle(before, query, true, &entries));
   AttachEstimates(opt, entries, nullptr, &out.monitored_run);
   out.feedback = out.monitored_run.monitors;
+  error_tracker_.RecordAll(out.feedback);
+  if (out.monitored_run.profile != nullptr) {
+    out.annotated_plan = RenderAnnotatedPlan(
+        *out.monitored_run.profile, out.feedback, options_.cost_params);
+  }
 
   store_.RecordRun(out.monitored_run);
   store_.ApplyToHints(&hints_);
@@ -313,6 +323,11 @@ Result<FeedbackOutcome> FeedbackDriver::RunJoin(const JoinQuery& query) {
                         ExecuteJoin(before, query, true, &entries));
   AttachEstimates(opt, entries, &query, &out.monitored_run);
   out.feedback = out.monitored_run.monitors;
+  error_tracker_.RecordAll(out.feedback);
+  if (out.monitored_run.profile != nullptr) {
+    out.annotated_plan = RenderAnnotatedPlan(
+        *out.monitored_run.profile, out.feedback, options_.cost_params);
+  }
 
   store_.RecordRun(out.monitored_run);
   store_.ApplyToHints(&hints_);

@@ -22,6 +22,7 @@
 #include "core/monitor_manager.h"
 #include "core/run_statistics.h"
 #include "exec/executor.h"
+#include "obs/estimation_error_tracker.h"
 #include "optimizer/optimizer.h"
 
 namespace dpcf {
@@ -37,6 +38,11 @@ struct FeedbackRunOptions {
   bool learn_dpc_histograms = true;
   SimCostParams cost_params;
   uint64_t exec_seed = 0x5eed;
+  /// Thread OpProfiles through every run and render the monitored run as
+  /// an annotated EXPLAIN ANALYZE plan (FeedbackOutcome::annotated_plan).
+  /// Off by default: profiling snapshots IoStats around every operator
+  /// call, which is measurable on the per-row Next path.
+  bool profile_operators = false;
 };
 
 /// Everything the methodology produces for one query.
@@ -57,6 +63,11 @@ struct FeedbackOutcome {
 
   /// Monitor observations with optimizer estimates attached.
   std::vector<MonitorRecord> feedback;
+
+  /// EXPLAIN ANALYZE rendering of the monitored run — per-operator rows /
+  /// time / I/O plus estimated vs actual DPC per monitored expression.
+  /// Empty unless FeedbackRunOptions::profile_operators was set.
+  std::string annotated_plan;
 
   /// The query's result (the COUNT value), from the baseline run; -1 when
   /// the query returned no row.
@@ -89,6 +100,10 @@ class FeedbackDriver {
   FeedbackStore* store() { return &store_; }
   OptimizerHints* hints() { return &hints_; }
   DpcHistogramCatalog* dpc_histograms() { return &dpc_histograms_; }
+  /// Workload-level q-error aggregation: every diagnosed MonitorRecord is
+  /// folded into per-(table, mechanism) histograms of DPC and cardinality
+  /// error. Queryable any time; fig benches dump its Report().
+  EstimationErrorTracker* error_tracker() { return &error_tracker_; }
   Database* db() const { return db_; }
   const FeedbackRunOptions& options() const { return options_; }
 
@@ -121,6 +136,7 @@ class FeedbackDriver {
   OptimizerHints hints_;
   FeedbackStore store_;
   DpcHistogramCatalog dpc_histograms_;
+  EstimationErrorTracker error_tracker_;
 };
 
 }  // namespace dpcf

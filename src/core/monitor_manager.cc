@@ -6,6 +6,27 @@
 
 namespace dpcf {
 
+MonitorManager::MonitorManager(Database* db, MonitorOptions options)
+    : db_(db), options_(options) {
+  if (db_ == nullptr || !db_->options().observability.metrics) return;
+  MetricsRegistry* registry = db_->metrics();
+  m_single_table_plans_ = registry->GetCounter(
+      "monitor_single_table_plans_total",
+      "Single-table plans instrumented with page-count monitors");
+  m_join_plans_ = registry->GetCounter(
+      "monitor_join_plans_total",
+      "Join plans instrumented with page-count monitors");
+  m_scan_expressions_ = registry->GetCounter(
+      "monitor_scan_expressions_total",
+      "Scan expressions wired with grouped-page or DPSample counters");
+  m_fetch_counters_ = registry->GetCounter(
+      "monitor_fetch_counters_total",
+      "PID-stream distinct counters wired into fetch operators");
+  m_bitvector_filters_ = registry->GetCounter(
+      "monitor_bitvector_filters_total",
+      "Bitvector filters registered for probe-side join monitoring");
+}
+
 namespace {
 /// The configured fraction, raised so at least min_sampled_pages pages are
 /// expected to be sampled on small tables.
@@ -190,18 +211,29 @@ Result<InstrumentedHooks> MonitorManager::ForJoin(const JoinPlan& plan,
 
 void MonitorManager::RecordInstrumentation(const InstrumentedHooks& out,
                                            bool is_join) const {
-  MutexLock lock(&stats_mu_);
+  if (m_single_table_plans_ == nullptr) return;  // metrics publication off
   if (is_join) {
-    ++stats_.join_plans;
+    m_join_plans_->Increment();
   } else {
-    ++stats_.single_table_plans;
+    m_single_table_plans_->Increment();
   }
-  stats_.scan_expressions +=
+  m_scan_expressions_->Increment(
       static_cast<int64_t>(out.hooks.outer_scan_requests.size() +
-                           out.hooks.inner_scan_requests.size());
-  stats_.fetch_counters +=
-      static_cast<int64_t>(out.hooks.fetch_requests.size());
-  if (out.hooks.bitvector.has_value()) ++stats_.bitvector_filters;
+                           out.hooks.inner_scan_requests.size()));
+  m_fetch_counters_->Increment(
+      static_cast<int64_t>(out.hooks.fetch_requests.size()));
+  if (out.hooks.bitvector.has_value()) m_bitvector_filters_->Increment();
+}
+
+InstrumentationStats MonitorManager::stats() const {
+  InstrumentationStats out;
+  if (m_single_table_plans_ == nullptr) return out;
+  out.single_table_plans = m_single_table_plans_->value();
+  out.join_plans = m_join_plans_->value();
+  out.scan_expressions = m_scan_expressions_->value();
+  out.fetch_counters = m_fetch_counters_->value();
+  out.bitvector_filters = m_bitvector_filters_->value();
+  return out;
 }
 
 }  // namespace dpcf

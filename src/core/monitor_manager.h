@@ -80,8 +80,11 @@ struct InstrumentedHooks {
   std::vector<MonitoredExpr> entries;
 };
 
-/// Running totals of what the manager has instrumented, for production
+/// Running totals of what the engine has instrumented, for production
 /// observability (how much monitoring is each workload paying for?).
+/// Backed by the Database's MetricsRegistry (monitor_* counters), so the
+/// totals are Database-wide: every MonitorManager on the same Database
+/// publishes into — and reads back — the same counters.
 struct InstrumentationStats {
   int64_t single_table_plans = 0;
   int64_t join_plans = 0;
@@ -92,23 +95,24 @@ struct InstrumentationStats {
 
 class MonitorManager {
  public:
-  explicit MonitorManager(Database* db, MonitorOptions options = {})
-      : db_(db), options_(options) {}
+  /// Resolves the monitor_* counters from db->metrics() (no-op handles
+  /// when the Database was built with observability.metrics = false).
+  explicit MonitorManager(Database* db, MonitorOptions options = {});
 
   const MonitorOptions& options() const { return options_; }
 
-  /// Monitoring hooks for a single-table plan. Const and latch-protected:
-  /// one manager may serve concurrent sessions.
+  /// Monitoring hooks for a single-table plan. Const and thread-safe:
+  /// one manager may serve concurrent sessions (counter publication is
+  /// relaxed-atomic).
   Result<InstrumentedHooks> ForSingleTable(const AccessPathPlan& path,
-                                           const SingleTableQuery& query) const
-      EXCLUDES(stats_mu_);
+                                           const SingleTableQuery& query)
+      const;
 
   /// Monitoring hooks for a join plan. Allocates the bitvector slot in
   /// `ctx` when the method needs one.
   Result<InstrumentedHooks> ForJoin(const JoinPlan& plan,
                                     const JoinQuery& query,
-                                    ExecContext* ctx) const
-      EXCLUDES(stats_mu_);
+                                    ExecContext* ctx) const;
 
   /// Scan requests for the selection expressions relevant on `table`
   /// (one per usable non-clustered index, plus the full conjunction).
@@ -116,20 +120,25 @@ class MonitorManager {
                          std::vector<ScanExprRequest>* requests,
                          std::vector<MonitoredExpr>* entries) const;
 
-  /// Snapshot of the instrumentation totals.
-  InstrumentationStats stats() const EXCLUDES(stats_mu_) {
-    MutexLock lock(&stats_mu_);
-    return stats_;
-  }
+  /// Snapshot of the Database-wide instrumentation totals, reassembled
+  /// from the registry counters. Prefer reading the registry directly
+  /// (Database::metrics(), monitor_* families) — this accessor remains
+  /// for callers that want a struct, and returns zeros when the Database
+  /// has metrics publication off.
+  InstrumentationStats stats() const;
 
  private:
-  void RecordInstrumentation(const InstrumentedHooks& out, bool is_join) const
-      EXCLUDES(stats_mu_);
+  void RecordInstrumentation(const InstrumentedHooks& out,
+                             bool is_join) const;
 
   Database* db_;
   MonitorOptions options_;
-  mutable Mutex stats_mu_;
-  mutable InstrumentationStats stats_ GUARDED_BY(stats_mu_);
+  // Registry counter handles; null when metrics publication is off.
+  Counter* m_single_table_plans_ = nullptr;
+  Counter* m_join_plans_ = nullptr;
+  Counter* m_scan_expressions_ = nullptr;
+  Counter* m_fetch_counters_ = nullptr;
+  Counter* m_bitvector_filters_ = nullptr;
 };
 
 }  // namespace dpcf

@@ -13,6 +13,13 @@ double MonitorRecord::DpcErrorFactor() const {
   return est >= actual ? est / actual : actual / est;
 }
 
+double MonitorRecord::CardinalityErrorFactor() const {
+  if (estimated_cardinality < 0) return 0;
+  double actual = std::max(actual_cardinality, 1.0);
+  double est = std::max(estimated_cardinality, 1.0);
+  return est >= actual ? est / actual : actual / est;
+}
+
 std::string RunStatistics::ToXml() const {
   std::string out;
   out += "<RunStatistics>\n";

@@ -10,12 +10,15 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "storage/io_stats.h"
 
 namespace dpcf {
+
+struct OpProfileNode;  // obs/op_profile.h
 
 /// One (expression → page count) observation from a monitor.
 struct MonitorRecord {
@@ -32,8 +35,14 @@ struct MonitorRecord {
   double estimated_dpc = -1;
   double estimated_cardinality = -1;
 
-  /// estimated/actual DPC ratio error, or 0 when no estimate is attached.
+  /// estimated/actual DPC ratio error (q-error, >= 1), or 0 when no
+  /// estimate is attached. Both sides are clamped to >= 1 page so empty
+  /// results cannot produce infinite factors.
   double DpcErrorFactor() const;
+
+  /// Same symmetric ratio error for the cardinality estimate; 0 when no
+  /// estimate is attached.
+  double CardinalityErrorFactor() const;
 };
 
 /// Everything measured about one execution of one plan.
@@ -47,6 +56,12 @@ struct RunStatistics {
   /// experiments (Figs 7 and 9) alongside simulated time.
   double wall_ms = 0;
   std::vector<MonitorRecord> monitors;
+
+  /// Per-operator profile tree, captured by the executor when
+  /// ExecContext::profiling() is on (null otherwise). Shared so
+  /// RunStatistics stays cheaply copyable; render with
+  /// RenderAnnotatedPlan (obs/op_profile.h).
+  std::shared_ptr<const OpProfileNode> profile;
 
   /// XML-ish rendering in the spirit of SQL Server's statistics xml output.
   std::string ToXml() const;

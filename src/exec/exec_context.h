@@ -10,6 +10,8 @@
 
 #pragma once
 
+#include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -22,6 +24,8 @@
 #include "storage/io_stats.h"
 
 namespace dpcf {
+
+class TraceCollector;  // obs/trace_collector.h
 
 /// Per-execution mutable state. Create one per plan run.
 class ExecContext {
@@ -44,14 +48,52 @@ class ExecContext {
     merged_cpu_ += delta;
   }
 
-  /// Snapshot of driver-thread + merged worker CPU counters. Call at
-  /// quiescent points (before/after a run); the driver part is unlatched.
+  /// Snapshot of driver-thread + merged worker CPU counters. The driver
+  /// part is read unlatched, so this must only run at quiescent points —
+  /// no WorkerRegion live (workers joined, their tallies folded in via
+  /// MergeCpu). The contract is enforced with a debug-build assertion, not
+  /// a comment: parallel operators hold a WorkerRegion for exactly the
+  /// window in which non-driver threads run.
   CpuStats cpu_stats() const EXCLUDES(merged_cpu_mu_) {
+    assert(active_workers_.load(std::memory_order_acquire) == 0 &&
+           "cpu_stats() called while scan workers are live");
     CpuStats total = cpu_;
     MutexLock lock(&merged_cpu_mu_);
     total += merged_cpu_;
     return total;
   }
+
+  /// RAII marker for the window in which non-driver worker threads exist
+  /// (morsel workers, the readahead thread). cpu_stats() asserts that no
+  /// region is live.
+  class WorkerRegion {
+   public:
+    explicit WorkerRegion(ExecContext* ctx) : ctx_(ctx) {
+      ctx_->active_workers_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    WorkerRegion(const WorkerRegion&) = delete;
+    WorkerRegion& operator=(const WorkerRegion&) = delete;
+    ~WorkerRegion() {
+      ctx_->active_workers_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+
+   private:
+    ExecContext* ctx_;
+  };
+
+  int active_worker_regions() const {
+    return active_workers_.load(std::memory_order_acquire);
+  }
+
+  /// Per-operator profiling (obs/op_profile.h). Off by default; the
+  /// Operator wrappers snapshot IoStats/CpuStats around every call when on.
+  bool profiling() const { return profiling_; }
+  void set_profiling(bool on) { profiling_ = on; }
+
+  /// Trace collector for span emission, or null. The operators and the
+  /// parallel scan check trace()->enabled() before reading any clock.
+  TraceCollector* trace() const { return trace_; }
+  void set_trace(TraceCollector* trace) { trace_ = trace; }
 
   uint64_t seed() const { return seed_; }
 
@@ -81,6 +123,11 @@ class ExecContext {
   CpuStats cpu_;  // driver thread only
   mutable Mutex merged_cpu_mu_;
   CpuStats merged_cpu_ GUARDED_BY(merged_cpu_mu_);
+  // Count of live WorkerRegions; its own synchronization (like
+  // AtomicCounter, no GUARDED_BY needed).
+  std::atomic<int> active_workers_{0};
+  bool profiling_ = false;
+  TraceCollector* trace_ = nullptr;
   std::vector<const BitvectorFilter*> filter_slots_;
   std::vector<std::unique_ptr<BitvectorFilter>> owned_filters_;
 };

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/trace_collector.h"
+
 namespace dpcf {
 
 Status RunOnWorkers(int num_threads,
@@ -40,6 +42,19 @@ std::string DescribeTree(const Operator& root) {
   return out;
 }
 
+OpProfileNode CaptureProfileTree(const Operator& root) {
+  OpProfileNode node;
+  node.describe = root.Describe();
+  node.profile = root.profile();
+  root.CollectOwnMonitorRecords(&node.records);
+  std::vector<const Operator*> children = root.children();
+  node.children.reserve(children.size());
+  for (const Operator* child : children) {
+    node.children.push_back(CaptureProfileTree(*child));
+  }
+  return node;
+}
+
 Result<RunResult> ExecutePlan(Operator* root, ExecContext* ctx,
                               const SimCostParams& params) {
   RunResult result;
@@ -48,47 +63,37 @@ Result<RunResult> ExecutePlan(Operator* root, ExecContext* ctx,
   const CpuStats cpu_before = ctx->cpu_stats();
 
   auto t0 = std::chrono::steady_clock::now();
-  DPCF_RETURN_IF_ERROR(root->Open(ctx));
-  Tuple t;
-  while (true) {
-    auto more = root->Next(ctx, &t);
-    if (!more.ok()) return more.status();
-    if (!*more) break;
-    result.output.push_back(std::move(t));
+  {
+    ScopedSpan span(ctx->trace(), "exec", "execute_plan");
+    DPCF_RETURN_IF_ERROR(root->Open(ctx));
+    Tuple t;
+    while (true) {
+      auto more = root->Next(ctx, &t);
+      if (!more.ok()) return more.status();
+      if (!*more) break;
+      result.output.push_back(std::move(t));
+    }
+    DPCF_RETURN_IF_ERROR(root->Close(ctx));
   }
-  DPCF_RETURN_IF_ERROR(root->Close(ctx));
   auto t1 = std::chrono::steady_clock::now();
 
   RunStatistics& stats = result.stats;
   stats.plan_text = DescribeTree(*root);
   stats.rows_returned = static_cast<int64_t>(result.output.size());
 
-  const IoStats& io_after = *disk->io_stats();
-  stats.io.physical_seq_reads =
-      io_after.physical_seq_reads - io_before.physical_seq_reads;
-  stats.io.physical_rand_reads =
-      io_after.physical_rand_reads - io_before.physical_rand_reads;
-  stats.io.physical_writes = io_after.physical_writes - io_before.physical_writes;
-  stats.io.prefetch_reads = io_after.prefetch_reads - io_before.prefetch_reads;
-  stats.io.logical_reads = io_after.logical_reads - io_before.logical_reads;
-  stats.io.buffer_hits = io_after.buffer_hits - io_before.buffer_hits;
-
-  const CpuStats cpu_after = ctx->cpu_stats();
-  stats.cpu.rows_processed =
-      cpu_after.rows_processed - cpu_before.rows_processed;
-  stats.cpu.predicate_atom_evals =
-      cpu_after.predicate_atom_evals - cpu_before.predicate_atom_evals;
-  stats.cpu.monitor_hash_ops =
-      cpu_after.monitor_hash_ops - cpu_before.monitor_hash_ops;
-  stats.cpu.monitor_row_ops =
-      cpu_after.monitor_row_ops - cpu_before.monitor_row_ops;
-  stats.cpu.hash_table_ops =
-      cpu_after.hash_table_ops - cpu_before.hash_table_ops;
+  stats.io = *disk->io_stats();
+  stats.io -= io_before;
+  stats.cpu = ctx->cpu_stats();
+  stats.cpu -= cpu_before;
 
   stats.simulated_ms = SimulatedMillis(stats.io, stats.cpu, params);
   stats.wall_ms =
       std::chrono::duration<double, std::milli>(t1 - t0).count();
   root->CollectMonitorRecords(&stats.monitors);
+  if (ctx->profiling()) {
+    stats.profile =
+        std::make_shared<const OpProfileNode>(CaptureProfileTree(*root));
+  }
   return result;
 }
 

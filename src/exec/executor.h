@@ -64,9 +64,15 @@ struct RunResult {
 /// Drives `root` open → drain → close. I/O is reported as the delta of the
 /// disk manager's counters across the run; simulated time uses `params`.
 /// The caller decides cache state (Database::ColdCache() beforehand for the
-/// paper's cold-cache runs).
+/// paper's cold-cache runs). With ctx->profiling() on, the returned stats
+/// carry a CaptureProfileTree snapshot in stats.profile.
 Result<RunResult> ExecutePlan(Operator* root, ExecContext* ctx,
                               const SimCostParams& params = SimCostParams());
+
+/// Snapshots the per-operator profiles and own monitor records of a plan
+/// tree (valid after Close) into an OpProfileNode tree for EXPLAIN ANALYZE
+/// rendering (obs/op_profile.h).
+OpProfileNode CaptureProfileTree(const Operator& root);
 
 /// Renders an operator tree one line per operator, children indented.
 std::string DescribeTree(const Operator& root);

@@ -111,9 +111,9 @@ FetchOp::FetchOp(Table* table, std::unique_ptr<RidSource> source,
   }
 }
 
-Status FetchOp::Open(ExecContext* ctx) { return source_->Open(ctx); }
+Status FetchOp::OpenImpl(ExecContext* ctx) { return source_->Open(ctx); }
 
-Result<bool> FetchOp::Next(ExecContext* ctx, Tuple* out) {
+Result<bool> FetchOp::NextImpl(ExecContext* ctx, Tuple* out) {
   CpuStats* cpu = ctx->cpu();
   Rid rid;
   while (true) {
@@ -145,7 +145,7 @@ Result<bool> FetchOp::Next(ExecContext* ctx, Tuple* out) {
   }
 }
 
-Status FetchOp::Close(ExecContext* ctx) { return source_->Close(ctx); }
+Status FetchOp::CloseImpl(ExecContext* ctx) { return source_->Close(ctx); }
 
 std::string FetchOp::Describe() const {
   return StrFormat("Fetch(%s, residual=%s) <- %s", table_->name().c_str(),
@@ -153,7 +153,7 @@ std::string FetchOp::Describe() const {
                    source_->Describe().c_str());
 }
 
-void FetchOp::CollectMonitorRecords(std::vector<MonitorRecord>* out) const {
+void FetchOp::CollectOwnMonitorRecords(std::vector<MonitorRecord>* out) const {
   for (const PidStreamMonitor& m : monitors_) {
     out->push_back(m.MakeRecord(table_->name()));
   }

@@ -77,11 +77,14 @@ class FetchOp : public Operator {
           Predicate residual, std::vector<int> projection,
           std::vector<FetchMonitorRequest> monitor_requests = {});
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(ExecContext* ctx, Tuple* out) override;
-  Status Close(ExecContext* ctx) override;
   std::string Describe() const override;
-  void CollectMonitorRecords(std::vector<MonitorRecord>* out) const override;
+  void CollectOwnMonitorRecords(
+      std::vector<MonitorRecord>* out) const override;
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<bool> NextImpl(ExecContext* ctx, Tuple* out) override;
+  Status CloseImpl(ExecContext* ctx) override;
 
  private:
   Table* table_;

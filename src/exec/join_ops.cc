@@ -25,7 +25,7 @@ HashJoinOp::HashJoinOp(OperatorPtr build, int build_key_idx,
       probe_key_idx_(probe_key_idx),
       filter_spec_(filter_spec) {}
 
-Status HashJoinOp::Open(ExecContext* ctx) {
+Status HashJoinOp::OpenImpl(ExecContext* ctx) {
   table_.clear();
   bucket_ = nullptr;
   bucket_pos_ = 0;
@@ -61,7 +61,7 @@ Status HashJoinOp::Open(ExecContext* ctx) {
   return probe_->Open(ctx);
 }
 
-Result<bool> HashJoinOp::Next(ExecContext* ctx, Tuple* out) {
+Result<bool> HashJoinOp::NextImpl(ExecContext* ctx, Tuple* out) {
   while (true) {
     if (bucket_ != nullptr && bucket_pos_ < bucket_->size()) {
       *out = Concat(probe_tuple_, (*bucket_)[bucket_pos_++]);
@@ -81,7 +81,7 @@ Result<bool> HashJoinOp::Next(ExecContext* ctx, Tuple* out) {
   }
 }
 
-Status HashJoinOp::Close(ExecContext* ctx) {
+Status HashJoinOp::CloseImpl(ExecContext* ctx) {
   table_.clear();
   return probe_->Close(ctx);
 }
@@ -92,11 +92,6 @@ std::string HashJoinOp::Describe() const {
                                        : "no filter");
 }
 
-void HashJoinOp::CollectMonitorRecords(
-    std::vector<MonitorRecord>* out) const {
-  build_->CollectMonitorRecords(out);
-  probe_->CollectMonitorRecords(out);
-}
 
 std::vector<const Operator*> HashJoinOp::children() const {
   return {build_.get(), probe_.get()};
@@ -115,7 +110,7 @@ MergeJoinOp::MergeJoinOp(OperatorPtr outer, int outer_key_idx,
   assert(bv_mode_ == MergeBitvectorMode::kNone || filter_spec_.has_value());
 }
 
-Status MergeJoinOp::Open(ExecContext* ctx) {
+Status MergeJoinOp::OpenImpl(ExecContext* ctx) {
   outer_buf_.clear();
   outer_pos_ = 0;
   outer_valid_ = inner_valid_ = false;
@@ -183,7 +178,7 @@ Result<bool> MergeJoinOp::AdvanceInner(ExecContext* ctx) {
   return *more;
 }
 
-Result<bool> MergeJoinOp::Next(ExecContext* ctx, Tuple* out) {
+Result<bool> MergeJoinOp::NextImpl(ExecContext* ctx, Tuple* out) {
   while (true) {
     // Emit pending (outer-run × inner-row) pairs first.
     if (group_active_) {
@@ -233,7 +228,7 @@ Result<bool> MergeJoinOp::Next(ExecContext* ctx, Tuple* out) {
   }
 }
 
-Status MergeJoinOp::Close(ExecContext* ctx) {
+Status MergeJoinOp::CloseImpl(ExecContext* ctx) {
   Status s1 = Status::OK();
   if (bv_mode_ != MergeBitvectorMode::kPrebuilt) {
     s1 = outer_->Close(ctx);
@@ -252,11 +247,6 @@ std::string MergeJoinOp::Describe() const {
   return StrFormat("MergeJoin(%s)", mode);
 }
 
-void MergeJoinOp::CollectMonitorRecords(
-    std::vector<MonitorRecord>* out) const {
-  outer_->CollectMonitorRecords(out);
-  inner_->CollectMonitorRecords(out);
-}
 
 std::vector<const Operator*> MergeJoinOp::children() const {
   return {outer_.get(), inner_.get()};
@@ -279,13 +269,13 @@ IndexNestedLoopsJoinOp::IndexNestedLoopsJoinOp(
   }
 }
 
-Status IndexNestedLoopsJoinOp::Open(ExecContext* ctx) {
+Status IndexNestedLoopsJoinOp::OpenImpl(ExecContext* ctx) {
   outer_valid_ = false;
   inner_it_ = BtreeIterator();
   return outer_->Open(ctx);
 }
 
-Result<bool> IndexNestedLoopsJoinOp::Next(ExecContext* ctx, Tuple* out) {
+Result<bool> IndexNestedLoopsJoinOp::NextImpl(ExecContext* ctx, Tuple* out) {
   CpuStats* cpu = ctx->cpu();
   while (true) {
     // Drain the current inner index run.
@@ -335,7 +325,7 @@ Result<bool> IndexNestedLoopsJoinOp::Next(ExecContext* ctx, Tuple* out) {
   }
 }
 
-Status IndexNestedLoopsJoinOp::Close(ExecContext* ctx) {
+Status IndexNestedLoopsJoinOp::CloseImpl(ExecContext* ctx) {
   inner_it_ = BtreeIterator();
   return outer_->Close(ctx);
 }
@@ -347,9 +337,8 @@ std::string IndexNestedLoopsJoinOp::Describe() const {
                    inner_residual_.ToString(inner_table_->schema()).c_str());
 }
 
-void IndexNestedLoopsJoinOp::CollectMonitorRecords(
+void IndexNestedLoopsJoinOp::CollectOwnMonitorRecords(
     std::vector<MonitorRecord>* out) const {
-  outer_->CollectMonitorRecords(out);
   for (const PidStreamMonitor& m : monitors_) {
     out->push_back(m.MakeRecord(inner_table_->name()));
   }

@@ -45,12 +45,13 @@ class HashJoinOp : public Operator {
              int probe_key_idx,
              std::optional<BitvectorSpec> filter_spec = std::nullopt);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(ExecContext* ctx, Tuple* out) override;
-  Status Close(ExecContext* ctx) override;
   std::string Describe() const override;
-  void CollectMonitorRecords(std::vector<MonitorRecord>* out) const override;
   std::vector<const Operator*> children() const override;
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<bool> NextImpl(ExecContext* ctx, Tuple* out) override;
+  Status CloseImpl(ExecContext* ctx) override;
 
  private:
   OperatorPtr build_;
@@ -84,12 +85,13 @@ class MergeJoinOp : public Operator {
               MergeBitvectorMode bv_mode = MergeBitvectorMode::kNone,
               std::optional<BitvectorSpec> filter_spec = std::nullopt);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(ExecContext* ctx, Tuple* out) override;
-  Status Close(ExecContext* ctx) override;
   std::string Describe() const override;
-  void CollectMonitorRecords(std::vector<MonitorRecord>* out) const override;
   std::vector<const Operator*> children() const override;
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<bool> NextImpl(ExecContext* ctx, Tuple* out) override;
+  Status CloseImpl(ExecContext* ctx) override;
 
  private:
   /// Pulls the next outer tuple (from the prebuilt buffer or the child),
@@ -135,12 +137,15 @@ class IndexNestedLoopsJoinOp : public Operator {
                          std::vector<FetchMonitorRequest> monitor_requests =
                              {});
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(ExecContext* ctx, Tuple* out) override;
-  Status Close(ExecContext* ctx) override;
   std::string Describe() const override;
-  void CollectMonitorRecords(std::vector<MonitorRecord>* out) const override;
+  void CollectOwnMonitorRecords(
+      std::vector<MonitorRecord>* out) const override;
   std::vector<const Operator*> children() const override;
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<bool> NextImpl(ExecContext* ctx, Tuple* out) override;
+  Status CloseImpl(ExecContext* ctx) override;
 
  private:
   OperatorPtr outer_;

@@ -4,6 +4,15 @@
 // engine operators (scans, fetch) are the only ones that touch pages and
 // PIDs; relational-engine operators compose them. All fallible paths return
 // Status / Result.
+//
+// The public Open/Next/Close entry points are NON-virtual wrappers around
+// the protected OpenImpl/NextImpl/CloseImpl hooks: when the context has
+// profiling enabled they accumulate an OpProfile (wall time, rows, and the
+// inclusive IoStats/CpuStats delta of the call — children run inside their
+// parent's calls, so a node's delta covers its subtree), and when tracing
+// is enabled Open/Close record spans. With both off the wrapper is two
+// predictable branches — the observability layer's cost is near zero
+// unless it is asked for.
 
 #pragma once
 
@@ -14,6 +23,7 @@
 #include "common/status.h"
 #include "core/run_statistics.h"
 #include "exec/exec_context.h"
+#include "obs/op_profile.h"
 #include "table/value.h"
 
 namespace dpcf {
@@ -22,25 +32,43 @@ class Operator {
  public:
   virtual ~Operator() = default;
 
-  virtual Status Open(ExecContext* ctx) = 0;
+  /// Opens the subtree. Resets this operator's profile when profiling.
+  Status Open(ExecContext* ctx);
 
   /// Produces the next tuple into *out. Returns false at end of stream.
-  virtual Result<bool> Next(ExecContext* ctx, Tuple* out) = 0;
+  Result<bool> Next(ExecContext* ctx, Tuple* out);
 
-  virtual Status Close(ExecContext* ctx) = 0;
+  Status Close(ExecContext* ctx);
 
   /// One-line description for plan rendering, e.g.
   /// "TableScan(T, C3<250000)".
   virtual std::string Describe() const = 0;
 
-  /// Appends this operator's page-count observations (valid after Close).
-  /// Implementations must recurse into their children.
-  virtual void CollectMonitorRecords(std::vector<MonitorRecord>* out) const {
+  /// Appends the subtree's page-count observations (valid after Close):
+  /// children first (in children() order), then this operator's own — the
+  /// order the feedback determinism tests pin down.
+  void CollectMonitorRecords(std::vector<MonitorRecord>* out) const;
+
+  /// This operator's OWN observations only; the profile-tree capture uses
+  /// it to attribute records to the operator that measured them.
+  virtual void CollectOwnMonitorRecords(
+      std::vector<MonitorRecord>* out) const {
     (void)out;
   }
 
   /// Child operators, for plan rendering.
   virtual std::vector<const Operator*> children() const { return {}; }
+
+  /// Profile of the most recent profiled execution (zeros otherwise).
+  const OpProfile& profile() const { return profile_; }
+
+ protected:
+  virtual Status OpenImpl(ExecContext* ctx) = 0;
+  virtual Result<bool> NextImpl(ExecContext* ctx, Tuple* out) = 0;
+  virtual Status CloseImpl(ExecContext* ctx) = 0;
+
+ private:
+  OpProfile profile_;
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;

@@ -8,6 +8,7 @@
 #include "common/string_util.h"
 #include "common/thread_annotations.h"
 #include "exec/executor.h"
+#include "obs/trace_collector.h"
 
 namespace dpcf {
 
@@ -46,7 +47,7 @@ ParallelTableScanOp::ParallelTableScanOp(
   if (options_.morsel_pages < 1) options_.morsel_pages = 1;
 }
 
-Status ParallelTableScanOp::Open(ExecContext* ctx) {
+Status ParallelTableScanOp::OpenImpl(ExecContext* ctx) {
   const HeapFile* file = table_->file();
   const Schema* schema = &table_->schema();
   const uint32_t num_atoms = static_cast<uint32_t>(pushed_.size());
@@ -74,6 +75,11 @@ Status ParallelTableScanOp::Open(ExecContext* ctx) {
   // overlapping (simulated) I/O with predicate evaluation and monitor
   // updates. The window is clamped to half the pool so prefetch pressure
   // can never evict pages the scan is still consuming.
+  // Non-driver threads (morsel workers, the readahead thread) exist only
+  // inside this region; cpu_stats() asserts no region is live.
+  ExecContext::WorkerRegion worker_region(ctx);
+  TraceCollector* const tc = ctx->trace();
+
   ReadaheadState ra;
   std::thread ra_thread;
   const SegmentId segment = file->segment();
@@ -83,8 +89,20 @@ Status ParallelTableScanOp::Open(ExecContext* ctx) {
   if (window > half_pool) window = half_pool;
   if (window > 0 && total_pages > 0) {
     BufferPool* pool = ctx->pool();
-    ra_thread = std::thread([&ra, pool, segment, total_pages, window] {
-      for (PageNo p = 0; p < total_pages; ++p) {
+    // Prime the initial window synchronously, before any worker starts, so
+    // the prefetch-vs-demand split of the scan's first pages does not
+    // depend on how quickly the first worker gets going: those pages are
+    // always charged as prefetch_reads on a cold cache.
+    const PageNo primed =
+        total_pages < static_cast<PageNo>(window)
+            ? total_pages
+            : static_cast<PageNo>(window);
+    for (PageNo p = 0; p < primed; ++p) {
+      if (!pool->Prefetch(PageId{segment, p}).ok()) break;
+    }
+    ra_thread = std::thread([&ra, pool, segment, total_pages, window,
+                             primed] {
+      for (PageNo p = primed; p < total_pages; ++p) {
         ra.mu.lock();
         while (!ra.stop &&
                static_cast<int64_t>(p) >= ra.pages_consumed + window) {
@@ -113,6 +131,8 @@ Status ParallelTableScanOp::Open(ExecContext* ctx) {
     PageNo begin, end;
     while (queue.Next(&morsel, &begin, &end)) {
       if (stop.load(std::memory_order_relaxed)) return Status::OK();
+      const bool traced = tc != nullptr && tc->enabled();
+      const int64_t span_begin = traced ? tc->NowUs() : 0;
       ++ws.morsels;
       std::vector<Tuple>& out = morsel_out_[morsel];
       for (PageNo p = begin; p < end; ++p) {
@@ -147,6 +167,11 @@ Status ParallelTableScanOp::Open(ExecContext* ctx) {
         ra_ptr->mu.unlock();
         ra_ptr->cv.notify_all();
       }
+      if (traced) {
+        tc->AddSpan("scan", StrFormat("morsel %u", morsel), span_begin,
+                    {{"worker", StrFormat("%d", w)},
+                     {"pages", StrFormat("%u", end - begin)}});
+      }
     }
     // Each worker folds its CPU tally into the context as it finishes;
     // MergeCpu latches, so workers may race each other here but never
@@ -170,6 +195,7 @@ Status ParallelTableScanOp::Open(ExecContext* ctx) {
   // have joined: no concurrency here, and merge order is fixed (by worker
   // index) so feedback stays bit-for-bit deterministic.
   if (monitors_ != nullptr) {
+    ScopedSpan merge_span(tc, "monitor", "monitor merge");
     for (int w = 1; w < num_workers; ++w) {
       DPCF_RETURN_IF_ERROR(
           monitors_->MergeFrom(*worker_bundles[static_cast<size_t>(w)]));
@@ -178,7 +204,8 @@ Status ParallelTableScanOp::Open(ExecContext* ctx) {
   return Status::OK();
 }
 
-Result<bool> ParallelTableScanOp::Next(ExecContext* ctx, Tuple* out) {
+Result<bool> ParallelTableScanOp::NextImpl(ExecContext* ctx,
+                                             Tuple* out) {
   (void)ctx;
   while (drain_morsel_ < morsel_out_.size()) {
     std::vector<Tuple>& bucket = morsel_out_[drain_morsel_];
@@ -196,7 +223,7 @@ Result<bool> ParallelTableScanOp::Next(ExecContext* ctx, Tuple* out) {
   return false;
 }
 
-Status ParallelTableScanOp::Close(ExecContext* ctx) {
+Status ParallelTableScanOp::CloseImpl(ExecContext* ctx) {
   (void)ctx;
   morsel_out_.clear();
   drain_morsel_ = 0;
@@ -218,7 +245,7 @@ std::string ParallelTableScanOp::Describe() const {
                    options_.num_threads, prefetch.c_str());
 }
 
-void ParallelTableScanOp::CollectMonitorRecords(
+void ParallelTableScanOp::CollectOwnMonitorRecords(
     std::vector<MonitorRecord>* out) const {
   if (monitors_ == nullptr) return;
   for (const ScanExprResult& r : monitors_->Finish()) {

@@ -60,16 +60,19 @@ class ParallelTableScanOp : public Operator {
                       std::unique_ptr<ScanMonitorBundle> monitors,
                       ParallelScanOptions options);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(ExecContext* ctx, Tuple* out) override;
-  Status Close(ExecContext* ctx) override;
   std::string Describe() const override;
-  void CollectMonitorRecords(std::vector<MonitorRecord>* out) const override;
+  void CollectOwnMonitorRecords(
+      std::vector<MonitorRecord>* out) const override;
 
   const ScanMonitorBundle* monitors() const { return monitors_.get(); }
   const std::vector<ParallelWorkerStats>& worker_stats() const {
     return worker_stats_;
   }
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<bool> NextImpl(ExecContext* ctx, Tuple* out) override;
+  Status CloseImpl(ExecContext* ctx) override;
 
  private:
   Table* table_;

@@ -9,7 +9,7 @@ namespace dpcf {
 SortOp::SortOp(OperatorPtr child, int key_idx)
     : child_(std::move(child)), key_idx_(key_idx) {}
 
-Status SortOp::Open(ExecContext* ctx) {
+Status SortOp::OpenImpl(ExecContext* ctx) {
   rows_.clear();
   pos_ = 0;
   DPCF_RETURN_IF_ERROR(child_->Open(ctx));
@@ -31,14 +31,14 @@ Status SortOp::Open(ExecContext* ctx) {
   return Status::OK();
 }
 
-Result<bool> SortOp::Next(ExecContext* ctx, Tuple* out) {
+Result<bool> SortOp::NextImpl(ExecContext* ctx, Tuple* out) {
   (void)ctx;
   if (pos_ >= rows_.size()) return false;
   *out = rows_[pos_++];
   return true;
 }
 
-Status SortOp::Close(ExecContext* ctx) {
+Status SortOp::CloseImpl(ExecContext* ctx) {
   (void)ctx;
   rows_.clear();
   return Status::OK();
@@ -48,9 +48,6 @@ std::string SortOp::Describe() const {
   return StrFormat("Sort(key=#%d)", key_idx_);
 }
 
-void SortOp::CollectMonitorRecords(std::vector<MonitorRecord>* out) const {
-  child_->CollectMonitorRecords(out);
-}
 
 std::vector<const Operator*> SortOp::children() const {
   return {child_.get()};
@@ -59,13 +56,13 @@ std::vector<const Operator*> SortOp::children() const {
 AggregateCountOp::AggregateCountOp(OperatorPtr child)
     : child_(std::move(child)) {}
 
-Status AggregateCountOp::Open(ExecContext* ctx) {
+Status AggregateCountOp::OpenImpl(ExecContext* ctx) {
   count_ = 0;
   emitted_ = false;
   return child_->Open(ctx);
 }
 
-Result<bool> AggregateCountOp::Next(ExecContext* ctx, Tuple* out) {
+Result<bool> AggregateCountOp::NextImpl(ExecContext* ctx, Tuple* out) {
   if (emitted_) return false;
   Tuple t;
   while (true) {
@@ -80,16 +77,12 @@ Result<bool> AggregateCountOp::Next(ExecContext* ctx, Tuple* out) {
   return true;
 }
 
-Status AggregateCountOp::Close(ExecContext* ctx) {
+Status AggregateCountOp::CloseImpl(ExecContext* ctx) {
   return child_->Close(ctx);
 }
 
 std::string AggregateCountOp::Describe() const { return "Aggregate(COUNT)"; }
 
-void AggregateCountOp::CollectMonitorRecords(
-    std::vector<MonitorRecord>* out) const {
-  child_->CollectMonitorRecords(out);
-}
 
 std::vector<const Operator*> AggregateCountOp::children() const {
   return {child_.get()};
@@ -118,9 +111,9 @@ bool TupleAtom::Eval(const Tuple& t) const {
 TupleFilterOp::TupleFilterOp(OperatorPtr child, std::vector<TupleAtom> atoms)
     : child_(std::move(child)), atoms_(std::move(atoms)) {}
 
-Status TupleFilterOp::Open(ExecContext* ctx) { return child_->Open(ctx); }
+Status TupleFilterOp::OpenImpl(ExecContext* ctx) { return child_->Open(ctx); }
 
-Result<bool> TupleFilterOp::Next(ExecContext* ctx, Tuple* out) {
+Result<bool> TupleFilterOp::NextImpl(ExecContext* ctx, Tuple* out) {
   while (true) {
     auto more = child_->Next(ctx, out);
     if (!more.ok()) return more.status();
@@ -137,16 +130,12 @@ Result<bool> TupleFilterOp::Next(ExecContext* ctx, Tuple* out) {
   }
 }
 
-Status TupleFilterOp::Close(ExecContext* ctx) { return child_->Close(ctx); }
+Status TupleFilterOp::CloseImpl(ExecContext* ctx) { return child_->Close(ctx); }
 
 std::string TupleFilterOp::Describe() const {
   return StrFormat("Filter(%zu atoms)", atoms_.size());
 }
 
-void TupleFilterOp::CollectMonitorRecords(
-    std::vector<MonitorRecord>* out) const {
-  child_->CollectMonitorRecords(out);
-}
 
 std::vector<const Operator*> TupleFilterOp::children() const {
   return {child_.get()};

@@ -17,12 +17,13 @@ class SortOp : public Operator {
  public:
   SortOp(OperatorPtr child, int key_idx);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(ExecContext* ctx, Tuple* out) override;
-  Status Close(ExecContext* ctx) override;
   std::string Describe() const override;
-  void CollectMonitorRecords(std::vector<MonitorRecord>* out) const override;
   std::vector<const Operator*> children() const override;
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<bool> NextImpl(ExecContext* ctx, Tuple* out) override;
+  Status CloseImpl(ExecContext* ctx) override;
 
  private:
   OperatorPtr child_;
@@ -36,12 +37,13 @@ class AggregateCountOp : public Operator {
  public:
   explicit AggregateCountOp(OperatorPtr child);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(ExecContext* ctx, Tuple* out) override;
-  Status Close(ExecContext* ctx) override;
   std::string Describe() const override;
-  void CollectMonitorRecords(std::vector<MonitorRecord>* out) const override;
   std::vector<const Operator*> children() const override;
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<bool> NextImpl(ExecContext* ctx, Tuple* out) override;
+  Status CloseImpl(ExecContext* ctx) override;
 
  private:
   OperatorPtr child_;
@@ -64,12 +66,13 @@ class TupleFilterOp : public Operator {
  public:
   TupleFilterOp(OperatorPtr child, std::vector<TupleAtom> atoms);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(ExecContext* ctx, Tuple* out) override;
-  Status Close(ExecContext* ctx) override;
   std::string Describe() const override;
-  void CollectMonitorRecords(std::vector<MonitorRecord>* out) const override;
   std::vector<const Operator*> children() const override;
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<bool> NextImpl(ExecContext* ctx, Tuple* out) override;
+  Status CloseImpl(ExecContext* ctx) override;
 
  private:
   OperatorPtr child_;

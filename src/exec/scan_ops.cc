@@ -26,7 +26,7 @@ TableScanOp::TableScanOp(Table* table, Predicate pushed,
       projection_(std::move(projection)),
       monitors_(std::move(monitors)) {}
 
-Status TableScanOp::Open(ExecContext* ctx) {
+Status TableScanOp::OpenImpl(ExecContext* ctx) {
   (void)ctx;
   page_idx_ = 0;
   row_idx_ = 0;
@@ -36,7 +36,7 @@ Status TableScanOp::Open(ExecContext* ctx) {
   return Status::OK();
 }
 
-Result<bool> TableScanOp::Next(ExecContext* ctx, Tuple* out) {
+Result<bool> TableScanOp::NextImpl(ExecContext* ctx, Tuple* out) {
   if (done_) return false;
   const HeapFile* file = table_->file();
   const Schema* schema = &table_->schema();
@@ -78,7 +78,7 @@ Result<bool> TableScanOp::Next(ExecContext* ctx, Tuple* out) {
   }
 }
 
-Status TableScanOp::Close(ExecContext* ctx) {
+Status TableScanOp::CloseImpl(ExecContext* ctx) {
   (void)ctx;
   // A drained scan already closed its last page; an abandoned one has not.
   if (page_open_) {
@@ -98,7 +98,7 @@ std::string TableScanOp::Describe() const {
                    pushed_.ToString(table_->schema()).c_str());
 }
 
-void TableScanOp::CollectMonitorRecords(
+void TableScanOp::CollectOwnMonitorRecords(
     std::vector<MonitorRecord>* out) const {
   if (monitors_ == nullptr) return;
   for (const ScanExprResult& r : monitors_->Finish()) {
@@ -133,7 +133,7 @@ ClusteredRangeScanOp::ClusteredRangeScanOp(
   assert(cluster_col_ >= 0 && "range scan requires a clustered table");
 }
 
-Status ClusteredRangeScanOp::Open(ExecContext* ctx) {
+Status ClusteredRangeScanOp::OpenImpl(ExecContext* ctx) {
   (void)ctx;
   row_idx_ = 0;
   rows_in_page_ = 0;
@@ -151,7 +151,7 @@ Status ClusteredRangeScanOp::Open(ExecContext* ctx) {
   return Status::OK();
 }
 
-Result<bool> ClusteredRangeScanOp::Next(ExecContext* ctx, Tuple* out) {
+Result<bool> ClusteredRangeScanOp::NextImpl(ExecContext* ctx, Tuple* out) {
   if (done_) return false;
   const HeapFile* file = table_->file();
   const Schema* schema = &table_->schema();
@@ -201,7 +201,7 @@ Result<bool> ClusteredRangeScanOp::Next(ExecContext* ctx, Tuple* out) {
   }
 }
 
-Status ClusteredRangeScanOp::Close(ExecContext* ctx) {
+Status ClusteredRangeScanOp::CloseImpl(ExecContext* ctx) {
   (void)ctx;
   if (page_open_) {
     if (monitors_ != nullptr) monitors_->EndPage();
@@ -220,7 +220,7 @@ std::string ClusteredRangeScanOp::Describe() const {
                    pushed_.ToString(table_->schema()).c_str());
 }
 
-void ClusteredRangeScanOp::CollectMonitorRecords(
+void ClusteredRangeScanOp::CollectOwnMonitorRecords(
     std::vector<MonitorRecord>* out) const {
   if (monitors_ == nullptr) return;
   for (const ScanExprResult& r : monitors_->Finish()) {
@@ -254,7 +254,7 @@ CoveringIndexScanOp::CoveringIndexScanOp(Index* index, Predicate pushed,
 #endif
 }
 
-Status CoveringIndexScanOp::Open(ExecContext* ctx) {
+Status CoveringIndexScanOp::OpenImpl(ExecContext* ctx) {
   (void)ctx;
   done_ = false;
   DPCF_ASSIGN_OR_RETURN(it_, index_->tree()->Begin());
@@ -271,7 +271,7 @@ bool CoveringIndexScanOp::EvalEntry(const BtreeKey& key,
   return true;
 }
 
-Result<bool> CoveringIndexScanOp::Next(ExecContext* ctx, Tuple* out) {
+Result<bool> CoveringIndexScanOp::NextImpl(ExecContext* ctx, Tuple* out) {
   if (done_) return false;
   CpuStats* cpu = ctx->cpu();
   while (it_.Valid()) {
@@ -293,7 +293,7 @@ Result<bool> CoveringIndexScanOp::Next(ExecContext* ctx, Tuple* out) {
   return false;
 }
 
-Status CoveringIndexScanOp::Close(ExecContext* ctx) {
+Status CoveringIndexScanOp::CloseImpl(ExecContext* ctx) {
   (void)ctx;
   it_ = BtreeIterator();
   return Status::OK();

@@ -21,13 +21,16 @@ class TableScanOp : public Operator {
   TableScanOp(Table* table, Predicate pushed, std::vector<int> projection,
               std::unique_ptr<ScanMonitorBundle> monitors = nullptr);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(ExecContext* ctx, Tuple* out) override;
-  Status Close(ExecContext* ctx) override;
   std::string Describe() const override;
-  void CollectMonitorRecords(std::vector<MonitorRecord>* out) const override;
+  void CollectOwnMonitorRecords(
+      std::vector<MonitorRecord>* out) const override;
 
   const ScanMonitorBundle* monitors() const { return monitors_.get(); }
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<bool> NextImpl(ExecContext* ctx, Tuple* out) override;
+  Status CloseImpl(ExecContext* ctx) override;
 
  private:
   Table* table_;
@@ -54,11 +57,14 @@ class ClusteredRangeScanOp : public Operator {
                        std::vector<int> projection,
                        std::unique_ptr<ScanMonitorBundle> monitors = nullptr);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(ExecContext* ctx, Tuple* out) override;
-  Status Close(ExecContext* ctx) override;
   std::string Describe() const override;
-  void CollectMonitorRecords(std::vector<MonitorRecord>* out) const override;
+  void CollectOwnMonitorRecords(
+      std::vector<MonitorRecord>* out) const override;
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<bool> NextImpl(ExecContext* ctx, Tuple* out) override;
+  Status CloseImpl(ExecContext* ctx) override;
 
  private:
   Table* table_;
@@ -89,10 +95,12 @@ class CoveringIndexScanOp : public Operator {
   CoveringIndexScanOp(Index* index, Predicate pushed,
                       std::vector<int> projection);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(ExecContext* ctx, Tuple* out) override;
-  Status Close(ExecContext* ctx) override;
   std::string Describe() const override;
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<bool> NextImpl(ExecContext* ctx, Tuple* out) override;
+  Status CloseImpl(ExecContext* ctx) override;
 
  private:
   /// Evaluates the pushed atoms against the current index entry.

@@ -1,0 +1,236 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace dpcf {
+
+namespace {
+
+// fetch_add on atomic<double> is C++20; spell it as a CAS loop so the
+// registry does not depend on library support that gcc/clang gained at
+// different times.
+void AtomicAddDouble(std::atomic<double>* a, double d) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (!a->compare_exchange_weak(cur, cur + d,
+                                   std::memory_order_relaxed)) {
+  }
+}
+
+std::string RenderLabels(const MetricLabels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i) out += ",";
+    out += labels[i].first + "=\"" + labels[i].second + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string LabelsJson(const MetricLabels& labels) {
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i) out += ",";
+    out += "\"" + JsonEscape(labels[i].first) + "\":\"" +
+           JsonEscape(labels[i].second) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+MetricLabels Canonical(MetricLabels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+}  // namespace
+
+LogHistogram::LogHistogram(double lower_bound, double growth, size_t num_buckets) {
+  assert(lower_bound > 0 && growth > 1 && num_buckets > 0);
+  bounds_.reserve(num_buckets);
+  double bound = lower_bound;
+  for (size_t i = 0; i < num_buckets; ++i) {
+    bounds_.push_back(bound);
+    bound *= growth;
+  }
+  buckets_ = std::make_unique<std::atomic<int64_t>[]>(num_buckets);
+  for (size_t i = 0; i < num_buckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void LogHistogram::Observe(double v) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&sum_, v);
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (v <= bounds_[i]) {
+      buckets_[i].fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  overflow_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string MetricsRegistry::LabelKey(const MetricLabels& labels) {
+  return RenderLabels(labels);
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help,
+                                     MetricLabels labels) {
+  labels = Canonical(std::move(labels));
+  MutexLock lock(&mu_);
+  Family<Counter>& fam = counters_[name];
+  if (fam.help.empty()) fam.help = help;
+  Child<Counter>& child = fam.children[LabelKey(labels)];
+  if (child.metric == nullptr) {
+    child.labels = std::move(labels);
+    child.metric = std::make_unique<Counter>();
+  }
+  return child.metric.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help,
+                                 MetricLabels labels) {
+  labels = Canonical(std::move(labels));
+  MutexLock lock(&mu_);
+  Family<Gauge>& fam = gauges_[name];
+  if (fam.help.empty()) fam.help = help;
+  Child<Gauge>& child = fam.children[LabelKey(labels)];
+  if (child.metric == nullptr) {
+    child.labels = std::move(labels);
+    child.metric = std::make_unique<Gauge>();
+  }
+  return child.metric.get();
+}
+
+LogHistogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         double lower_bound, double growth,
+                                         size_t num_buckets,
+                                         MetricLabels labels) {
+  labels = Canonical(std::move(labels));
+  MutexLock lock(&mu_);
+  HistogramFamily& fam = histograms_[name];
+  if (fam.children.empty()) {
+    fam.help = help;
+    fam.lower_bound = lower_bound;
+    fam.growth = growth;
+    fam.num_buckets = num_buckets;
+  }
+  Child<LogHistogram>& child = fam.children[LabelKey(labels)];
+  if (child.metric == nullptr) {
+    child.labels = std::move(labels);
+    child.metric = std::make_unique<LogHistogram>(fam.lower_bound, fam.growth,
+                                               fam.num_buckets);
+  }
+  return child.metric.get();
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  MutexLock lock(&mu_);
+  std::string out;
+  for (const auto& [name, fam] : counters_) {
+    out += "# HELP " + name + " " + fam.help + "\n";
+    out += "# TYPE " + name + " counter\n";
+    for (const auto& [key, child] : fam.children) {
+      out += StrFormat("%s%s %lld\n", name.c_str(), key.c_str(),
+                       static_cast<long long>(child.metric->value()));
+    }
+  }
+  for (const auto& [name, fam] : gauges_) {
+    out += "# HELP " + name + " " + fam.help + "\n";
+    out += "# TYPE " + name + " gauge\n";
+    for (const auto& [key, child] : fam.children) {
+      out += StrFormat("%s%s %s\n", name.c_str(), key.c_str(),
+                       FormatDouble(child.metric->value(), 6).c_str());
+    }
+  }
+  for (const auto& [name, fam] : histograms_) {
+    out += "# HELP " + name + " " + fam.help + "\n";
+    out += "# TYPE " + name + " histogram\n";
+    for (const auto& [key, child] : fam.children) {
+      const LogHistogram& h = *child.metric;
+      int64_t cumulative = 0;
+      for (size_t i = 0; i < h.num_buckets(); ++i) {
+        cumulative += h.bucket_count(i);
+        MetricLabels le = child.labels;
+        le.emplace_back("le", FormatDouble(h.bucket_bound(i), 6));
+        out += StrFormat("%s_bucket%s %lld\n", name.c_str(),
+                         RenderLabels(le).c_str(),
+                         static_cast<long long>(cumulative));
+      }
+      MetricLabels le = child.labels;
+      le.emplace_back("le", "+Inf");
+      out += StrFormat("%s_bucket%s %lld\n", name.c_str(),
+                       RenderLabels(le).c_str(),
+                       static_cast<long long>(h.count()));
+      out += StrFormat("%s_sum%s %s\n", name.c_str(), key.c_str(),
+                       FormatDouble(h.sum(), 6).c_str());
+      out += StrFormat("%s_count%s %lld\n", name.c_str(), key.c_str(),
+                       static_cast<long long>(h.count()));
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  MutexLock lock(&mu_);
+  std::string out = "{\n  \"counters\": [";
+  bool first = true;
+  for (const auto& [name, fam] : counters_) {
+    for (const auto& [key, child] : fam.children) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += StrFormat("    {\"name\": \"%s\", \"labels\": %s, "
+                       "\"value\": %lld}",
+                       JsonEscape(name).c_str(),
+                       LabelsJson(child.labels).c_str(),
+                       static_cast<long long>(child.metric->value()));
+    }
+  }
+  out += "\n  ],\n  \"gauges\": [";
+  first = true;
+  for (const auto& [name, fam] : gauges_) {
+    for (const auto& [key, child] : fam.children) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += StrFormat("    {\"name\": \"%s\", \"labels\": %s, "
+                       "\"value\": %s}",
+                       JsonEscape(name).c_str(),
+                       LabelsJson(child.labels).c_str(),
+                       FormatDouble(child.metric->value(), 6).c_str());
+    }
+  }
+  out += "\n  ],\n  \"histograms\": [";
+  first = true;
+  for (const auto& [name, fam] : histograms_) {
+    for (const auto& [key, child] : fam.children) {
+      const LogHistogram& h = *child.metric;
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += StrFormat("    {\"name\": \"%s\", \"labels\": %s, "
+                       "\"count\": %lld, \"sum\": %s, \"buckets\": [",
+                       JsonEscape(name).c_str(),
+                       LabelsJson(child.labels).c_str(),
+                       static_cast<long long>(h.count()),
+                       FormatDouble(h.sum(), 6).c_str());
+      for (size_t i = 0; i < h.num_buckets(); ++i) {
+        if (i) out += ", ";
+        out += StrFormat("{\"le\": %s, \"count\": %lld}",
+                         FormatDouble(h.bucket_bound(i), 6).c_str(),
+                         static_cast<long long>(h.bucket_count(i)));
+      }
+      out += StrFormat("], \"overflow\": %lld}",
+                       static_cast<long long>(h.overflow_count()));
+    }
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace dpcf

@@ -1,0 +1,146 @@
+// MetricsRegistry: the engine-wide metric store behind the observability
+// layer (DESIGN.md section 11).
+//
+// Registration (GetCounter / GetGauge / GetHistogram) is latched and
+// idempotent — callers resolve a raw pointer once, typically at attach time
+// (BufferPool::AttachObservability, DiskManager::AttachMetrics,
+// MonitorManager's constructor) — while the returned handles update with
+// relaxed atomics only, so publishing from the storage hot path never takes
+// a lock and never serializes scan workers. Exposition renders the whole
+// registry as Prometheus text or JSON at quiescent points; like IoStats,
+// cross-metric consistency is only guaranteed then.
+//
+// Naming convention (machine-checked by the dpcf-metric-naming lint rule):
+// snake_case with a unit suffix — counters end in `_total`, gauges and
+// histograms in a unit such as `_us`, `_bytes`, `_pages`, `_rows`.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace dpcf {
+
+/// Sorted (key, value) label pairs identifying one child of a metric
+/// family, e.g. {{"shard", "3"}}.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing event count. Relaxed atomic: safe to bump from
+/// any thread, totals exact at quiescent points.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value (e.g. a configured latency knob).
+class Gauge {
+ public:
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0};
+};
+
+/// Bounded log-scale histogram: bucket i spans
+/// (lower_bound * growth^(i-1), lower_bound * growth^i]; one overflow
+/// bucket catches everything above the last bound. Observe() is lock-free
+/// (a short scan over immutable bounds plus relaxed increments), so it is
+/// safe on concurrent paths such as the buffer pool's miss read.
+class LogHistogram {
+ public:
+  LogHistogram(double lower_bound, double growth, size_t num_buckets);
+
+  void Observe(double v);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  size_t num_buckets() const { return bounds_.size(); }
+  /// Inclusive upper bound of bucket i (Prometheus `le`).
+  double bucket_bound(size_t i) const { return bounds_[i]; }
+  int64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  int64_t overflow_count() const {
+    return overflow_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<double> bounds_;  // immutable after the ctor
+  std::unique_ptr<std::atomic<int64_t>[]> buckets_;
+  std::atomic<int64_t> overflow_{0};
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0};
+};
+
+/// Name -> family -> labeled-child store with Prometheus-text and JSON
+/// exposition. Pointers returned by the Get* methods are stable for the
+/// registry's lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates the counter `name` with `labels`. `help` is recorded
+  /// on first registration of the family.
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      MetricLabels labels = {}) EXCLUDES(mu_);
+
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  MetricLabels labels = {}) EXCLUDES(mu_);
+
+  /// LogHistogram bucket geometry is a property of the family: the parameters
+  /// of the first registration win and later calls just resolve the child.
+  LogHistogram* GetHistogram(const std::string& name, const std::string& help,
+                          double lower_bound, double growth,
+                          size_t num_buckets, MetricLabels labels = {})
+      EXCLUDES(mu_);
+
+  /// Prometheus text exposition format (# HELP / # TYPE + samples).
+  std::string PrometheusText() const EXCLUDES(mu_);
+
+  /// JSON exposition: {"counters": [...], "gauges": [...],
+  /// "histograms": [...]}.
+  std::string ToJson() const EXCLUDES(mu_);
+
+ private:
+  template <typename M>
+  struct Child {
+    MetricLabels labels;
+    std::unique_ptr<M> metric;
+  };
+  template <typename M>
+  struct Family {
+    std::string help;
+    // Keyed by the serialized label set for child lookup.
+    std::map<std::string, Child<M>> children;
+  };
+  struct HistogramFamily : Family<LogHistogram> {
+    double lower_bound = 1.0;
+    double growth = 2.0;
+    size_t num_buckets = 16;
+  };
+
+  static std::string LabelKey(const MetricLabels& labels);
+
+  mutable Mutex mu_;
+  std::map<std::string, Family<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, Family<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, HistogramFamily> histograms_ GUARDED_BY(mu_);
+};
+
+}  // namespace dpcf

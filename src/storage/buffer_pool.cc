@@ -1,9 +1,12 @@
 #include "storage/buffer_pool.h"
 
 #include <cassert>
+#include <chrono>
 #include <cstring>
 
 #include "common/string_util.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace_collector.h"
 
 namespace dpcf {
 
@@ -92,6 +95,34 @@ BufferPool::BufferPool(DiskManager* disk, size_t capacity_pages,
   }
 }
 
+void BufferPool::AttachObservability(MetricsRegistry* registry,
+                                     TraceCollector* trace) {
+  trace_ = trace;
+  if (registry == nullptr) return;
+  m_logical_reads_ = registry->GetCounter(
+      "buffer_pool_logical_reads_total",
+      "Successful page requests (hits + completed miss loads)");
+  m_prefetch_hits_ = registry->GetCounter(
+      "buffer_pool_prefetch_hits_total",
+      "Demand fetches served from a readahead-loaded frame");
+  m_miss_read_us_ = registry->GetHistogram(
+      "buffer_pool_miss_read_us",
+      "Wall time of the disk read on a buffer-pool miss", 1.0, 2.0, 20);
+  for (size_t si = 0; si < shards_.size(); ++si) {
+    MetricLabels labels = {{"shard", StrFormat("%zu", si)}};
+    Shard& sh = *shards_[si];
+    sh.m_hits = registry->GetCounter("buffer_pool_hits_total",
+                                     "Page requests served from the pool",
+                                     labels);
+    sh.m_misses = registry->GetCounter(
+        "buffer_pool_misses_total", "Page requests that went to disk",
+        labels);
+    sh.m_loading_waits = registry->GetCounter(
+        "buffer_pool_loading_waits_total",
+        "Waits behind another fetcher's in-flight load", labels);
+  }
+}
+
 size_t BufferPool::shard_capacity(size_t s) const {
   MutexLock lock(&shards_[s]->mu);
   return shards_[s]->frames.size();
@@ -142,6 +173,7 @@ Result<PageGuard> BufferPool::Fetch(PageId pid) {
         // released inside the wait) and re-check from the top; a wake-up
         // with the entry gone means the load failed or the frame was
         // evicted, in which case this fetch becomes the loader.
+        if (s.m_loading_waits != nullptr) s.m_loading_waits->Increment();
         s.cv.wait(s.mu);
         continue;
       }
@@ -153,6 +185,15 @@ Result<PageGuard> BufferPool::Fetch(PageId pid) {
       ++fr.pin_count;
       ++io->logical_reads;
       ++io->buffer_hits;
+      if (fr.prefetched) {
+        // First demand hit of a readahead-loaded frame: that prefetch paid
+        // off. Count it once and clear the flag.
+        fr.prefetched = false;
+        ++io->prefetch_hits;
+        if (m_prefetch_hits_ != nullptr) m_prefetch_hits_->Increment();
+      }
+      if (s.m_hits != nullptr) s.m_hits->Increment();
+      if (m_logical_reads_ != nullptr) m_logical_reads_->Increment();
       PageGuard guard(this, si, it->second, fr.data.get());
       s.mu.unlock();
       return guard;
@@ -170,8 +211,18 @@ Result<PageGuard> BufferPool::Fetch(PageId pid) {
     fr.state = FrameState::kLoading;
     fr.pin_count = 1;  // loading frames are never victims
     fr.dirty = false;
+    fr.prefetched = false;
     s.table[pid] = f;
     char* dst = fr.data.get();
+    if (s.m_misses != nullptr) s.m_misses->Increment();
+    const bool traced = trace_ != nullptr && trace_->enabled();
+    const bool timed = traced || m_miss_read_us_ != nullptr;
+    std::chrono::steady_clock::time_point read_t0;
+    int64_t span_begin = 0;
+    if (timed) {
+      read_t0 = std::chrono::steady_clock::now();
+      if (traced) span_begin = trace_->NowUs();
+    }
     Status st;
     if (options_.serialize_miss_io) {
       // Legacy mode: the read happens under the latch, as in the
@@ -181,6 +232,19 @@ Result<PageGuard> BufferPool::Fetch(PageId pid) {
       s.mu.unlock();
       st = disk_->ReadPage(pid, dst);
       s.mu.lock();
+    }
+    if (timed && st.ok()) {
+      if (m_miss_read_us_ != nullptr) {
+        m_miss_read_us_->Observe(
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - read_t0)
+                .count());
+      }
+      if (traced) {
+        trace_->AddSpan("io", StrFormat("miss read %s",
+                                        pid.ToString().c_str()),
+                        span_begin);
+      }
     }
     if (!st.ok()) {
       s.table.erase(pid);
@@ -196,6 +260,7 @@ Result<PageGuard> BufferPool::Fetch(PageId pid) {
     // after the load succeeded, keeps logical == hits + physical exact even
     // when fetches fail (satisfying no-charge-on-failure).
     ++io->logical_reads;
+    if (m_logical_reads_ != nullptr) m_logical_reads_->Increment();
     s.cv.notify_all();
     PageGuard guard(this, si, f, dst);
     s.mu.unlock();
@@ -226,8 +291,11 @@ Status BufferPool::Prefetch(PageId pid) {
   fr.state = FrameState::kLoading;
   fr.pin_count = 1;
   fr.dirty = false;
+  fr.prefetched = false;
   s.table[pid] = f;
   char* dst = fr.data.get();
+  const bool traced = trace_ != nullptr && trace_->enabled();
+  const int64_t span_begin = traced ? trace_->NowUs() : 0;
   Status st;
   if (options_.serialize_miss_io) {
     st = disk_->ReadPage(pid, dst, ReadClass::kPrefetch);
@@ -235,6 +303,10 @@ Status BufferPool::Prefetch(PageId pid) {
     s.mu.unlock();
     st = disk_->ReadPage(pid, dst, ReadClass::kPrefetch);
     s.mu.lock();
+  }
+  if (traced && st.ok()) {
+    trace_->AddSpan("io", StrFormat("prefetch %s", pid.ToString().c_str()),
+                    span_begin);
   }
   if (!st.ok()) {
     s.table.erase(pid);
@@ -246,6 +318,7 @@ Status BufferPool::Prefetch(PageId pid) {
     return st;
   }
   fr.state = FrameState::kReady;
+  fr.prefetched = true;
   // Unpin straight to the front of the LRU: most recently used, so the
   // window of prefetched-but-unconsumed pages survives until the scan
   // cursor arrives (unless the shard is under real pressure).
@@ -275,6 +348,7 @@ Result<PageGuard> BufferPool::NewPage(SegmentId segment, PageId* out_pid) {
   fr.state = FrameState::kReady;
   fr.pin_count = 1;
   fr.dirty = true;
+  fr.prefetched = false;
   s.table[pid] = f;
   *out_pid = pid;
   return PageGuard(this, si, f, fr.data.get());
@@ -324,6 +398,7 @@ Status BufferPool::ColdReset() {
       Frame& fr = shard->frames[static_cast<size_t>(f)];
       fr.state = FrameState::kFree;
       fr.in_lru = false;
+      fr.prefetched = false;
       fr.lru_pos = shard->lru.end();
       shard->free_frames.push_back(f);
     }

@@ -57,6 +57,10 @@
 namespace dpcf {
 
 class BufferPool;
+class Counter;          // obs/metrics_registry.h
+class LogHistogram;     // obs/metrics_registry.h
+class MetricsRegistry;  // obs/metrics_registry.h
+class TraceCollector;   // obs/trace_collector.h
 
 /// RAII pin on a buffer-pool frame. Movable, not copyable; unpins on
 /// destruction. data() is valid while the guard is alive.
@@ -152,6 +156,14 @@ class BufferPool {
 
   DiskManager* disk() const { return disk_; }
 
+  /// Resolves this pool's metric handles (per-shard hits / misses /
+  /// loading-waits, pool-wide logical reads / prefetch hits, miss-read
+  /// latency histogram) from `registry` and/or wires `trace` for miss and
+  /// prefetch spans. Either argument may be null. Call once, at a quiescent
+  /// point (Database's constructor does); publishing afterwards is
+  /// relaxed-atomic only and adds nothing to the unattached hot path.
+  void AttachObservability(MetricsRegistry* registry, TraceCollector* trace);
+
   /// The disk latch as this pool's annotations spell it. TSA matches
   /// capability *expressions*, so code that locks `disk()->latch()` under
   /// a different base object would not collide with the `disk_->mu_` in
@@ -179,6 +191,10 @@ class BufferPool {
     // Position in the shard lru when pin_count == 0; lru.end() otherwise.
     std::list<int32_t>::iterator lru_pos;
     bool in_lru = false;
+    // Loaded by a kPrefetch read and not yet demanded: the first demand hit
+    // charges IoStats::prefetch_hits and clears this (so one prefetched
+    // load is one potential hit). Cleared whenever the frame is reclaimed.
+    bool prefetched = false;
   };
 
   /// One latch domain. `disk` duplicates the pool's pointer so the
@@ -196,6 +212,12 @@ class BufferPool {
     std::vector<int32_t> free_frames GUARDED_BY(mu);
     std::list<int32_t> lru GUARDED_BY(mu);  // front = most recent
     std::unordered_map<PageId, int32_t, PageIdHash> table GUARDED_BY(mu);
+    // Metric handles, null until AttachObservability. Set once at a
+    // quiescent point; the Counter itself is a relaxed atomic, so no
+    // GUARDED_BY (same contract as IoStats::AtomicCounter).
+    Counter* m_hits = nullptr;
+    Counter* m_misses = nullptr;
+    Counter* m_loading_waits = nullptr;
   };
 
   /// Returns a usable frame index in `s`: a free frame, or the LRU victim
@@ -214,6 +236,11 @@ class BufferPool {
   DiskManager* disk_;
   size_t capacity_pages_;  // == sum of shard frame counts; ctor-immutable
   BufferPoolOptions options_;
+  // Pool-wide observability handles; null until AttachObservability.
+  Counter* m_logical_reads_ = nullptr;
+  Counter* m_prefetch_hits_ = nullptr;
+  LogHistogram* m_miss_read_us_ = nullptr;
+  TraceCollector* trace_ = nullptr;
   // Immutable after the ctor (the Shard contents are latched, the vector
   // itself never changes).
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -5,10 +5,35 @@
 #include <thread>
 
 #include "common/string_util.h"
+#include "obs/metrics_registry.h"
 
 namespace dpcf {
 
 DiskManager::DiskManager(size_t page_size) : page_size_(page_size) {}
+
+void DiskManager::AttachMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  m_reads_seq_ = registry->GetCounter(
+      "disk_reads_total", "Physical page reads by class",
+      {{"class", "seq"}});
+  m_reads_rand_ = registry->GetCounter(
+      "disk_reads_total", "Physical page reads by class",
+      {{"class", "rand"}});
+  m_reads_prefetch_ = registry->GetCounter(
+      "disk_reads_total", "Physical page reads by class",
+      {{"class", "prefetch"}});
+  m_writes_ = registry->GetCounter("disk_writes_total",
+                                   "Physical page writes");
+  m_latency_us_ = registry->GetGauge(
+      "disk_read_latency_us", "Configured simulated per-read latency");
+  m_latency_us_->Set(
+      static_cast<double>(read_latency_us_.load(std::memory_order_relaxed)));
+}
+
+void DiskManager::set_read_latency_us(int64_t us) {
+  read_latency_us_.store(us, std::memory_order_relaxed);
+  if (m_latency_us_ != nullptr) m_latency_us_->Set(static_cast<double>(us));
+}
 
 SegmentId DiskManager::CreateSegment(std::string name) {
   MutexLock lock(&mu_);
@@ -52,14 +77,17 @@ Status DiskManager::ReadPage(PageId pid, char* out, ReadClass cls) {
       // Speculative: charged separately and invisible to the read head, so
       // readahead cannot flip demand reads between seq and rand.
       ++io_stats_.prefetch_reads;
+      if (m_reads_prefetch_ != nullptr) m_reads_prefetch_->Increment();
     } else {
       const bool sequential = last_read_.valid() &&
                               last_read_.segment == pid.segment &&
                               pid.page_no == last_read_.page_no + 1;
       if (sequential) {
         ++io_stats_.physical_seq_reads;
+        if (m_reads_seq_ != nullptr) m_reads_seq_->Increment();
       } else {
         ++io_stats_.physical_rand_reads;
+        if (m_reads_rand_ != nullptr) m_reads_rand_->Increment();
       }
       last_read_ = pid;
     }
@@ -83,6 +111,7 @@ Status DiskManager::WritePage(PageId pid, const char* data) {
                                           pid.ToString().c_str()));
     }
     ++io_stats_.physical_writes;
+    if (m_writes_ != nullptr) m_writes_->Increment();
     dst = segments_[pid.segment].pages[pid.page_no].get();
   }
   std::memcpy(dst, data, page_size_);

@@ -29,6 +29,10 @@ namespace dpcf {
 /// readahead cannot perturb the classification of the demand stream.
 enum class ReadClass { kDemand, kPrefetch };
 
+class Counter;          // obs/metrics_registry.h
+class Gauge;            // obs/metrics_registry.h
+class MetricsRegistry;  // obs/metrics_registry.h
+
 /// In-memory simulated disk with per-segment page arrays and I/O accounting.
 ///
 /// Thread-safe: a single latch serializes segment metadata and the read-head
@@ -92,12 +96,15 @@ class DiskManager {
   /// issued by different threads overlap (as on a disk with queue depth).
   /// Contention benches and tests use this to make miss-path latch holds
   /// measurable; 0 (the default) disables the sleep entirely.
-  void set_read_latency_us(int64_t us) {
-    read_latency_us_.store(us, std::memory_order_relaxed);
-  }
+  void set_read_latency_us(int64_t us);
   int64_t read_latency_us() const {
     return read_latency_us_.load(std::memory_order_relaxed);
   }
+
+  /// Resolves this disk's metric handles (reads by class, writes, the
+  /// latency-knob gauge) from `registry`. Call once at a quiescent point
+  /// (Database's constructor does); null detaches nothing and is ignored.
+  void AttachMetrics(MetricsRegistry* registry) EXCLUDES(mu_);
 
  private:
   friend class BufferPool;  // names mu_ in its lock-order annotations
@@ -115,6 +122,13 @@ class DiskManager {
   IoStats io_stats_;  // relaxed atomics: charged without the latch
   PageId last_read_ GUARDED_BY(mu_);  // invalid when head position unknown
   std::atomic<int64_t> read_latency_us_{0};  // its own synchronization
+  // Metric handles, null until AttachMetrics (set once at a quiescent
+  // point; the metrics themselves are relaxed atomics — no GUARDED_BY).
+  Counter* m_reads_seq_ = nullptr;
+  Counter* m_reads_rand_ = nullptr;
+  Counter* m_reads_prefetch_ = nullptr;
+  Counter* m_writes_ = nullptr;
+  Gauge* m_latency_us_ = nullptr;
 };
 
 }  // namespace dpcf

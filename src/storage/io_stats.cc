@@ -6,12 +6,13 @@ namespace dpcf {
 
 std::string IoStats::ToString() const {
   return StrFormat(
-      "IoStats{seq=%lld rand=%lld writes=%lld prefetch=%lld logical=%lld "
-      "hits=%lld}",
+      "IoStats{seq=%lld rand=%lld writes=%lld prefetch=%lld "
+      "prefetch_hits=%lld logical=%lld hits=%lld}",
       static_cast<long long>(physical_seq_reads),
       static_cast<long long>(physical_rand_reads),
       static_cast<long long>(physical_writes),
       static_cast<long long>(prefetch_reads),
+      static_cast<long long>(prefetch_hits),
       static_cast<long long>(logical_reads),
       static_cast<long long>(buffer_hits));
 }

@@ -52,6 +52,10 @@ class AtomicCounter {
     v_.fetch_add(d, std::memory_order_relaxed);
     return *this;
   }
+  AtomicCounter& operator-=(int64_t d) {
+    v_.fetch_sub(d, std::memory_order_relaxed);
+    return *this;
+  }
 
  private:
   std::atomic<int64_t> v_;
@@ -78,6 +82,13 @@ struct IoStats {
   //   logical_reads == buffer_hits + physical_reads().
   AtomicCounter prefetch_reads;
 
+  // Demand fetches that found their frame resident *because* a kPrefetch
+  // read loaded it (counted once per prefetched load, on first hit). The
+  // prefetch hit rate prefetch_hits / prefetch_reads is the signal the
+  // adaptive-readahead roadmap item scales the window from. Invariant at
+  // quiescent points: prefetch_hits <= prefetch_reads.
+  AtomicCounter prefetch_hits;
+
   // Logical I/O: every *successful* buffer-pool page request, hit or miss.
   // Failed fetches (e.g. ResourceExhausted) charge nothing, which keeps the
   // invariant above exact rather than approximate under contention.
@@ -95,8 +106,22 @@ struct IoStats {
     physical_rand_reads += o.physical_rand_reads;
     physical_writes += o.physical_writes;
     prefetch_reads += o.prefetch_reads;
+    prefetch_hits += o.prefetch_hits;
     logical_reads += o.logical_reads;
     buffer_hits += o.buffer_hits;
+    return *this;
+  }
+
+  /// Field-wise subtraction, for before/after deltas at quiescent points
+  /// (the executor and the operator profiler both snapshot this way).
+  IoStats& operator-=(const IoStats& o) {
+    physical_seq_reads -= o.physical_seq_reads;
+    physical_rand_reads -= o.physical_rand_reads;
+    physical_writes -= o.physical_writes;
+    prefetch_reads -= o.prefetch_reads;
+    prefetch_hits -= o.prefetch_hits;
+    logical_reads -= o.logical_reads;
+    buffer_hits -= o.buffer_hits;
     return *this;
   }
 
@@ -148,6 +173,15 @@ struct CpuStats {
     monitor_hash_ops += o.monitor_hash_ops;
     monitor_row_ops += o.monitor_row_ops;
     hash_table_ops += o.hash_table_ops;
+    return *this;
+  }
+
+  CpuStats& operator-=(const CpuStats& o) {
+    rows_processed -= o.rows_processed;
+    predicate_atom_evals -= o.predicate_atom_evals;
+    monitor_hash_ops -= o.monitor_hash_ops;
+    monitor_row_ops -= o.monitor_row_ops;
+    hash_table_ops -= o.hash_table_ops;
     return *this;
   }
 

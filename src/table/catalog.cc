@@ -56,9 +56,15 @@ std::vector<Index*> Catalog::Indexes() const {
 
 Database::Database(DatabaseOptions options)
     : options_(options),
+      trace_(options.observability.tracing),
       disk_(options.page_size),
       pool_(&disk_, options.buffer_pool_pages,
-            BufferPoolOptions{options.buffer_pool_shards}) {}
+            BufferPoolOptions{options.buffer_pool_shards}) {
+  MetricsRegistry* registry =
+      options_.observability.metrics ? &metrics_ : nullptr;
+  disk_.AttachMetrics(registry);
+  pool_.AttachObservability(registry, &trace_);
+}
 
 Result<Table*> Database::CreateTable(const std::string& name, Schema schema,
                                      TableOrganization organization,

@@ -14,6 +14,8 @@
 
 #include "common/status.h"
 #include "index/secondary_index.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace_collector.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
 #include "table/table.h"
@@ -40,6 +42,19 @@ class Catalog {
   std::map<std::string, std::unique_ptr<Index>> indexes_;
 };
 
+/// Observability toggles (DESIGN.md section 11). The registry and trace
+/// collector objects always exist on the Database; these flags decide
+/// whether the storage layer publishes into them.
+struct ObservabilityOptions {
+  /// Attach the storage layer (buffer pool, disk manager, monitor manager)
+  /// to the metrics registry. On by default: publication is relaxed-atomic
+  /// increments behind branch-predictable null checks.
+  bool metrics = true;
+  /// Start with trace-event recording enabled. Off by default — spans read
+  /// a clock; flip at runtime with Database::trace()->set_enabled(true).
+  bool tracing = false;
+};
+
 struct DatabaseOptions {
   size_t page_size = kDefaultPageSize;
   size_t buffer_pool_pages = 4096;
@@ -48,6 +63,7 @@ struct DatabaseOptions {
   size_t buffer_pool_shards = 0;
   /// Simulated device/CPU cost constants used when deriving run times.
   SimCostParams cost_params;
+  ObservabilityOptions observability;
 };
 
 /// Top-level engine object: storage + catalog.
@@ -83,6 +99,16 @@ class Database {
   BufferPool* buffer_pool() { return &pool_; }
   const DatabaseOptions& options() const { return options_; }
 
+  /// Engine-wide metric store. Always present; the storage layer publishes
+  /// into it when options.observability.metrics is on. Counters are
+  /// cumulative for the Database's lifetime — ColdCache() zeroes IoStats
+  /// but never the registry (Prometheus counters don't reset).
+  MetricsRegistry* metrics() { return &metrics_; }
+
+  /// Trace-event collector. Always present; recording follows
+  /// options.observability.tracing and trace()->set_enabled().
+  TraceCollector* trace() { return &trace_; }
+
   /// Empties the buffer pool and zeroes the I/O counters — the state in
   /// which the paper times every plan.
   Status ColdCache();
@@ -105,6 +131,8 @@ class Database {
 
  private:
   DatabaseOptions options_;
+  MetricsRegistry metrics_;
+  TraceCollector trace_;
   DiskManager disk_;
   BufferPool pool_;
   Catalog catalog_;

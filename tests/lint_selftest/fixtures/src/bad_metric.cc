@@ -1,0 +1,14 @@
+// Violating fixture for dpcf-metric-naming: a counter without `_total`, a
+// camelCase histogram name, and a gauge without a unit suffix.
+
+#include "obs/metrics_registry.h"
+
+namespace dpcf {
+
+void RegisterBadMetrics(MetricsRegistry* reg) {
+  reg->GetCounter("buffer_pool_hits", "counter missing _total");
+  reg->GetHistogram("missReadLatencyUs", "not snake_case", 1.0, 2.0, 16);
+  reg->GetGauge("disk_read_latency", "gauge missing a unit suffix");
+}
+
+}  // namespace dpcf

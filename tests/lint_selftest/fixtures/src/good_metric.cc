@@ -1,0 +1,16 @@
+// Clean fixture for dpcf-metric-naming: snake_case names with the right
+// kind suffix, including a wrapped registration and a labeled child.
+
+#include "obs/metrics_registry.h"
+
+namespace dpcf {
+
+void RegisterGoodMetrics(MetricsRegistry* reg) {
+  reg->GetCounter("buffer_pool_hits_total", "Pool hits",
+                  {{"shard", "0"}});
+  reg->GetGauge("disk_read_latency_us", "Configured latency");
+  reg->GetHistogram(
+      "buffer_pool_miss_read_us", "Miss read wall time", 1.0, 2.0, 20);
+}
+
+}  // namespace dpcf

@@ -27,6 +27,7 @@ VIOLATING = [
     ("dpcf-discarded-status", ["src/bad_status.h", "src/bad_status.cc"], 2),
     ("dpcf-include-hygiene", ["src/bad_include.h"], 2),
     ("dpcf-naked-new", ["src/bad_new.h", "src/bad_new.cc"], 3),
+    ("dpcf-metric-naming", ["src/bad_metric.cc"], 3),
 ]
 
 CLEAN = [
@@ -35,6 +36,7 @@ CLEAN = [
     ("dpcf-discarded-status", ["src/bad_status.h", "src/good_status.cc"]),
     ("dpcf-include-hygiene", ["src/good_include.h"]),
     ("dpcf-naked-new", ["src/good_new.h", "src/good_new.cc"]),
+    ("dpcf-metric-naming", ["src/good_metric.cc"]),
     # Violations present but suppressed -> clean.
     ("dpcf-naked-new", ["src/suppressed.h", "src/suppressed.cc"]),
 ]

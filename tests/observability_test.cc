@@ -1,0 +1,328 @@
+// The observability layer end to end: metrics registry semantics and
+// exposition, trace collection on/off, q-error tracking, per-operator
+// profiles with annotated-plan rendering, and the buffer pool's
+// prefetch-hit accounting.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/monitor_manager.h"
+#include "exec/executor.h"
+#include "exec/scan_ops.h"
+#include "obs/estimation_error_tracker.h"
+#include "obs/metrics_registry.h"
+#include "obs/op_profile.h"
+#include "obs/trace_collector.h"
+#include "tests/test_util.h"
+
+namespace dpcf {
+namespace {
+
+using testing::SyntheticDbTest;
+
+// ------------------------------------------------------------ MetricsRegistry
+
+TEST(MetricsRegistryTest, FindOrCreateIsIdempotent) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("x_total", "help");
+  Counter* b = reg.GetCounter("x_total", "ignored on re-registration");
+  EXPECT_EQ(a, b);
+  a->Increment();
+  a->Increment(4);
+  EXPECT_EQ(b->value(), 5);
+
+  // Distinct label sets are distinct children of the same family.
+  Counter* s0 = reg.GetCounter("y_total", "h", {{"shard", "0"}});
+  Counter* s1 = reg.GetCounter("y_total", "h", {{"shard", "1"}});
+  EXPECT_NE(s0, s1);
+  EXPECT_EQ(s0, reg.GetCounter("y_total", "h", {{"shard", "0"}}));
+}
+
+TEST(MetricsRegistryTest, GaugeLastWriteWins) {
+  MetricsRegistry reg;
+  Gauge* g = reg.GetGauge("latency_us", "h");
+  g->Set(4.0);
+  g->Set(2.5);
+  EXPECT_DOUBLE_EQ(g->value(), 2.5);
+}
+
+TEST(MetricsRegistryTest, LogHistogramBucketsAndOverflow) {
+  MetricsRegistry reg;
+  // Bounds 1, 2, 4, 8; everything above 8 overflows.
+  LogHistogram* h = reg.GetHistogram("read_us", "h", 1.0, 2.0, 4);
+  h->Observe(0.5);  // bucket 0 (<= 1)
+  h->Observe(3.0);  // bucket 2 (2, 4]
+  h->Observe(4.0);  // bucket 2 inclusive upper bound
+  h->Observe(100);  // overflow
+  EXPECT_EQ(h->count(), 4);
+  EXPECT_DOUBLE_EQ(h->sum(), 107.5);
+  EXPECT_EQ(h->bucket_count(0), 1);
+  EXPECT_EQ(h->bucket_count(1), 0);
+  EXPECT_EQ(h->bucket_count(2), 2);
+  EXPECT_EQ(h->overflow_count(), 1);
+  // First registration wins the geometry; the re-registration resolves the
+  // same child.
+  EXPECT_EQ(h, reg.GetHistogram("read_us", "h", 5.0, 10.0, 2));
+}
+
+TEST(MetricsRegistryTest, PrometheusTextExposition) {
+  MetricsRegistry reg;
+  reg.GetCounter("requests_total", "Requests served", {{"shard", "3"}})
+      ->Increment(7);
+  reg.GetGauge("latency_us", "Configured latency")->Set(2000);
+  reg.GetHistogram("wait_us", "Wait time", 1.0, 2.0, 2)->Observe(1.5);
+
+  const std::string text = reg.PrometheusText();
+  EXPECT_NE(text.find("# HELP requests_total Requests served"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE requests_total counter"), std::string::npos);
+  EXPECT_NE(text.find("requests_total{shard=\"3\"} 7"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE latency_us gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE wait_us histogram"), std::string::npos);
+  // Histogram exposition carries cumulative buckets, +Inf, _sum, _count.
+  EXPECT_NE(text.find("wait_us_bucket{le=\"+Inf\"} 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("wait_us_count 1"), std::string::npos) << text;
+}
+
+TEST(MetricsRegistryTest, JsonExposition) {
+  MetricsRegistry reg;
+  reg.GetCounter("a_total", "h", {{"k", "va\"l"}})->Increment();
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"a_total\""), std::string::npos) << json;
+  // Label values are JSON-escaped.
+  EXPECT_NE(json.find("va\\\"l"), std::string::npos) << json;
+}
+
+// ------------------------------------------------------------ TraceCollector
+
+TEST(TraceCollectorTest, DisabledCollectorRecordsNothing) {
+  TraceCollector trace(/*enabled=*/false);
+  trace.AddSpan("cat", "span", 0);
+  trace.AddInstant("cat", "instant");
+  { ScopedSpan s(&trace, "cat", "scoped"); }
+  { ScopedSpan null_ok(nullptr, "cat", "scoped"); }
+  EXPECT_EQ(trace.event_count(), 0u);
+  EXPECT_EQ(trace.dropped_events(), 0u);
+}
+
+TEST(TraceCollectorTest, RecordsSpansAndInstants) {
+  TraceCollector trace(/*enabled=*/true);
+  const int64_t begin = trace.NowUs();
+  trace.AddSpan("io", "miss read", begin, {{"page", "7"}});
+  trace.AddInstant("exec", "plan start");
+  { ScopedSpan s(&trace, "monitor", "merge"); }
+  EXPECT_EQ(trace.event_count(), 3u);
+
+  const std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"miss read\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"page\": \"7\""), std::string::npos) << json;
+}
+
+TEST(TraceCollectorTest, CapDropsAndCounts) {
+  TraceCollector trace(/*enabled=*/true);
+  trace.set_max_events(2);
+  for (int i = 0; i < 5; ++i) trace.AddInstant("cat", "e");
+  EXPECT_EQ(trace.event_count(), 2u);
+  EXPECT_EQ(trace.dropped_events(), 3u);
+  trace.Clear();
+  EXPECT_EQ(trace.event_count(), 0u);
+  EXPECT_EQ(trace.dropped_events(), 0u);
+}
+
+// --------------------------------------------------- EstimationErrorTracker
+
+TEST(QErrorHistogramTest, ObserveAndQuantile) {
+  QErrorHistogram h;
+  h.Observe(1.0);
+  h.Observe(1.5);
+  h.Observe(3.0);
+  h.Observe(100.0);
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.mean(), (1.0 + 1.5 + 3.0 + 100.0) / 4);
+  // Conservative bucket-boundary quantiles: the median lands in the
+  // [1, 2] band, the tail in 100's bucket (64, 128].
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 128.0);
+}
+
+TEST(EstimationErrorTrackerTest, GroupsByTableAndMechanism) {
+  EstimationErrorTracker tracker;
+  MonitorRecord with_est;
+  with_est.table = "T";
+  with_est.mechanism = "prefix-exact";
+  with_est.actual_dpc = 100;
+  with_est.estimated_dpc = 400;
+  with_est.actual_cardinality = 10;
+  with_est.estimated_cardinality = 10;
+
+  MonitorRecord without_est = with_est;
+  without_est.estimated_dpc = -1;
+  without_est.estimated_cardinality = -1;
+
+  MonitorRecord other_table = with_est;
+  other_table.table = "T1";
+
+  tracker.RecordAll({with_est, without_est, other_table});
+  EXPECT_EQ(tracker.total_records(), 3);
+
+  auto groups = tracker.Summaries();
+  ASSERT_EQ(groups.size(), 2u);
+  const auto& t = groups[0].table == "T" ? groups[0] : groups[1];
+  EXPECT_EQ(t.records, 2);
+  // The estimate-less record is counted but contributes to no histogram.
+  EXPECT_EQ(t.with_estimates, 1);
+  EXPECT_EQ(t.dpc_error.count(), 1);
+  EXPECT_DOUBLE_EQ(t.dpc_error.max(), 4.0);
+  EXPECT_DOUBLE_EQ(t.cardinality_error.max(), 1.0);
+
+  EXPECT_NE(tracker.Report().find("prefix-exact"), std::string::npos);
+  tracker.Clear();
+  EXPECT_EQ(tracker.total_records(), 0);
+}
+
+// ------------------------------------------------------ per-operator profiles
+
+class ObservabilityExecTest : public SyntheticDbTest {};
+
+TEST_F(ObservabilityExecTest, ProfilingCapturesOperatorTree) {
+  TableScanOp scan(t_, Predicate(), {0}, nullptr);
+  ExecContext ctx(db_->buffer_pool());
+  ctx.set_profiling(true);
+  ASSERT_OK_AND_ASSIGN(RunResult run, ExecutePlan(&scan, &ctx));
+  EXPECT_EQ(run.output.size(), 20'000u);
+
+  ASSERT_NE(run.stats.profile, nullptr);
+  const OpProfileNode& node = *run.stats.profile;
+  // T is clustered, so the scan renders as ClusteredIndexScan.
+  EXPECT_NE(node.describe.find("Scan(T"), std::string::npos);
+  EXPECT_EQ(node.profile.rows, 20'000);
+  EXPECT_EQ(node.profile.open_calls, 1);
+  EXPECT_EQ(node.profile.close_calls, 1);
+  // rows emissions plus the final false.
+  EXPECT_EQ(node.profile.next_calls, 20'001);
+  // The scan's inclusive I/O delta is the whole run's I/O.
+  EXPECT_EQ(static_cast<int64_t>(node.profile.io.logical_reads),
+            static_cast<int64_t>(run.stats.io.logical_reads));
+  EXPECT_GT(node.profile.cpu.rows_processed, 0);
+
+  const std::string plan =
+      RenderAnnotatedPlan(node, run.stats.monitors);
+  EXPECT_NE(plan.find("Scan(T"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("actual rows=20000"), std::string::npos) << plan;
+}
+
+TEST_F(ObservabilityExecTest, ProfilingOffCapturesNothing) {
+  TableScanOp scan(t_, Predicate(), {0}, nullptr);
+  ExecContext ctx(db_->buffer_pool());
+  ASSERT_OK_AND_ASSIGN(RunResult run, ExecutePlan(&scan, &ctx));
+  EXPECT_EQ(run.stats.profile, nullptr);
+  EXPECT_EQ(scan.profile().open_calls, 0);
+  EXPECT_EQ(scan.profile().next_calls, 0);
+}
+
+TEST(RenderAnnotatedPlanTest, AttachesEstimatesByLabelAndMechanism) {
+  OpProfileNode node;
+  node.describe = "TableScan(T, C1<10)";
+  node.profile.rows = 5;
+  MonitorRecord own;
+  own.table = "T";
+  own.label = "T|C1<10";
+  own.expr_text = "C1<10";
+  own.mechanism = "prefix-exact";
+  own.actual_dpc = 100;
+  node.records.push_back(own);
+
+  MonitorRecord est = own;
+  est.estimated_dpc = 400;
+  const std::string plan = RenderAnnotatedPlan(node, {est});
+  EXPECT_NE(plan.find("actualDpc=100.0"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("estDpc=400.0"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("errFactor=4.0x"), std::string::npos) << plan;
+}
+
+// --------------------------------------------------- prefetch-hit accounting
+
+class PrefetchHitTest : public SyntheticDbTest {};
+
+TEST_F(PrefetchHitTest, FirstDemandFetchAfterPrefetchChargesOneHit) {
+  ASSERT_OK(db_->ColdCache());
+  BufferPool* pool = db_->buffer_pool();
+  IoStats* io = db_->disk()->io_stats();
+  const PageId pid{t_->file()->segment(), 0};
+
+  ASSERT_OK(pool->Prefetch(pid));
+  EXPECT_EQ(static_cast<int64_t>(io->prefetch_reads), 1);
+  EXPECT_EQ(static_cast<int64_t>(io->prefetch_hits), 0);
+
+  // One prefetched load is at most one prefetch hit: the first demand
+  // fetch charges it, later fetches of the still-resident page do not.
+  { ASSERT_OK_AND_ASSIGN(PageGuard g, pool->Fetch(pid)); }
+  EXPECT_EQ(static_cast<int64_t>(io->prefetch_hits), 1);
+  { ASSERT_OK_AND_ASSIGN(PageGuard g, pool->Fetch(pid)); }
+  EXPECT_EQ(static_cast<int64_t>(io->prefetch_hits), 1);
+  EXPECT_LE(static_cast<int64_t>(io->prefetch_hits),
+            static_cast<int64_t>(io->prefetch_reads));
+
+  // A prefetch of an already-cached page is a no-op, not a second read.
+  ASSERT_OK(pool->Prefetch(pid));
+  EXPECT_EQ(static_cast<int64_t>(io->prefetch_reads), 1);
+}
+
+// ------------------------------------------------- registry-backed monitors
+
+TEST(MonitorManagerStatsTest, RegistryBackedAndSharedAcrossManagers) {
+  Database db;
+  MonitorManager a(&db);
+  EXPECT_EQ(a.stats().single_table_plans, 0);
+  // The counters live on the Database, so a second (transient) manager
+  // reads the same totals.
+  db.metrics()
+      ->GetCounter("monitor_single_table_plans_total", "")
+      ->Increment(3);
+  MonitorManager b(&db);
+  EXPECT_EQ(a.stats().single_table_plans, 3);
+  EXPECT_EQ(b.stats().single_table_plans, 3);
+}
+
+TEST(MonitorManagerStatsTest, MetricsOffYieldsZeros) {
+  DatabaseOptions opts;
+  opts.observability.metrics = false;
+  Database db(opts);
+  MonitorManager mm(&db);
+  InstrumentationStats s = mm.stats();
+  EXPECT_EQ(s.single_table_plans, 0);
+  EXPECT_EQ(s.scan_expressions, 0);
+}
+
+// ----------------------------------------------------------- worker regions
+
+TEST(WorkerRegionTest, TracksLiveRegions) {
+  ExecContext ctx(nullptr);
+  EXPECT_EQ(ctx.active_worker_regions(), 0);
+  {
+    ExecContext::WorkerRegion outer(&ctx);
+    EXPECT_EQ(ctx.active_worker_regions(), 1);
+    {
+      ExecContext::WorkerRegion inner(&ctx);
+      EXPECT_EQ(ctx.active_worker_regions(), 2);
+    }
+    EXPECT_EQ(ctx.active_worker_regions(), 1);
+  }
+  EXPECT_EQ(ctx.active_worker_regions(), 0);
+  // Quiescent again: the unlatched driver read is safe.
+  (void)ctx.cpu_stats();
+}
+
+}  // namespace
+}  // namespace dpcf

@@ -1,0 +1,235 @@
+#!/usr/bin/env python3
+"""Validates an observability dump produced by a bench run with
+DPCF_OBS_DIR set (bench/bench_util.h, MaybeDumpObservability).
+
+Checks, over the four artifacts:
+  trace.json    parses as Chrome trace_event JSON: a traceEvents list of
+                well-formed events (complete events carry a non-negative
+                duration) in the engine's known categories
+  metrics.prom  parses as Prometheus text exposition; names follow the
+                dpcf-metric-naming convention; and the cross-layer
+                accounting reconciles exactly:
+                  logical_reads == sum(hits) + sum(misses)
+                  sum(misses)   == disk seq + rand reads
+                  prefetch_hits <= disk prefetch reads
+  metrics.json  counter values agree with metrics.prom sample for sample
+  explain.txt   the annotated EXPLAIN ANALYZE plan shows actual and
+                estimated DPC per monitored expression
+
+Usage: tools/check_observability.py --dir DUMP_DIR
+Exit status 0 when every check passes, 1 otherwise.
+
+CI runs this against a monitored+traced fig6 smoke run (see
+.github/workflows/ci.yml), so a regression in any exporter fails the
+build rather than producing an unloadable trace or a figure whose
+counters quietly disagree with IoStats.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+KNOWN_CATEGORIES = {"exec", "io", "monitor", "op", "scan"}
+SNAKE = re.compile(r"^[a-z][a-z0-9]*(?:_[a-z0-9]+)*$")
+UNIT_SUFFIXES = ("_us", "_ms", "_seconds", "_bytes", "_pages", "_rows",
+                 "_ratio", "_factor", "_ops")
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$")
+LABEL = re.compile(r'(?P<k>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<v>[^"]*)"')
+
+errors = []
+
+
+def fail(msg):
+    errors.append(msg)
+    print(f"FAIL: {msg}")
+
+
+def ok(msg):
+    print(f"ok:   {msg}")
+
+
+def load(dump_dir, name):
+    path = os.path.join(dump_dir, name)
+    if not os.path.isfile(path):
+        fail(f"{name} missing from {dump_dir}")
+        return None
+    with open(path, encoding="utf-8") as f:
+        return f.read()
+
+
+def check_trace(text):
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as e:
+        fail(f"trace.json does not parse: {e}")
+        return
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("trace.json has no traceEvents")
+        return
+    cats = set()
+    for i, e in enumerate(events):
+        for field in ("name", "cat", "ph", "ts", "pid", "tid"):
+            if field not in e:
+                fail(f"trace event {i} missing '{field}': {e}")
+                return
+        if e["ph"] not in ("X", "i"):
+            fail(f"trace event {i} has unknown phase {e['ph']!r}")
+            return
+        if e["ph"] == "X" and e.get("dur", -1) < 0:
+            fail(f"complete event {i} has negative/missing dur: {e}")
+            return
+        cats.add(e["cat"])
+    unknown = cats - KNOWN_CATEGORIES
+    if unknown:
+        fail(f"trace.json has unknown categories {sorted(unknown)}")
+    ok(f"trace.json: {len(events)} events in categories {sorted(cats)}")
+
+
+def parse_prometheus(text):
+    """Returns ({name: type}, {(name, frozen labels): float value})."""
+    types = {}
+    samples = {}
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                fail(f"metrics.prom:{line_no}: malformed TYPE line")
+                continue
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        m = SAMPLE.match(line)
+        if m is None:
+            fail(f"metrics.prom:{line_no}: unparseable sample: {line}")
+            continue
+        labels = frozenset(
+            (lm.group("k"), lm.group("v"))
+            for lm in LABEL.finditer(m.group("labels") or ""))
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            fail(f"metrics.prom:{line_no}: non-numeric value: {line}")
+            continue
+        samples[(m.group("name"), labels)] = value
+    return types, samples
+
+
+def family_sum(samples, name):
+    return sum(v for (n, _), v in samples.items() if n == name)
+
+
+def labeled(samples, name, **labels):
+    want = frozenset(labels.items())
+    for (n, ls), v in samples.items():
+        if n == name and want <= ls:
+            return v
+    fail(f"metrics.prom has no sample {name}{labels}")
+    return 0.0
+
+
+def check_naming(types):
+    for name, kind in types.items():
+        base = name
+        if not SNAKE.match(base):
+            fail(f"metric '{name}' is not snake_case")
+        elif kind == "counter" and not base.endswith("_total"):
+            fail(f"counter '{name}' must end in _total")
+        elif kind in ("gauge", "histogram") and not base.endswith(
+                UNIT_SUFFIXES):
+            fail(f"{kind} '{name}' must end in a unit suffix")
+    ok(f"metrics.prom: {len(types)} families follow the naming convention")
+
+
+def check_reconciliation(samples):
+    logical = labeled(samples, "buffer_pool_logical_reads_total")
+    hits = family_sum(samples, "buffer_pool_hits_total")
+    misses = family_sum(samples, "buffer_pool_misses_total")
+    if logical != hits + misses:
+        fail(f"logical_reads {logical} != hits {hits} + misses {misses}")
+    else:
+        ok(f"logical_reads {logical:.0f} == hits + misses")
+
+    seq = labeled(samples, "disk_reads_total", **{"class": "seq"})
+    rand = labeled(samples, "disk_reads_total", **{"class": "rand"})
+    if misses != seq + rand:
+        fail(f"pool misses {misses} != disk demand reads {seq + rand}")
+    else:
+        ok(f"pool misses {misses:.0f} == disk seq + rand reads")
+
+    prefetch_hits = labeled(samples, "buffer_pool_prefetch_hits_total")
+    prefetch_reads = labeled(samples, "disk_reads_total",
+                             **{"class": "prefetch"})
+    if prefetch_hits > prefetch_reads:
+        fail(f"prefetch_hits {prefetch_hits} > prefetch reads "
+             f"{prefetch_reads}")
+    else:
+        ok(f"prefetch_hits {prefetch_hits:.0f} <= prefetch reads "
+           f"{prefetch_reads:.0f}")
+
+
+def check_json_agreement(text, samples):
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as e:
+        fail(f"metrics.json does not parse: {e}")
+        return
+    counters = doc.get("counters")
+    if not isinstance(counters, list) or not counters:
+        fail("metrics.json has no counters")
+        return
+    for c in counters:
+        key = (c["name"], frozenset(c.get("labels", {}).items()))
+        prom = samples.get(key)
+        if prom is None:
+            fail(f"metrics.json counter {key} absent from metrics.prom")
+        elif prom != c["value"]:
+            fail(f"counter {key}: json {c['value']} != prom {prom}")
+    ok(f"metrics.json: {len(counters)} counters agree with metrics.prom")
+
+
+def check_explain(text):
+    for needle in ("actual rows=", "actualDpc=", "estDpc="):
+        if needle not in text:
+            fail(f"explain.txt lacks '{needle}' — not an annotated plan?")
+            return
+    ok("explain.txt is an annotated plan with estimated vs actual DPC")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dir", required=True,
+                        help="dump directory (DPCF_OBS_DIR of the run)")
+    args = parser.parse_args()
+
+    trace = load(args.dir, "trace.json")
+    prom = load(args.dir, "metrics.prom")
+    mjson = load(args.dir, "metrics.json")
+    explain = load(args.dir, "explain.txt")
+    if errors:
+        return 1
+
+    check_trace(trace)
+    types, samples = parse_prometheus(prom)
+    check_naming(types)
+    check_reconciliation(samples)
+    check_json_agreement(mjson, samples)
+    check_explain(explain)
+
+    if errors:
+        print(f"\n{len(errors)} check(s) failed")
+        return 1
+    print("\nall observability checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

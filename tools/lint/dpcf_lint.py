@@ -14,6 +14,8 @@ tools cannot know about (see DESIGN.md section 9 for the catalog):
                           .cc not including its own header first
   dpcf-naked-new          naked new/delete (ownership belongs in
                           unique_ptr / the buffer pool's frame store)
+  dpcf-metric-naming      registry metric names off-convention (snake_case;
+                          counters `_total`, gauges/histograms a unit)
 
 Usage:
   tools/lint/dpcf_lint.py [--list-rules] [--rule ID]... PATH...

@@ -4,6 +4,7 @@ optional prepare(corpus) for whole-tree context."""
 
 from rules import discarded_status
 from rules import include_hygiene
+from rules import metric_naming
 from rules import mutex_annotation
 from rules import naked_new
 from rules import nondeterminism
@@ -14,4 +15,5 @@ ALL_RULES = [
     discarded_status,
     include_hygiene,
     naked_new,
+    metric_naming,
 ]

@@ -1,0 +1,56 @@
+"""dpcf-metric-naming: registry metric names follow the convention
+MetricsRegistry documents (obs/metrics_registry.h).
+
+Prometheus-style exposition only stays queryable if names are predictable:
+snake_case, with the family's kind readable off the suffix — counters end
+in `_total`, gauges and histograms in a unit (`_us`, `_ms`, `_bytes`,
+`_pages`, `_rows`, `_ratio`, `_factor`, `_ops`). The rule checks every
+GetCounter / GetGauge / GetHistogram registration in src/ and bench/
+whose name is a string literal (dynamic names are out of regex reach and
+out of convention anyway).
+"""
+
+import re
+
+RULE_ID = "dpcf-metric-naming"
+DESCRIPTION = ("metric names must be snake_case with a unit suffix "
+               "(counters `_total`; gauges/histograms `_us`, `_ms`, "
+               "`_bytes`, `_pages`, `_rows`, `_ratio`, `_factor`, `_ops`)")
+
+_CALL = re.compile(r"\bGet(Counter|Gauge|Histogram)\s*\(")
+_LITERAL = re.compile(r'"([^"\\]*)"')
+_SNAKE = re.compile(r"^[a-z][a-z0-9]*(?:_[a-z0-9]+)*$")
+_UNIT_SUFFIXES = ("_us", "_ms", "_seconds", "_bytes", "_pages", "_rows",
+                  "_ratio", "_factor", "_ops")
+
+
+def _in_scope(source):
+    rel = source.rel.replace("\\", "/")
+    return rel.startswith(("src/", "bench/"))
+
+
+def check(source):
+    if not _in_scope(source):
+        return
+    for i, line in enumerate(source.code_lines, start=1):
+        for m in _CALL.finditer(line):
+            kind = m.group(1)
+            # String contents are blanked in code_lines; read the name
+            # from the raw line (columns line up), falling back to the
+            # next line for calls that wrap after the open paren.
+            lit = _LITERAL.search(source.raw_lines[i - 1], m.end())
+            if lit is None and i < len(source.raw_lines):
+                lit = _LITERAL.search(source.raw_lines[i])
+            if lit is None:
+                continue  # name is not a literal; nothing to check
+            name = lit.group(1)
+            if not _SNAKE.match(name):
+                yield (i, f"metric name '{name}' is not snake_case")
+            elif kind == "Counter" and not name.endswith("_total"):
+                yield (i, f"counter '{name}' must end in '_total'")
+            elif kind != "Counter" and (
+                    name.endswith("_total")
+                    or not name.endswith(_UNIT_SUFFIXES)):
+                yield (i, f"{kind.lower()} '{name}' must end in a unit "
+                          f"suffix ({', '.join(_UNIT_SUFFIXES)}), "
+                          "not '_total'")
