@@ -1,0 +1,307 @@
+// Row-at-a-time vs vectorized predicate evaluation on the Fig-6 synthetic
+// table, warm cache, at 1/4/8 scan threads and low/high selectivity.
+//
+// Unlike the cold-cache figure benches, this one is CPU-bound by design:
+// the pool is sized to hold the whole table, a warm-up pass faults it in,
+// and each configuration then runs DPCF_BENCH_PASSES timed passes, so wall
+// clock measures predicate evaluation and tuple materialization, not I/O.
+// The two paths are the ones the property sweep proves equivalent
+// (tests/predicate_batch_test.cc); here we measure what the equivalence
+// buys. A monitored pair (prefix + sampled requests, batch-fed vs per-row)
+// rides along at one thread to price the ObserveBatch feed, and an
+// evaluation-only "kernel" pair strips the operator scaffolding both paths
+// share so the predicate-evaluation speedup itself is visible.
+//
+// Emits BENCH_predicate_batch.json. Exits nonzero if the vectorized kernel
+// fails to reach 2x the row-at-a-time evaluation loop on the selective
+// single-thread scan (gated off for tiny CI-smoke parameterizations, which
+// only validate the JSON shape).
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/monitor_manager.h"
+#include "exec/executor.h"
+#include "exec/parallel_scan.h"
+#include "exec/predicate_kernel.h"
+
+using namespace dpcf;
+using namespace dpcf::bench;
+
+namespace {
+
+struct Measurement {
+  const char* selectivity = "";
+  int threads = 1;
+  bool monitors = false;
+  double row_ms = 0;
+  double vec_ms = 0;
+  int64_t rows_out = -1;
+};
+
+std::unique_ptr<ScanMonitorBundle> MakeBundle(Database* db, Table* t,
+                                              const Predicate& pred) {
+  MonitorManager mm(db);
+  std::vector<ScanExprRequest> requests;
+  std::vector<MonitoredExpr> entries;
+  mm.SelectionRequests(t, pred, &requests, &entries);
+  auto bundle = std::make_unique<ScanMonitorBundle>(
+      pred, &t->schema(), /*sample_fraction=*/0.05, /*seed=*/2008);
+  for (const ScanExprRequest& r : requests) {
+    CheckOk(bundle->AddRequest(r), "add request");
+  }
+  return bundle;
+}
+
+/// `passes` timed scans of `pred`, returning the best (minimum) pass wall
+/// ms and checking that every pass returns the same row count. Best-of is
+/// the standard noise filter for warm-cache microbenches: scheduler
+/// preemption and frequency drift only ever make a pass slower, so the
+/// minimum is the most repeatable estimate of the true cost.
+double TimedPasses(Database* db, Table* t, const Predicate& pred,
+                   int threads, bool vectorized, bool monitors, int passes,
+                   int64_t* rows_out) {
+  double best_ms = 0;
+  for (int pass = 0; pass < passes; ++pass) {
+    ParallelScanOptions options;
+    options.num_threads = threads;
+    options.morsel_pages = 32;
+    options.vectorized = vectorized;
+    ParallelTableScanOp scan(t, pred, {kC1},
+                             monitors ? MakeBundle(db, t, pred) : nullptr,
+                             options);
+    ExecContext ctx(db->buffer_pool());
+    RunResult run = CheckOk(ExecutePlan(&scan, &ctx), "scan");
+    if (pass == 0 || run.stats.wall_ms < best_ms) best_ms = run.stats.wall_ms;
+    if (*rows_out < 0) *rows_out = run.stats.rows_returned;
+    if (run.stats.rows_returned != *rows_out) {
+      std::fprintf(stderr, "FATAL: pass changed row count\n");
+      std::exit(1);
+    }
+  }
+  return best_ms;
+}
+
+/// Evaluation-only comparison: a single-thread warm scan of every page of
+/// `t` that runs nothing but the predicate — RowView + EvalLeading per row
+/// vs one EvalBatch per page — and counts survivors. This is the exact
+/// code the kernel replaced, with the operator scaffolding (tuple
+/// materialization, morsel queue, emission) that both operator paths pay
+/// identically stripped away, so the ratio is the kernel speedup itself.
+/// Returns best-of-`passes` wall ms; survivor counts must agree.
+double TimedKernelPasses(Database* db, Table* t, const Predicate& pred,
+                         bool vectorized, int passes, int64_t* rows_out) {
+  const HeapFile* file = t->file();
+  const Schema* schema = &t->schema();
+  const PredicateKernel kernel(pred, schema);
+  const uint32_t num_atoms = static_cast<uint32_t>(pred.size());
+  double best_ms = 0;
+  for (int pass = 0; pass < passes; ++pass) {
+    CpuStats cpu;
+    RowBlock block(schema);
+    std::vector<uint32_t> sel;
+    int64_t survivors = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (PageNo p = 0; p < file->page_count(); ++p) {
+      auto guard =
+          CheckOk(db->buffer_pool()->Fetch(PageId{file->segment(), p}),
+                  "fetch");
+      const uint32_t rows_in_page = HeapFile::PageRowCount(guard.data());
+      if (vectorized) {
+        block.Reset(HeapFile::PageRows(guard.data()), rows_in_page);
+        sel.resize(rows_in_page);
+        survivors += kernel.EvalBatch(&block, &cpu, sel.data(),
+                                      /*leading=*/nullptr);
+      } else {
+        for (uint32_t r = 0; r < rows_in_page; ++r) {
+          // oracle: the row-at-a-time loop the kernel replaced.
+          RowView row(file->RowInPage(guard.data(), static_cast<uint16_t>(r)),
+                      schema);
+          survivors += pred.EvalLeading(row, &cpu) == num_atoms;
+        }
+      }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (pass == 0 || ms < best_ms) best_ms = ms;
+    if (*rows_out < 0) *rows_out = survivors;
+    if (survivors != *rows_out) {
+      std::fprintf(stderr, "FATAL: kernel pass changed survivor count\n");
+      std::exit(1);
+    }
+  }
+  return best_ms;
+}
+
+}  // namespace
+
+int main() {
+  const int passes = static_cast<int>(EnvInt("DPCF_BENCH_PASSES", 5));
+
+  std::printf("== Row-at-a-time vs vectorized predicate evaluation ==\n");
+  DatabaseOptions db_opts;
+  // Pool sized to the whole table: after one warm-up pass every timed scan
+  // is all buffer hits, so the row/vec delta is pure CPU.
+  db_opts.buffer_pool_pages = 8192;
+  Database db(db_opts);
+  SyntheticOptions opts;
+  opts.num_rows = SyntheticRows();
+  opts.seed = 42;
+  opts.build_indexes = false;
+  Table* t = CheckOk(BuildSyntheticTable(&db, "T", opts), "build T");
+  const int64_t rows = t->row_count();
+  std::printf("synthetic T: %s rows, %s pages, passes=%d\n\n",
+              FormatCount(rows).c_str(),
+              FormatCount(t->page_count()).c_str(), passes);
+
+  struct Config {
+    const char* name;
+    Predicate pred;
+  };
+  // Low: the leading atom rejects ~99% of rows, the selective case the
+  // batch kernel is built for. High: ~90% of rows survive the whole
+  // conjunction, the worst case for a selection vector (it never empties).
+  const Config configs[] = {
+      {"low", Predicate({PredicateAtom::Int64(kC3, CmpOp::kLt, rows / 100),
+                         PredicateAtom::Int64(kC5, CmpOp::kGe, rows / 2)})},
+      {"high", Predicate({PredicateAtom::Int64(kC3, CmpOp::kGe, rows / 10)})},
+  };
+
+  // Warm-up: fault the table into the pool once.
+  {
+    int64_t ignored = -1;
+    TimedPasses(&db, t, configs[0].pred, 1, true, false, 1, &ignored);
+  }
+
+  TablePrinter table({"selectivity", "threads", "monitors", "row_ms",
+                      "vec_ms", "speedup", "vec_rows/s"});
+  std::vector<Measurement> all;
+  for (const Config& config : configs) {
+    for (int threads : {1, 4, 8}) {
+      for (bool monitors : {false, true}) {
+        if (monitors && threads != 1) continue;  // priced at 1 thread only
+        Measurement m;
+        m.selectivity = config.name;
+        m.threads = threads;
+        m.monitors = monitors;
+        int64_t row_rows = -1, vec_rows = -1;
+        m.row_ms = TimedPasses(&db, t, config.pred, threads,
+                               /*vectorized=*/false, monitors, passes,
+                               &row_rows);
+        m.vec_ms = TimedPasses(&db, t, config.pred, threads,
+                               /*vectorized=*/true, monitors, passes,
+                               &vec_rows);
+        if (row_rows != vec_rows) {
+          std::fprintf(stderr, "FATAL: paths disagree on row count\n");
+          return 1;
+        }
+        m.rows_out = vec_rows;
+        table.AddRow(
+            {config.name, std::to_string(threads), monitors ? "on" : "off",
+             FormatDouble(m.row_ms, 1), FormatDouble(m.vec_ms, 1),
+             FormatDouble(m.row_ms / m.vec_ms, 2) + "x",
+             FormatCount(static_cast<int64_t>(
+                 static_cast<double>(rows) / (m.vec_ms / 1000.0)))});
+        all.push_back(m);
+      }
+    }
+  }
+  table.Print();
+
+  // Evaluation-only kernel rows: the gated measurement (see
+  // TimedKernelPasses). The operator rows above additionally carry tuple
+  // materialization and morsel dispatch, identical on both paths, which on
+  // a bandwidth-bound scan dilutes the visible ratio.
+  struct KernelMeasurement {
+    const char* selectivity = "";
+    double row_ms = 0;
+    double vec_ms = 0;
+    int64_t rows_out = -1;
+  };
+  std::vector<KernelMeasurement> kernels;
+  TablePrinter ktable(
+      {"kernel-only", "row_ms", "vec_ms", "speedup", "vec_rows/s"});
+  for (const Config& config : configs) {
+    KernelMeasurement k;
+    k.selectivity = config.name;
+    int64_t row_rows = -1, vec_rows = -1;
+    k.row_ms = TimedKernelPasses(&db, t, config.pred, /*vectorized=*/false,
+                                 passes, &row_rows);
+    k.vec_ms = TimedKernelPasses(&db, t, config.pred, /*vectorized=*/true,
+                                 passes, &vec_rows);
+    if (row_rows != vec_rows) {
+      std::fprintf(stderr, "FATAL: kernel paths disagree on survivors\n");
+      return 1;
+    }
+    k.rows_out = vec_rows;
+    ktable.AddRow({config.name, FormatDouble(k.row_ms, 2),
+                   FormatDouble(k.vec_ms, 2),
+                   FormatDouble(k.row_ms / k.vec_ms, 2) + "x",
+                   FormatCount(static_cast<int64_t>(
+                       static_cast<double>(rows) / (k.vec_ms / 1000.0)))});
+    kernels.push_back(k);
+  }
+  std::printf("\n");
+  ktable.Print();
+
+  double speedup_1t_low = 0;
+  std::string json = "{\"bench\":\"predicate_batch\",\"rows\":" +
+                     std::to_string(rows) + ",\"pages\":" +
+                     std::to_string(t->page_count()) +
+                     ",\"passes\":" + std::to_string(passes) + ",\"runs\":[";
+  for (size_t i = 0; i < all.size(); ++i) {
+    const Measurement& m = all[i];
+    const double speedup = m.row_ms / m.vec_ms;
+    if (std::string(m.selectivity) == "low" && m.threads == 1 &&
+        !m.monitors) {
+      speedup_1t_low = speedup;
+    }
+    if (i > 0) json += ",";
+    json += std::string("{\"selectivity\":\"") + m.selectivity +
+            "\",\"threads\":" + std::to_string(m.threads) +
+            ",\"monitors\":" + (m.monitors ? "true" : "false") +
+            ",\"row_ms\":" + FormatDouble(m.row_ms, 3) +
+            ",\"vec_ms\":" + FormatDouble(m.vec_ms, 3) +
+            ",\"speedup\":" + FormatDouble(speedup, 3) +
+            ",\"rows_out\":" + std::to_string(m.rows_out) + "}";
+  }
+  json += "],\"kernel\":[";
+  double kernel_speedup_low = 0;
+  for (size_t i = 0; i < kernels.size(); ++i) {
+    const KernelMeasurement& k = kernels[i];
+    const double speedup = k.row_ms / k.vec_ms;
+    if (std::string(k.selectivity) == "low") kernel_speedup_low = speedup;
+    if (i > 0) json += ",";
+    json += std::string("{\"selectivity\":\"") + k.selectivity +
+            "\",\"row_ms\":" + FormatDouble(k.row_ms, 3) +
+            ",\"vec_ms\":" + FormatDouble(k.vec_ms, 3) +
+            ",\"speedup\":" + FormatDouble(speedup, 3) +
+            ",\"rows_out\":" + std::to_string(k.rows_out) + "}";
+  }
+  json += "],\"speedup_1t_low\":" + FormatDouble(speedup_1t_low, 3) +
+          ",\"kernel_speedup_low\":" + FormatDouble(kernel_speedup_low, 3) +
+          "}";
+
+  std::printf("\nBENCH_predicate_batch.json %s\n", json.c_str());
+  FILE* f = std::fopen("BENCH_predicate_batch.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+  }
+
+  std::printf(
+      "SUMMARY predicate_batch: %.2fx kernel speedup (%.2fx end-to-end "
+      "operator) on the selective single-thread scan, vectorized vs "
+      "row-at-a-time\n",
+      kernel_speedup_low, speedup_1t_low);
+  // The 2x gate is on the evaluation-only kernel measurement; the
+  // end-to-end operator rows carry identical materialization/dispatch cost
+  // on both paths and are reported, not gated. The gate also needs enough
+  // rows for per-row call overhead to dominate timer noise; the CI smoke
+  // run uses a tiny table and only validates the JSON shape.
+  if (rows < 200'000) return 0;
+  return kernel_speedup_low >= 2.0 ? 0 : 1;
+}

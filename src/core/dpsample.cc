@@ -42,6 +42,9 @@ Status ScanMonitorBundle::AddRequest(ScanExprRequest request) {
     return Status::InvalidArgument(
         "bitvector request needs the probe column (bv_col)");
   }
+  if (e.mode != ScanMonitorMode::kPrefixExact) {
+    e.kernel = PredicateKernel(request.expr, schema_);
+  }
   e.request = std::move(request);
   entries_.push_back(std::move(e));
   return Status::OK();
@@ -132,6 +135,51 @@ void ScanMonitorBundle::OnRow(
                  row.GetInt64(static_cast<size_t>(e.request.bv_col)));
     }
     if (pass) e.counter.OnRowSatisfies();
+  }
+}
+
+void ScanMonitorBundle::ObserveBatch(
+    RowBlock* block, const uint32_t* leading, CpuStats* cpu,
+    const std::vector<const BitvectorFilter*>& filter_slots) {
+  const uint32_t n = block->size();
+  for (Entry& e : entries_) {
+    if (e.mode == ScanMonitorMode::kPrefixExact) {
+      // One comparison per row, exactly like the per-row path.
+      cpu->monitor_row_ops += n;
+      const uint32_t plen = static_cast<uint32_t>(e.prefix_len);
+      int64_t sat = 0;
+      for (uint32_t r = 0; r < n; ++r) sat += leading[r] >= plen;
+      e.counter.OnBatchSatisfies(sat);
+      continue;
+    }
+    if (!page_sampled_) continue;
+    // Short-circuiting is off for the sampled page: the compiled kernel
+    // evaluates every atom on every row and charges atoms x rows, matching
+    // EvalNoShortCircuit per row.
+    pass_scratch_.resize(n);
+    uint8_t* pass = pass_scratch_.data();
+    e.kernel.EvalBatchDense(block, cpu, pass);
+    if (e.request.bitvector_slot >= 0) {
+      const BitvectorFilter* filter =
+          static_cast<size_t>(e.request.bitvector_slot) < filter_slots.size()
+              ? filter_slots[static_cast<size_t>(e.request.bitvector_slot)]
+              : nullptr;
+      cpu->monitor_hash_ops += n;
+      const size_t bv_col = static_cast<size_t>(e.request.bv_col);
+      for (uint32_t r = 0; r < n; ++r) {
+        // The probe only happens for rows whose expression passed (the
+        // serial path's && short-circuit); MayContain is pure, so probing
+        // row-by-row here is observationally identical.
+        if (pass[r]) {
+          pass[r] = filter != nullptr &&
+                    filter->MayContain(
+                        RowView(block->row(r), schema_).GetInt64(bv_col));
+        }
+      }
+    }
+    int64_t sat = 0;
+    for (uint32_t r = 0; r < n; ++r) sat += pass[r];
+    e.counter.OnBatchSatisfies(sat);
   }
 }
 

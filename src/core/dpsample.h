@@ -31,6 +31,7 @@
 #include "core/bitvector_filter.h"
 #include "core/grouped_page_counter.h"
 #include "exec/predicate.h"
+#include "exec/predicate_kernel.h"
 #include "storage/io_stats.h"
 #include "storage/page.h"
 
@@ -120,6 +121,19 @@ class ScanMonitorBundle {
              const std::vector<const BitvectorFilter*>& filter_slots);
   void EndPage();
 
+  /// Batch form of OnRow for the vectorized scan: observes ALL rows of the
+  /// current page at once, between BeginPage and EndPage. `leading` holds
+  /// block->size() entries, leading[r] = leading-true atom count of the
+  /// pushed conjunction for row r (the EvalBatch output). Counter state,
+  /// CpuStats charges, and sampling behaviour are bit-for-bit identical to
+  /// calling OnRow once per row in slot order: prefix-exact entries charge
+  /// one monitor_row_op per row, sampled entries evaluate their compiled
+  /// kernel densely (every atom on every row, charged) on sampled pages
+  /// only, and bitvector entries charge one monitor_hash_op per row and
+  /// probe the filter only for rows whose expression passed.
+  void ObserveBatch(RowBlock* block, const uint32_t* leading, CpuStats* cpu,
+                    const std::vector<const BitvectorFilter*>& filter_slots);
+
   std::vector<ScanExprResult> Finish() const;
 
  private:
@@ -127,6 +141,9 @@ class ScanMonitorBundle {
     ScanExprRequest request;
     ScanMonitorMode mode;
     size_t prefix_len = 0;  // for kPrefixExact
+    /// Batch comparators for the requested expression; compiled at
+    /// AddRequest for non-prefix entries (prefix entries never evaluate).
+    PredicateKernel kernel;
     GroupedPageCounter counter;
   };
 
@@ -135,6 +152,9 @@ class ScanMonitorBundle {
   double sample_fraction_;
   uint64_t seed_;
   std::vector<Entry> entries_;
+  /// Per-row pass bitmap reused across ObserveBatch calls (bundles are
+  /// thread-local, so no synchronization is needed).
+  std::vector<uint8_t> pass_scratch_;
   bool page_open_ = false;
   bool page_sampled_ = false;
   int64_t pages_seen_ = 0;

@@ -1,6 +1,7 @@
 #include "core/feedback_driver.h"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_map>
 
 #include "common/string_util.h"
@@ -146,6 +147,20 @@ void ExtractCount(const RunResult& result, int64_t* count_result) {
                       ? -1
                       : result.output[0][0].AsInt64();
 }
+
+// Process-wide query-id sequence for trace-span tagging: concurrent
+// sessions (multiple drivers on one Database) must never share an id. Ids
+// only label trace output — feedback never reads them — so a process-global
+// counter does not compromise feedback determinism.
+std::atomic<uint64_t> g_next_query_id{1};
+
+void AttachObservability(ExecContext* ctx, Database* db,
+                         const FeedbackRunOptions& options) {
+  ctx->set_trace(db->trace());
+  ctx->set_profiling(options.profile_operators);
+  ctx->set_query_id(g_next_query_id.fetch_add(1, std::memory_order_relaxed));
+  if (db->options().observability.metrics) ctx->set_metrics(db->metrics());
+}
 }  // namespace
 
 Result<RunStatistics> FeedbackDriver::ExecuteSingle(
@@ -154,11 +169,11 @@ Result<RunStatistics> FeedbackDriver::ExecuteSingle(
     int64_t* count_result) {
   DPCF_RETURN_IF_ERROR(db_->ColdCache());
   ExecContext ctx(db_->buffer_pool(), options_.exec_seed);
-  ctx.set_trace(db_->trace());
-  ctx.set_profiling(options_.profile_operators);
+  AttachObservability(&ctx, db_, options_);
   PlanMonitorHooks hooks;
   hooks.scan_sample_fraction = options_.monitor.scan_sample_fraction;
   hooks.seed = options_.monitor.seed;
+  hooks.vectorized_scan = options_.monitor.vectorized_scan;
   if (monitored) {
     MonitorManager mm(db_, options_.monitor);
     DPCF_ASSIGN_OR_RETURN(InstrumentedHooks ih,
@@ -179,11 +194,11 @@ Result<RunStatistics> FeedbackDriver::ExecuteJoin(
     std::vector<MonitoredExpr>* entries, int64_t* count_result) {
   DPCF_RETURN_IF_ERROR(db_->ColdCache());
   ExecContext ctx(db_->buffer_pool(), options_.exec_seed);
-  ctx.set_trace(db_->trace());
-  ctx.set_profiling(options_.profile_operators);
+  AttachObservability(&ctx, db_, options_);
   PlanMonitorHooks hooks;
   hooks.scan_sample_fraction = options_.monitor.scan_sample_fraction;
   hooks.seed = options_.monitor.seed;
+  hooks.vectorized_scan = options_.monitor.vectorized_scan;
   if (monitored) {
     MonitorManager mm(db_, options_.monitor);
     DPCF_ASSIGN_OR_RETURN(InstrumentedHooks ih,

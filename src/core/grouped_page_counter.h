@@ -21,6 +21,14 @@ class GroupedPageCounter {
     ++rows_satisfying_;
   }
 
+  /// Batch form: `n` rows of the current page satisfy p. Equivalent to n
+  /// OnRowSatisfies() calls (n == 0 leaves the page flag untouched) — the
+  /// fold point of the vectorized scan's per-page monitor feed.
+  void OnBatchSatisfies(int64_t n) {
+    if (n > 0) page_flag_ = true;
+    rows_satisfying_ += n;
+  }
+
   void EndPage() {
     ++pages_seen_;
     if (page_flag_) ++pages_satisfying_;

@@ -79,6 +79,7 @@ Result<InstrumentedHooks> MonitorManager::ForSingleTable(
   out.hooks.scan_threads = options_.scan_threads;
   out.hooks.morsel_pages = options_.morsel_pages;
   out.hooks.prefetch_pages = options_.prefetch_pages;
+  out.hooks.vectorized_scan = options_.vectorized_scan;
   if (!options_.enabled) return out;
 
   switch (path.kind) {
@@ -141,6 +142,7 @@ Result<InstrumentedHooks> MonitorManager::ForJoin(const JoinPlan& plan,
   out.hooks.inner_scan_sample_fraction =
       EffectiveFraction(options_, *query.inner_table);
   out.hooks.seed = options_.seed;
+  out.hooks.vectorized_scan = options_.vectorized_scan;
   if (!options_.enabled) return out;
 
   const std::string join_label =

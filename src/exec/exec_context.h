@@ -25,7 +25,8 @@
 
 namespace dpcf {
 
-class TraceCollector;  // obs/trace_collector.h
+class TraceCollector;   // obs/trace_collector.h
+class MetricsRegistry;  // obs/metrics_registry.h
 
 /// Per-execution mutable state. Create one per plan run.
 class ExecContext {
@@ -95,6 +96,18 @@ class ExecContext {
   TraceCollector* trace() const { return trace_; }
   void set_trace(TraceCollector* trace) { trace_ = trace; }
 
+  /// Metrics registry for engine metrics emitted from operators (e.g. the
+  /// scan_batch_rows histogram), or null when metrics are off. Operators
+  /// resolve their handles once at Open.
+  MetricsRegistry* metrics() const { return metrics_; }
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  /// Query id stamped on every trace span emitted while this context's
+  /// plan runs, so concurrent sessions can untangle their events in one
+  /// trace file. 0 means "unassigned" (spans carry no qid argument).
+  uint64_t query_id() const { return query_id_; }
+  void set_query_id(uint64_t qid) { query_id_ = qid; }
+
   uint64_t seed() const { return seed_; }
 
   /// Reserves a slot a join will later fill with its bitvector filter.
@@ -128,6 +141,8 @@ class ExecContext {
   std::atomic<int> active_workers_{0};
   bool profiling_ = false;
   TraceCollector* trace_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
+  uint64_t query_id_ = 0;
   std::vector<const BitvectorFilter*> filter_slots_;
   std::vector<std::unique_ptr<BitvectorFilter>> owned_filters_;
 };

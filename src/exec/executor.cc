@@ -64,6 +64,9 @@ Result<RunResult> ExecutePlan(Operator* root, ExecContext* ctx,
 
   auto t0 = std::chrono::steady_clock::now();
   {
+    // Every span recorded from the driver thread during this plan carries
+    // the context's query id (worker threads open their own scopes).
+    TraceCollector::QueryIdScope qid_scope(ctx->query_id());
     ScopedSpan span(ctx->trace(), "exec", "execute_plan");
     DPCF_RETURN_IF_ERROR(root->Open(ctx));
     Tuple t;

@@ -8,6 +8,8 @@
 #include "common/string_util.h"
 #include "common/thread_annotations.h"
 #include "exec/executor.h"
+#include "exec/predicate_kernel.h"
+#include "obs/metrics_registry.h"
 #include "obs/trace_collector.h"
 
 namespace dpcf {
@@ -52,6 +54,16 @@ Status ParallelTableScanOp::OpenImpl(ExecContext* ctx) {
   const Schema* schema = &table_->schema();
   const uint32_t num_atoms = static_cast<uint32_t>(pushed_.size());
   const int num_workers = options_.num_threads;
+  // One compiled kernel shared by every worker: EvalBatch is const and
+  // stateless (each worker brings its own RowBlock and selection vectors).
+  const PredicateKernel kernel(pushed_, schema);
+  LogHistogram* const batch_rows_hist =
+      options_.vectorized && ctx->metrics() != nullptr
+          ? ctx->metrics()->GetHistogram(
+                "dpcf_scan_batch_rows",
+                "rows per vectorized predicate batch (one batch per page)",
+                1.0, 2.0, 12)
+          : nullptr;
 
   MorselQueue queue(file->page_count(), options_.morsel_pages);
   morsel_out_.assign(queue.num_morsels(), {});
@@ -100,8 +112,10 @@ Status ParallelTableScanOp::OpenImpl(ExecContext* ctx) {
     for (PageNo p = 0; p < primed; ++p) {
       if (!pool->Prefetch(PageId{segment, p}).ok()) break;
     }
+    const uint64_t query_id = ctx->query_id();
     ra_thread = std::thread([&ra, pool, segment, total_pages, window,
-                             primed] {
+                             primed, query_id] {
+      TraceCollector::QueryIdScope qid_scope(query_id);
       for (PageNo p = primed; p < total_pages; ++p) {
         ra.mu.lock();
         while (!ra.stop &&
@@ -120,6 +134,10 @@ Status ParallelTableScanOp::OpenImpl(ExecContext* ctx) {
 
   std::atomic<bool> stop{false};
   Status status = RunOnWorkers(num_workers, [&](int w) -> Status {
+    // Query-id tagging is thread-local; each worker re-opens the scope so
+    // its morsel spans (and any buffer-pool miss spans beneath them) carry
+    // the same qid as the driver's.
+    TraceCollector::QueryIdScope qid_scope(ctx->query_id());
     ParallelWorkerStats& ws = worker_stats_[static_cast<size_t>(w)];
     CpuStats* cpu = &ws.cpu;
     ScanMonitorBundle* bundle =
@@ -127,6 +145,10 @@ Status ParallelTableScanOp::OpenImpl(ExecContext* ctx) {
             ? nullptr
             : (w == 0 ? monitors_.get()
                       : worker_bundles[static_cast<size_t>(w)].get());
+    // Worker-local vectorized-path state, reused across pages.
+    RowBlock block(schema);
+    std::vector<uint32_t> sel;
+    std::vector<uint32_t> leading_vec;
     uint32_t morsel;
     PageNo begin, end;
     while (queue.Next(&morsel, &begin, &end)) {
@@ -145,18 +167,46 @@ Status ParallelTableScanOp::OpenImpl(ExecContext* ctx) {
         const uint32_t rows_in_page = HeapFile::PageRowCount(page.data());
         ++ws.pages_scanned;
         if (bundle != nullptr) bundle->BeginPage(cpu, p);
-        for (uint32_t r = 0; r < rows_in_page; ++r) {
-          RowView row(file->RowInPage(page.data(), static_cast<uint16_t>(r)),
-                      schema);
-          ++cpu->rows_processed;
-          uint32_t leading = pushed_.EvalLeading(row, cpu);
+        if (options_.vectorized) {
+          block.Reset(HeapFile::PageRows(page.data()), rows_in_page);
+          sel.resize(rows_in_page);
+          cpu->rows_processed += rows_in_page;
+          uint32_t* leading_out = nullptr;
           if (bundle != nullptr) {
-            bundle->OnRow(row, leading, cpu, ctx->filter_slots());
+            leading_vec.resize(rows_in_page);
+            leading_out = leading_vec.data();
           }
-          if (leading == num_atoms) {
+          const uint32_t m =
+              kernel.EvalBatch(&block, cpu, sel.data(), leading_out);
+          if (bundle != nullptr) {
+            bundle->ObserveBatch(&block, leading_out, cpu,
+                                 ctx->filter_slots());
+          }
+          for (uint32_t i = 0; i < m; ++i) {
+            RowView row(block.row(sel[i]), schema);
             out.emplace_back();
             MaterializeProjection(row, projection_, &out.back());
             ++ws.tuples;
+          }
+          if (batch_rows_hist != nullptr) {
+            batch_rows_hist->Observe(static_cast<double>(rows_in_page));
+          }
+        } else {
+          // oracle: row-at-a-time reference loop for the property sweep.
+          for (uint32_t r = 0; r < rows_in_page; ++r) {
+            RowView row(
+                file->RowInPage(page.data(), static_cast<uint16_t>(r)),
+                schema);
+            ++cpu->rows_processed;
+            uint32_t leading = pushed_.EvalLeading(row, cpu);
+            if (bundle != nullptr) {
+              bundle->OnRow(row, leading, cpu, ctx->filter_slots());
+            }
+            if (leading == num_atoms) {
+              out.emplace_back();
+              MaterializeProjection(row, projection_, &out.back());
+              ++ws.tuples;
+            }
           }
         }
         if (bundle != nullptr) bundle->EndPage();

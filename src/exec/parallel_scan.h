@@ -38,6 +38,11 @@ struct ParallelScanOptions {
   /// reads, and readahead never touches monitors, so feedback stays
   /// bit-for-bit identical to the serial scan. 0 disables readahead.
   uint32_t prefetch_pages = 0;
+  /// Evaluate predicates with the vectorized PredicateKernel per page and
+  /// feed monitors via ObserveBatch (DESIGN.md section 12). Off = the
+  /// row-at-a-time oracle loop. Both paths produce identical tuples,
+  /// CpuStats, and monitor feedback.
+  bool vectorized = true;
 };
 
 /// Per-worker tallies, exposed after the scan for load-balance reporting

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/string_util.h"
+#include "obs/metrics_registry.h"
 
 namespace dpcf {
 
@@ -20,23 +21,39 @@ void MaterializeProjection(const RowView& row,
 
 TableScanOp::TableScanOp(Table* table, Predicate pushed,
                          std::vector<int> projection,
-                         std::unique_ptr<ScanMonitorBundle> monitors)
+                         std::unique_ptr<ScanMonitorBundle> monitors,
+                         bool vectorized)
     : table_(table),
       pushed_(std::move(pushed)),
       projection_(std::move(projection)),
-      monitors_(std::move(monitors)) {}
+      monitors_(std::move(monitors)),
+      vectorized_(vectorized),
+      kernel_(pushed_, &table->schema()),
+      block_(&table->schema()) {}
 
 Status TableScanOp::OpenImpl(ExecContext* ctx) {
-  (void)ctx;
   page_idx_ = 0;
   row_idx_ = 0;
   rows_in_page_ = 0;
   page_open_ = false;
   done_ = false;
+  sel_pos_ = 0;
+  sel_count_ = 0;
+  batch_rows_hist_ =
+      vectorized_ && ctx->metrics() != nullptr
+          ? ctx->metrics()->GetHistogram(
+                "dpcf_scan_batch_rows",
+                "rows per vectorized predicate batch (one batch per page)",
+                1.0, 2.0, 12)
+          : nullptr;
   return Status::OK();
 }
 
 Result<bool> TableScanOp::NextImpl(ExecContext* ctx, Tuple* out) {
+  return vectorized_ ? NextVectorized(ctx, out) : NextRowAtATime(ctx, out);
+}
+
+Result<bool> TableScanOp::NextRowAtATime(ExecContext* ctx, Tuple* out) {
   if (done_) return false;
   const HeapFile* file = table_->file();
   const Schema* schema = &table_->schema();
@@ -56,6 +73,8 @@ Result<bool> TableScanOp::NextImpl(ExecContext* ctx, Tuple* out) {
       page_open_ = true;
       if (monitors_ != nullptr) monitors_->BeginPage(cpu, page_idx_);
     }
+    // oracle: the row-at-a-time reference path the vectorized kernel is
+    // verified against.
     while (row_idx_ < rows_in_page_) {
       RowView row(file->RowInPage(guard_.data(),
                                   static_cast<uint16_t>(row_idx_)),
@@ -70,6 +89,56 @@ Result<bool> TableScanOp::NextImpl(ExecContext* ctx, Tuple* out) {
         MaterializeProjection(row, projection_, out);
         return true;
       }
+    }
+    if (monitors_ != nullptr) monitors_->EndPage();
+    guard_.Release();
+    page_open_ = false;
+    ++page_idx_;
+  }
+}
+
+Result<bool> TableScanOp::NextVectorized(ExecContext* ctx, Tuple* out) {
+  if (done_) return false;
+  const HeapFile* file = table_->file();
+  const Schema* schema = &table_->schema();
+  CpuStats* cpu = ctx->cpu();
+  while (true) {
+    if (!page_open_) {
+      if (page_idx_ >= file->page_count()) {
+        done_ = true;
+        return false;
+      }
+      auto guard = ctx->pool()->Fetch(PageId{file->segment(), page_idx_});
+      if (!guard.ok()) return guard.status();
+      guard_ = std::move(guard).value();
+      rows_in_page_ = HeapFile::PageRowCount(guard_.data());
+      page_open_ = true;
+      if (monitors_ != nullptr) monitors_->BeginPage(cpu, page_idx_);
+      // The whole page is evaluated and observed up front; survivors are
+      // then emitted one Next() at a time from the selection vector.
+      block_.Reset(HeapFile::PageRows(guard_.data()), rows_in_page_);
+      sel_.resize(rows_in_page_);
+      cpu->rows_processed += rows_in_page_;
+      uint32_t* leading_out = nullptr;
+      if (monitors_ != nullptr) {
+        leading_.resize(rows_in_page_);
+        leading_out = leading_.data();
+      }
+      sel_count_ = kernel_.EvalBatch(&block_, cpu, sel_.data(), leading_out);
+      sel_pos_ = 0;
+      if (monitors_ != nullptr) {
+        monitors_->ObserveBatch(&block_, leading_out, cpu,
+                                ctx->filter_slots());
+      }
+      if (batch_rows_hist_ != nullptr) {
+        batch_rows_hist_->Observe(static_cast<double>(rows_in_page_));
+      }
+    }
+    if (sel_pos_ < sel_count_) {
+      RowView row(block_.row(sel_[sel_pos_]), schema);
+      ++sel_pos_;
+      MaterializeProjection(row, projection_, out);
+      return true;
     }
     if (monitors_ != nullptr) monitors_->EndPage();
     guard_.Release();
@@ -171,6 +240,9 @@ Result<bool> ClusteredRangeScanOp::NextImpl(ExecContext* ctx, Tuple* out) {
       page_open_ = true;
       if (monitors_ != nullptr) monitors_->BeginPage(cpu, page_idx_);
     }
+    // oracle: stays row-at-a-time — the sorted-key early exit below can
+    // stop mid-page, and batch-observing the page up front would feed the
+    // monitors rows the serial semantics never evaluates.
     while (row_idx_ < rows_in_page_) {
       RowView row(file->RowInPage(guard_.data(),
                                   static_cast<uint16_t>(row_idx_)),

@@ -9,23 +9,36 @@
 
 #include "core/dpsample.h"
 #include "exec/operator.h"
+#include "exec/predicate_kernel.h"
 #include "index/secondary_index.h"
 #include "table/catalog.h"
 
 namespace dpcf {
 
+class LogHistogram;  // obs/metrics_registry.h
+
 /// Full sequential scan of a heap or clustered table with a pushed-down,
 /// short-circuited conjunction and optional page-count monitoring.
+///
+/// Two equivalent evaluation paths (DESIGN.md section 12):
+///  * vectorized (default): per page, a PredicateKernel evaluates the
+///    conjunction over a selection vector and the monitors ingest the whole
+///    page at once via ObserveBatch;
+///  * row-at-a-time (`vectorized = false`): the original EvalLeading/OnRow
+///    loop, kept as the oracle the property sweep compares against.
+/// Both produce identical tuples, CpuStats, and monitor feedback.
 class TableScanOp : public Operator {
  public:
   TableScanOp(Table* table, Predicate pushed, std::vector<int> projection,
-              std::unique_ptr<ScanMonitorBundle> monitors = nullptr);
+              std::unique_ptr<ScanMonitorBundle> monitors = nullptr,
+              bool vectorized = true);
 
   std::string Describe() const override;
   void CollectOwnMonitorRecords(
       std::vector<MonitorRecord>* out) const override;
 
   const ScanMonitorBundle* monitors() const { return monitors_.get(); }
+  bool vectorized() const { return vectorized_; }
 
  protected:
   Status OpenImpl(ExecContext* ctx) override;
@@ -33,10 +46,14 @@ class TableScanOp : public Operator {
   Status CloseImpl(ExecContext* ctx) override;
 
  private:
+  Result<bool> NextRowAtATime(ExecContext* ctx, Tuple* out);
+  Result<bool> NextVectorized(ExecContext* ctx, Tuple* out);
+
   Table* table_;
   Predicate pushed_;
   std::vector<int> projection_;
   std::unique_ptr<ScanMonitorBundle> monitors_;
+  bool vectorized_;
 
   PageGuard guard_;
   PageNo page_idx_ = 0;
@@ -44,6 +61,16 @@ class TableScanOp : public Operator {
   uint32_t rows_in_page_ = 0;
   bool page_open_ = false;
   bool done_ = false;
+
+  // Vectorized-path state: the compiled kernel, the per-page block view,
+  // and the current page's survivors (sel_[sel_pos_..sel_count_)).
+  PredicateKernel kernel_;
+  RowBlock block_;
+  std::vector<uint32_t> sel_;
+  std::vector<uint32_t> leading_;
+  uint32_t sel_pos_ = 0;
+  uint32_t sel_count_ = 0;
+  LogHistogram* batch_rows_hist_ = nullptr;  // resolved at Open, may be null
 };
 
 /// Range scan of a clustered table: seeks the clustered-key index for the

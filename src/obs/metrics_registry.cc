@@ -74,6 +74,25 @@ void LogHistogram::Observe(double v) {
   overflow_.fetch_add(1, std::memory_order_relaxed);
 }
 
+double LogHistogram::Quantile(double q) const {
+  const int64_t n = count();
+  if (n == 0) return 0.0;
+  double rank = q * static_cast<double>(n);
+  if (rank < 1.0) rank = 1.0;
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    const int64_t c = bucket_count(i);
+    if (c > 0 && static_cast<double>(cumulative + c) >= rank) {
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi = bounds_[i];
+      return lo + (hi - lo) * ((rank - static_cast<double>(cumulative)) /
+                               static_cast<double>(c));
+    }
+    cumulative += c;
+  }
+  return bounds_.back();
+}
+
 std::string MetricsRegistry::LabelKey(const MetricLabels& labels) {
   return RenderLabels(labels);
 }
@@ -173,6 +192,16 @@ std::string MetricsRegistry::PrometheusText() const {
                        FormatDouble(h.sum(), 6).c_str());
       out += StrFormat("%s_count%s %lld\n", name.c_str(), key.c_str(),
                        static_cast<long long>(h.count()));
+      // Server-side quantile estimates as summary-style samples under the
+      // family name, so dashboards read p50/p95/p99 straight from the
+      // text without a histogram_quantile() layer.
+      for (double q : {0.5, 0.95, 0.99}) {
+        MetricLabels ql = child.labels;
+        ql.emplace_back("quantile", FormatDouble(q, 2));
+        out += StrFormat("%s%s %s\n", name.c_str(),
+                         RenderLabels(ql).c_str(),
+                         FormatDouble(h.Quantile(q), 6).c_str());
+      }
     }
   }
   return out;
@@ -225,8 +254,13 @@ std::string MetricsRegistry::ToJson() const {
                          FormatDouble(h.bucket_bound(i), 6).c_str(),
                          static_cast<long long>(h.bucket_count(i)));
       }
-      out += StrFormat("], \"overflow\": %lld}",
-                       static_cast<long long>(h.overflow_count()));
+      out += StrFormat("], \"overflow\": %lld, "
+                       "\"quantiles\": {\"p50\": %s, \"p95\": %s, "
+                       "\"p99\": %s}}",
+                       static_cast<long long>(h.overflow_count()),
+                       FormatDouble(h.Quantile(0.5), 6).c_str(),
+                       FormatDouble(h.Quantile(0.95), 6).c_str(),
+                       FormatDouble(h.Quantile(0.99), 6).c_str());
     }
   }
   out += "\n  ]\n}\n";

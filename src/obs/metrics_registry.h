@@ -78,6 +78,14 @@ class LogHistogram {
     return overflow_.load(std::memory_order_relaxed);
   }
 
+  /// Server-side quantile estimate (q in [0, 1]) with linear interpolation
+  /// inside the covering bucket — the same convention as PromQL's
+  /// histogram_quantile, computed here so metrics.prom and metrics.json
+  /// are dashboardable without a query layer. Observations in the overflow
+  /// bucket clamp to the last bound. Like the rest of exposition, the
+  /// relaxed bucket reads are only cross-consistent at quiescent points.
+  double Quantile(double q) const;
+
  private:
   std::vector<double> bounds_;  // immutable after the ctor
   std::unique_ptr<std::atomic<int64_t>[]> buckets_;

@@ -4,6 +4,19 @@
 
 namespace dpcf {
 
+namespace {
+thread_local uint64_t tls_query_id = 0;
+}  // namespace
+
+TraceCollector::QueryIdScope::QueryIdScope(uint64_t query_id)
+    : prev_(tls_query_id) {
+  tls_query_id = query_id;
+}
+
+TraceCollector::QueryIdScope::~QueryIdScope() { tls_query_id = prev_; }
+
+uint64_t TraceCollector::current_query_id() { return tls_query_id; }
+
 TraceCollector::TraceCollector(bool enabled)
     : epoch_(std::chrono::steady_clock::now()), enabled_(enabled) {}
 
@@ -23,6 +36,9 @@ int TraceCollector::InternTidLocked() {
 }
 
 void TraceCollector::Record(Event event) {
+  if (tls_query_id != 0) {
+    event.args.emplace_back("qid", std::to_string(tls_query_id));
+  }
   MutexLock lock(&mu_);
   if (events_.size() >= max_events_) {
     ++dropped_;

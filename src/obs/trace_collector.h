@@ -34,6 +34,27 @@ class TraceCollector {
  public:
   explicit TraceCollector(bool enabled = false);
 
+  /// RAII thread-local query-id scope: every event recorded from this
+  /// thread while the scope is live carries a {"qid": "<id>"} arg, letting
+  /// concurrent sessions untangle their spans in one trace file. The
+  /// driver thread opens a scope in ExecutePlan from ExecContext::query_id;
+  /// parallel-scan workers and the readahead thread open their own (the id
+  /// is thread-local, so spawned threads do not inherit it). id 0 = no tag.
+  /// Scopes nest; the previous id is restored on destruction.
+  class QueryIdScope {
+   public:
+    explicit QueryIdScope(uint64_t query_id);
+    QueryIdScope(const QueryIdScope&) = delete;
+    QueryIdScope& operator=(const QueryIdScope&) = delete;
+    ~QueryIdScope();
+
+   private:
+    uint64_t prev_;
+  };
+
+  /// The calling thread's current query id (0 when no scope is live).
+  static uint64_t current_query_id();
+
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
   void set_enabled(bool on) {
     enabled_.store(on, std::memory_order_relaxed);

@@ -204,8 +204,9 @@ Result<OperatorPtr> BuildAccessPathOp(
                                                    std::move(bundle),
                                                    parallel));
       }
-      return OperatorPtr(std::make_unique<TableScanOp>(path.table, path.full_pred,
-                                         projection, std::move(bundle)));
+      return OperatorPtr(std::make_unique<TableScanOp>(
+          path.table, path.full_pred, projection, std::move(bundle),
+          parallel.vectorized));
     }
     case AccessKind::kClusteredRange: {
       auto bundle = MakeBundle(path.full_pred, &path.table->schema(),
@@ -255,7 +256,8 @@ Result<OperatorPtr> BuildSingleTableExec(const AccessPathPlan& path,
                         hooks.seed,
                         ParallelScanOptions{hooks.scan_threads,
                                             hooks.morsel_pages,
-                                            hooks.prefetch_pages}));
+                                            hooks.prefetch_pages,
+                                            hooks.vectorized_scan}));
   if (query.count_star) {
     op = OperatorPtr(std::make_unique<AggregateCountOp>(std::move(op)));
   }
@@ -270,11 +272,17 @@ Result<OperatorPtr> BuildJoinExec(const JoinPlan& plan,
   const std::vector<int> outer_proj{query.outer_col};
   const std::vector<int> inner_proj{query.inner_col};
 
+  // Join children stay serial (num_threads 1; see PlanMonitorHooks), but
+  // the vectorized toggle still applies to their scans.
+  ParallelScanOptions child_scan;
+  child_scan.vectorized = hooks.vectorized_scan;
+
   DPCF_ASSIGN_OR_RETURN(
       OperatorPtr outer_op,
       BuildAccessPathOp(plan.outer_path, outer_proj,
                         hooks.outer_scan_requests, {},
-                        hooks.scan_sample_fraction, hooks.seed));
+                        hooks.scan_sample_fraction, hooks.seed,
+                        child_scan));
 
   OperatorPtr root;
   switch (plan.method) {
@@ -290,7 +298,7 @@ Result<OperatorPtr> BuildJoinExec(const JoinPlan& plan,
           BuildAccessPathOp(plan.inner_path, inner_proj,
                             hooks.inner_scan_requests, {},
                             hooks.inner_scan_sample_fraction,
-                            hooks.seed + 1));
+                            hooks.seed + 1, child_scan));
       root = OperatorPtr(std::make_unique<HashJoinOp>(std::move(outer_op), 0,
                                         std::move(inner_op), 0,
                                         hooks.bitvector));
@@ -302,7 +310,7 @@ Result<OperatorPtr> BuildJoinExec(const JoinPlan& plan,
           BuildAccessPathOp(plan.inner_path, inner_proj,
                             hooks.inner_scan_requests, {},
                             hooks.inner_scan_sample_fraction,
-                            hooks.seed + 1));
+                            hooks.seed + 1, child_scan));
       if (plan.sort_inner) {
         inner_op = OperatorPtr(std::make_unique<SortOp>(std::move(inner_op), 0));
       }

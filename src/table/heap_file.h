@@ -82,6 +82,12 @@ class HeapFile {
            static_cast<size_t>(slot) * schema_->row_size();
   }
 
+  /// Pointer to the first row of a fetched page image; rows follow at
+  /// schema row_size() stride (feed for RowBlock::Reset).
+  static const char* PageRows(const char* page_data) {
+    return page_data + kHeaderSize;
+  }
+
   BufferPool* buffer_pool() const { return pool_; }
 
  private:

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <cstring>
 #include <string_view>
+#include <vector>
 
 #include "table/schema.h"
 #include "table/value.h"
@@ -45,6 +46,47 @@ class RowView {
  private:
   const char* data_;
   const Schema* schema_;
+};
+
+/// Column-at-a-time view of the rows of one heap page (the batch row
+/// decoder behind the vectorized predicate kernels, DESIGN.md section 12).
+///
+/// Rebind it to a page image with Reset(), then ask for columns:
+/// INT64 columns are gathered once into a contiguous array so downstream
+/// comparators run tight, branch-predictable loops; CHAR columns are
+/// fixed-width page bytes already and are read in place via row().
+/// Columns are decoded lazily — a conjunct whose selection vector empties
+/// before atom k never pays for atom k's column — and at most once per
+/// page, no matter how many predicate atoms or monitor expressions touch
+/// them. Valid only while the underlying page stays pinned, like RowView.
+class RowBlock {
+ public:
+  explicit RowBlock(const Schema* schema)
+      : schema_(schema), row_size_(schema->row_size()) {}
+
+  /// Rebinds to a page image: `rows` points at the first row (page data +
+  /// HeapFile::kHeaderSize), `n` rows follow at row_size() stride.
+  void Reset(const char* rows, uint32_t n) {
+    rows_ = rows;
+    n_ = n;
+  }
+
+  uint32_t size() const { return n_; }
+  const Schema* schema() const { return schema_; }
+
+  /// Raw bytes of row r (== RowView data pointer for slot r). Column
+  /// values are read in place at schema offsets — the kernel's strided
+  /// comparators touch each value exactly once, so there is no gather
+  /// step (see exec/predicate_kernel.cc).
+  const char* row(uint32_t r) const {
+    return rows_ + static_cast<size_t>(r) * row_size_;
+  }
+
+ private:
+  const Schema* schema_;
+  uint32_t row_size_;
+  const char* rows_ = nullptr;
+  uint32_t n_ = 0;
 };
 
 /// Encodes/decodes Tuples to/from the fixed-width row format.

@@ -1,0 +1,17 @@
+// Fixture: violates dpcf-eval-in-morsel — per-row predicate evaluation and
+// per-row monitor feed inside a page row loop, no oracle marker.
+#include "exec/bad_scan_loop.h"
+
+namespace dpcf {
+
+void ScanPage(const char* page, uint32_t rows_in_page) {
+  for (uint32_t r = 0; r < rows_in_page; ++r) {
+    RowView row(page, nullptr);
+    uint32_t leading = pushed_.EvalLeading(row, cpu);  // finding: per-row
+    if (bundle != nullptr) {
+      bundle->OnRow(row, leading, cpu, slots);  // finding: per-row feed
+    }
+  }
+}
+
+}  // namespace dpcf

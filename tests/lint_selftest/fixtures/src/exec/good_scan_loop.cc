@@ -1,0 +1,33 @@
+// Fixture: clean for dpcf-eval-in-morsel — the batch kernel on the hot
+// path, a marked oracle loop, and a per-row call outside any page loop.
+#include "exec/good_scan_loop.h"
+
+namespace dpcf {
+
+void ScanPageBatch(const char* page, uint32_t rows_in_page) {
+  block_.Reset(page, rows_in_page);
+  uint32_t m = kernel_.EvalBatch(&block_, cpu, sel_.data(), leading_.data());
+  if (bundle != nullptr) {
+    bundle->ObserveBatch(&block_, leading_.data(), cpu, slots);
+  }
+  (void)m;
+}
+
+void ScanPageReference(const char* page, uint32_t rows_in_page) {
+  // oracle: the row-at-a-time reference path the vectorized kernel is
+  // verified against.
+  for (uint32_t r = 0; r < rows_in_page; ++r) {
+    RowView row(page, nullptr);
+    uint32_t leading = pushed_.EvalLeading(row, cpu);
+    if (bundle != nullptr) {
+      bundle->OnRow(row, leading, cpu, slots);
+    }
+  }
+}
+
+bool EvalOneRow(const RowView& row) {
+  // Not a page loop: a single-row helper may evaluate directly.
+  return pushed_.EvalLeading(row, cpu) == pushed_.atoms().size();
+}
+
+}  // namespace dpcf

@@ -28,6 +28,7 @@ VIOLATING = [
     ("dpcf-include-hygiene", ["src/bad_include.h"], 2),
     ("dpcf-naked-new", ["src/bad_new.h", "src/bad_new.cc"], 3),
     ("dpcf-metric-naming", ["src/bad_metric.cc"], 3),
+    ("dpcf-eval-in-morsel", ["src/exec/bad_scan_loop.cc"], 2),
 ]
 
 CLEAN = [
@@ -37,6 +38,7 @@ CLEAN = [
     ("dpcf-include-hygiene", ["src/good_include.h"]),
     ("dpcf-naked-new", ["src/good_new.h", "src/good_new.cc"]),
     ("dpcf-metric-naming", ["src/good_metric.cc"]),
+    ("dpcf-eval-in-morsel", ["src/exec/good_scan_loop.cc"]),
     # Violations present but suppressed -> clean.
     ("dpcf-naked-new", ["src/suppressed.h", "src/suppressed.cc"]),
 ]

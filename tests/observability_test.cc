@@ -11,6 +11,7 @@
 
 #include "core/monitor_manager.h"
 #include "exec/executor.h"
+#include "exec/parallel_scan.h"
 #include "exec/scan_ops.h"
 #include "obs/estimation_error_tracker.h"
 #include "obs/metrics_registry.h"
@@ -90,6 +91,33 @@ TEST(MetricsRegistryTest, PrometheusTextExposition) {
   EXPECT_NE(text.find("wait_us_count 1"), std::string::npos) << text;
 }
 
+TEST(MetricsRegistryTest, LogHistogramQuantiles) {
+  MetricsRegistry reg;
+  // Bounds 1, 2, 4, 8, 16.
+  LogHistogram* h = reg.GetHistogram("q_us", "h", 1.0, 2.0, 5);
+  EXPECT_EQ(h->Quantile(0.5), 0.0);  // empty histogram
+  for (int i = 0; i < 100; ++i) h->Observe(1.5);  // all in bucket (1, 2]
+  // Every rank interpolates inside the covering bucket.
+  EXPECT_GT(h->Quantile(0.5), 1.0);
+  EXPECT_LE(h->Quantile(0.5), 2.0);
+  EXPECT_LT(h->Quantile(0.05), h->Quantile(0.95));
+  // Overflow observations clamp to the last bound.
+  LogHistogram* o = reg.GetHistogram("o_us", "h", 1.0, 2.0, 2);
+  o->Observe(100.0);
+  EXPECT_DOUBLE_EQ(o->Quantile(0.99), 2.0);
+
+  // Prometheus exposition carries summary-style quantile samples and the
+  // JSON mirror a "quantiles" object, so dashboards get p50/p95/p99
+  // without PromQL.
+  const std::string text = reg.PrometheusText();
+  EXPECT_NE(text.find("q_us{quantile=\"0.5\"}"), std::string::npos) << text;
+  EXPECT_NE(text.find("q_us{quantile=\"0.95\"}"), std::string::npos);
+  EXPECT_NE(text.find("q_us{quantile=\"0.99\"}"), std::string::npos);
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"quantiles\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p95\""), std::string::npos) << json;
+}
+
 TEST(MetricsRegistryTest, JsonExposition) {
   MetricsRegistry reg;
   reg.GetCounter("a_total", "h", {{"k", "va\"l"}})->Increment();
@@ -126,6 +154,73 @@ TEST(TraceCollectorTest, RecordsSpansAndInstants) {
   EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"page\": \"7\""), std::string::npos) << json;
+}
+
+TEST(TraceCollectorTest, QueryIdScopeTagsEvents) {
+  TraceCollector trace(/*enabled=*/true);
+  EXPECT_EQ(TraceCollector::current_query_id(), 0u);
+  trace.AddInstant("exec", "untagged");
+  {
+    TraceCollector::QueryIdScope scope(42);
+    EXPECT_EQ(TraceCollector::current_query_id(), 42u);
+    trace.AddInstant("exec", "tagged");
+    {
+      // Scopes nest; the inner id wins and the outer is restored.
+      TraceCollector::QueryIdScope inner(43);
+      trace.AddInstant("exec", "inner");
+    }
+    EXPECT_EQ(TraceCollector::current_query_id(), 42u);
+  }
+  EXPECT_EQ(TraceCollector::current_query_id(), 0u);
+
+  const std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"qid\": \"42\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"qid\": \"43\""), std::string::npos) << json;
+  // The untagged event (id 0 = no scope) carries no qid arg.
+  const size_t untagged = json.find("\"untagged\"");
+  ASSERT_NE(untagged, std::string::npos);
+  const size_t line_end = json.find("}", untagged);
+  EXPECT_EQ(json.substr(untagged, line_end - untagged).find("qid"),
+            std::string::npos)
+      << json;
+}
+
+TEST(TraceCollectorTest, ExecutePlanTagsSpansWithContextQueryId) {
+  // End to end: a traced scan under a context query id must produce only
+  // qid-tagged spans, including those recorded by worker threads.
+  DatabaseOptions opts;
+  opts.buffer_pool_pages = 512;
+  opts.observability.tracing = true;
+  Database db(opts);
+  SyntheticOptions sopts;
+  sopts.num_rows = 2000;
+  sopts.seed = 5;
+  sopts.build_indexes = false;
+  ASSERT_OK_AND_ASSIGN(Table * t, BuildSyntheticTable(&db, "T", sopts));
+  ExecContext ctx(db.buffer_pool());
+  ctx.set_trace(db.trace());
+  ctx.set_query_id(7);
+  Predicate pred({PredicateAtom::Int64(kC1, CmpOp::kLt, 100)});
+  ParallelScanOptions options;
+  options.num_threads = 2;
+  ParallelTableScanOp scan(t, pred, {kC1}, nullptr, options);
+  ASSERT_OK_AND_ASSIGN(RunResult run, ExecutePlan(&scan, &ctx));
+  EXPECT_EQ(run.stats.rows_returned, 99);
+  ASSERT_GT(db.trace()->event_count(), 0u);
+  const std::string json = db.trace()->ToJson();
+  EXPECT_NE(json.find("\"qid\": \"7\""), std::string::npos) << json;
+  // Every span of this run carries the tag: no args-bearing event without
+  // it, and the span count matches the qid count.
+  size_t spans = 0, tagged = 0;
+  for (size_t pos = 0; (pos = json.find("\"name\"", pos)) != std::string::npos;
+       ++pos) {
+    ++spans;
+  }
+  for (size_t pos = 0;
+       (pos = json.find("\"qid\": \"7\"", pos)) != std::string::npos; ++pos) {
+    ++tagged;
+  }
+  EXPECT_EQ(spans, tagged) << json;
 }
 
 TEST(TraceCollectorTest, CapDropsAndCounts) {

@@ -16,6 +16,9 @@ tools cannot know about (see DESIGN.md section 9 for the catalog):
                           unique_ptr / the buffer pool's frame store)
   dpcf-metric-naming      registry metric names off-convention (snake_case;
                           counters `_total`, gauges/histograms a unit)
+  dpcf-eval-in-morsel     per-row predicate/monitor calls inside page row
+                          loops in src/exec (use the batch kernel; `oracle`
+                          comments mark the deliberate reference paths)
 
 Usage:
   tools/lint/dpcf_lint.py [--list-rules] [--rule ID]... PATH...

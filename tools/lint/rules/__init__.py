@@ -3,6 +3,7 @@ DESCRIPTION, check(source) -> iterable[(line_no, message)], and an
 optional prepare(corpus) for whole-tree context."""
 
 from rules import discarded_status
+from rules import eval_in_morsel
 from rules import include_hygiene
 from rules import metric_naming
 from rules import mutex_annotation
@@ -16,4 +17,5 @@ ALL_RULES = [
     include_hygiene,
     naked_new,
     metric_naming,
+    eval_in_morsel,
 ]

@@ -1,0 +1,73 @@
+"""dpcf-eval-in-morsel: per-row predicate/monitor calls inside page loops.
+
+The scan hot path evaluates predicates with the vectorized PredicateKernel
+and feeds monitors with ScanMonitorBundle::ObserveBatch (DESIGN.md section
+12): one call per page, not one per row. A per-row EvalLeading /
+EvalNoShortCircuit / OnRow call inside a loop over a page's rows
+reintroduces exactly the per-tuple overhead the kernel removed, usually by
+accident when a new operator copies the old loop shape.
+
+The row-at-a-time path is still *deliberately* kept in two places — the
+oracle the property sweep (tests/predicate_batch_test.cc) compares the
+kernel against, and scans whose control flow cannot batch (sorted-key early
+exit). Those loops are marked with an `oracle` comment within five lines
+above the loop header, which this rule honors; anything unmarked is
+flagged. Only src/exec is in scope: monitor internals (src/core) and tests
+drive rows one at a time by design.
+"""
+
+import re
+
+RULE_ID = "dpcf-eval-in-morsel"
+DESCRIPTION = ("per-row EvalLeading/EvalNoShortCircuit/OnRow inside a page "
+               "row loop in src/exec without an `oracle` marker")
+
+# A *call* through an object (definitions use `Predicate::EvalLeading`).
+_CALL = re.compile(r"(?:\.|->)\s*(EvalLeading|EvalNoShortCircuit|OnRow)\s*\(")
+
+# A loop whose bound is the current page's row count — the shape every
+# morsel/page scan loop in src/exec takes.
+_ROW_LOOP = re.compile(
+    r"\b(?:for|while)\s*\(.*\b(?:rows_in_page_?|row_idx_?|num_rows|"
+    r"PageRowCount)\b")
+
+_ORACLE = re.compile(r"\boracle\b", re.IGNORECASE)
+
+# How far above a call the enclosing loop header may sit, and how far above
+# the header its oracle marker may sit.
+_LOOP_WINDOW = 40
+_MARKER_WINDOW = 5
+
+
+def _in_scope(source):
+    rel = source.rel.replace("\\", "/")
+    return rel.startswith("src/exec/")
+
+
+def check(source):
+    if not _in_scope(source):
+        return
+    code = source.code_lines
+    raw = source.raw_lines
+    for i, line in enumerate(code, start=1):
+        m = _CALL.search(line)
+        if m is None:
+            continue
+        # Innermost row loop above the call (heuristic: nearest header in
+        # the window; page loops in this codebase are short).
+        header = None
+        for j in range(i - 1, max(0, i - 1 - _LOOP_WINDOW), -1):
+            if _ROW_LOOP.search(code[j - 1]):
+                header = j
+                break
+        if header is None:
+            continue
+        marked = any(
+            _ORACLE.search(raw[k - 1])
+            for k in range(max(1, header - _MARKER_WINDOW), header + 1))
+        if marked:
+            continue
+        yield (i, f"per-row {m.group(1)}() inside a page row loop — use "
+                  "PredicateKernel::EvalBatch / ScanMonitorBundle::"
+                  "ObserveBatch, or mark the loop with an `oracle` comment "
+                  "if row-at-a-time is intentional")
