@@ -15,10 +15,21 @@
 // Use dpcf::Mutex + dpcf::MutexLock instead of std::mutex for any new
 // latch; the lint rule dpcf-mutex-annotation rejects raw std::mutex
 // members in src/ (tools/lint/rules/mutex_annotation.py).
+//
+// PR 7 adds runtime lock-rank enforcement: each long-lived mutex carries a
+// rank from dpcf::lock_rank, and -DDPCF_LOCK_RANK=ON builds keep a
+// thread-local stack of held ranks that aborts the process on any
+// non-increasing acquisition. This covers the compilers where TSA is a
+// no-op (gcc, and therefore every sanitizer CI job).
 
 #pragma once
 
 #include <mutex>
+
+#if defined(DPCF_LOCK_RANK) && DPCF_LOCK_RANK
+#include <cstdio>
+#include <cstdlib>
+#endif
 
 #if defined(__clang__) && (!defined(SWIG))
 #define DPCF_THREAD_ANNOTATION(x) __attribute__((x))
@@ -75,21 +86,142 @@
 
 namespace dpcf {
 
+/// Global lock-rank table: every long-lived dpcf::Mutex is assigned one of
+/// these ranks, and (in DPCF_LOCK_RANK builds) a thread may only acquire a
+/// ranked mutex whose rank is STRICTLY GREATER than every ranked mutex it
+/// already holds. This is the ACQUIRED_BEFORE documentation turned into a
+/// runtime invariant: clang TSA proves the pool->disk order at compile time
+/// on clang builds, the rank stack aborts on inversion in every debug /
+/// sanitizer run regardless of compiler. Strictness also enforces the
+/// "never two shard latches at once" rule, since all shard latches share
+/// one rank. The table (mirrored in DESIGN.md section 13):
+namespace lock_rank {
+inline constexpr int kUnranked = -1;          // exempt (tests, ad hoc)
+inline constexpr int kBufferPoolShard = 100;  // BufferPool::Shard::mu
+inline constexpr int kDisk = 200;             // DiskManager::mu_
+inline constexpr int kExecMergedCpu = 300;    // ExecContext::merged_cpu_mu_
+inline constexpr int kEstimationTracker = 310;  // EstimationErrorTracker::mu_
+inline constexpr int kMetricsRegistry = 320;  // MetricsRegistry::mu_
+inline constexpr int kTraceCollector = 330;   // TraceCollector::mu_
+inline constexpr int kScanReadahead = 400;    // parallel_scan ReadaheadState::mu
+}  // namespace lock_rank
+
+#if defined(DPCF_LOCK_RANK) && DPCF_LOCK_RANK
+namespace lock_rank_internal {
+
+/// Per-thread stack of held ranked latches. Fixed depth: the deepest legal
+/// chain today is shard -> disk (2); 16 leaves generous headroom for the
+/// async-I/O roadmap without heap allocation on the lock path.
+struct HeldStack {
+  static constexpr int kMaxDepth = 16;
+  const void* mu[kMaxDepth];
+  int rank[kMaxDepth];
+  int depth = 0;
+};
+
+inline HeldStack& Held() {
+  static thread_local HeldStack stack;
+  return stack;
+}
+
+/// Aborts if acquiring rank `r` would violate the strict ordering. Called
+/// BEFORE blocking on the underlying mutex so an inversion aborts with a
+/// diagnostic deterministically instead of deadlocking intermittently.
+inline void CheckRank(const void* mu, int r) {
+  if (r < 0) return;  // unranked mutexes opt out
+  HeldStack& s = Held();
+  for (int i = 0; i < s.depth; ++i) {
+    if (s.rank[i] >= r) {
+      std::fprintf(stderr,
+                   "dpcf lock-rank violation: acquiring mutex %p of rank %d "
+                   "while holding mutex %p of rank %d (acquisition order "
+                   "must be strictly increasing; see the rank table in "
+                   "common/thread_annotations.h)\n",
+                   mu, r, s.mu[i], s.rank[i]);
+      std::abort();
+    }
+  }
+}
+
+inline void PushRank(const void* mu, int r) {
+  HeldStack& s = Held();
+  if (s.depth < HeldStack::kMaxDepth) {
+    s.mu[s.depth] = mu;
+    s.rank[s.depth] = r;
+    ++s.depth;
+  }
+  // Overflow (never seen in practice) silently stops tracking the excess;
+  // the checker stays sound for the latches it did record.
+}
+
+inline void PopRank(const void* mu) {
+  HeldStack& s = Held();
+  // Scoped MutexLock makes this LIFO, but condition_variable_any unlocks
+  // through the BasicLockable interface mid-scope, so erase by identity.
+  for (int i = s.depth - 1; i >= 0; --i) {
+    if (s.mu[i] == mu) {
+      for (int j = i; j + 1 < s.depth; ++j) {
+        s.mu[j] = s.mu[j + 1];
+        s.rank[j] = s.rank[j + 1];
+      }
+      --s.depth;
+      return;
+    }
+  }
+}
+
+}  // namespace lock_rank_internal
+#endif  // DPCF_LOCK_RANK
+
 /// std::mutex wrapped as a TSA capability. Same cost, same semantics; the
-/// only addition is that clang now tracks who holds it.
+/// additions are that clang tracks who holds it at compile time and, under
+/// -DDPCF_LOCK_RANK=ON, the optional rank is enforced at runtime on every
+/// acquisition (strictly-increasing order, abort on inversion).
 class CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  /// Ranked mutex: see dpcf::lock_rank for the table. Rank checking is
+  /// compiled in only under DPCF_LOCK_RANK; otherwise the rank is inert.
+  explicit Mutex(int rank) : rank_(rank) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() ACQUIRE() { mu_.lock(); }
-  void unlock() RELEASE() { mu_.unlock(); }
-  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock() ACQUIRE() {
+#if defined(DPCF_LOCK_RANK) && DPCF_LOCK_RANK
+    lock_rank_internal::CheckRank(this, rank_);
+#endif
+    mu_.lock();
+#if defined(DPCF_LOCK_RANK) && DPCF_LOCK_RANK
+    lock_rank_internal::PushRank(this, rank_);
+#endif
+  }
+  void unlock() RELEASE() {
+#if defined(DPCF_LOCK_RANK) && DPCF_LOCK_RANK
+    lock_rank_internal::PopRank(this);
+#endif
+    mu_.unlock();
+  }
+  bool try_lock() TRY_ACQUIRE(true) {
+#if defined(DPCF_LOCK_RANK) && DPCF_LOCK_RANK
+    // A try_lock that would invert the order is the same discipline bug
+    // even though it cannot deadlock by itself; check before trying.
+    lock_rank_internal::CheckRank(this, rank_);
+    if (!mu_.try_lock()) return false;
+    lock_rank_internal::PushRank(this, rank_);
+    return true;
+#else
+    return mu_.try_lock();
+#endif
+  }
+
+  int rank() const { return rank_; }
 
  private:
-  // The single wrapped instance every other latch builds on.
+  // The single wrapped instance every other latch builds on. The rank is
+  // stored unconditionally (4 bytes) so the layout does not depend on the
+  // DPCF_LOCK_RANK flag.
   std::mutex mu_;  // NOLINT(dpcf-mutex-annotation)
+  int rank_ = lock_rank::kUnranked;
 };
 
 /// RAII lock over dpcf::Mutex (std::lock_guard is not annotated, so the

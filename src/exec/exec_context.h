@@ -134,7 +134,8 @@ class ExecContext {
   BufferPool* pool_;
   uint64_t seed_;
   CpuStats cpu_;  // driver thread only
-  mutable Mutex merged_cpu_mu_;
+  // Leaf rank: MergeCpu holds no other latch and calls out to nothing.
+  mutable Mutex merged_cpu_mu_{lock_rank::kExecMergedCpu};
   CpuStats merged_cpu_ GUARDED_BY(merged_cpu_mu_);
   // Count of live WorkerRegions; its own synchronization (like
   // AtomicCounter, no GUARDED_BY needed).

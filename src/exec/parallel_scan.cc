@@ -30,7 +30,10 @@ void MaterializeProjection(const RowView& row,
 /// pages_consumed per finished morsel (coarse on purpose — one latch
 /// round-trip per morsel, not per page).
 struct ReadaheadState {
-  Mutex mu;
+  // Highest rank: a leaf latch — nothing else is ever acquired while it
+  // is held (workers and prefetcher lock it only to bump/read the
+  // cursor, never across a pool or disk call).
+  Mutex mu{lock_rank::kScanReadahead};
   std::condition_variable_any cv;
   int64_t pages_consumed GUARDED_BY(mu) = 0;
   bool stop GUARDED_BY(mu) = false;

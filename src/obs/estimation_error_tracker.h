@@ -74,7 +74,8 @@ class EstimationErrorTracker {
   void Clear() EXCLUDES(mu_);
 
  private:
-  mutable Mutex mu_;
+  // Leaf rank: Observe/Report fold records while holding no other latch.
+  mutable Mutex mu_{lock_rank::kEstimationTracker};
   std::map<std::pair<std::string, std::string>, GroupSummary> groups_
       GUARDED_BY(mu_);
 };

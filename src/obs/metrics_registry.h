@@ -145,7 +145,8 @@ class MetricsRegistry {
 
   static std::string LabelKey(const MetricLabels& labels);
 
-  mutable Mutex mu_;
+  // Leaf rank: find-or-create and exposition hold no other latch.
+  mutable Mutex mu_{lock_rank::kMetricsRegistry};
   std::map<std::string, Family<Counter>> counters_ GUARDED_BY(mu_);
   std::map<std::string, Family<Gauge>> gauges_ GUARDED_BY(mu_);
   std::map<std::string, HistogramFamily> histograms_ GUARDED_BY(mu_);

@@ -103,7 +103,8 @@ class TraceCollector {
   const std::chrono::steady_clock::time_point epoch_;
   std::atomic<bool> enabled_;
   size_t max_events_ = 1 << 20;
-  mutable Mutex mu_;
+  // Highest rank: AddSpan may run below any other latch domain.
+  mutable Mutex mu_{lock_rank::kTraceCollector};
   std::vector<Event> events_ GUARDED_BY(mu_);
   std::map<std::thread::id, int> tids_ GUARDED_BY(mu_);
   size_t dropped_ GUARDED_BY(mu_) = 0;

@@ -202,8 +202,12 @@ class BufferPool {
   /// member expressions; Shard is a nested class of DiskManager's friend,
   /// so naming disk->mu_ here is well-formed).
   struct Shard {
-    explicit Shard(DiskManager* d) : disk(d) {}
+    explicit Shard(DiskManager* d)
+        : disk(d), mu(lock_rank::kBufferPoolShard) {}
     DiskManager* const disk;
+    // Rank kBufferPoolShard < kDisk: the runtime mirror of the
+    // ACQUIRED_BEFORE edge (enforced under DPCF_LOCK_RANK on any compiler;
+    // the shared shard rank also aborts if two shard latches ever nest).
     mutable Mutex mu ACQUIRED_BEFORE(disk->mu_);
     /// Signaled whenever a kLoading frame resolves (to kReady or back to
     /// the free list on error); waiters re-check the page table.

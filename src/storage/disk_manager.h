@@ -117,9 +117,12 @@ class DiskManager {
   bool ValidPage(PageId pid) const REQUIRES(mu_);
 
   size_t page_size_;
-  mutable Mutex mu_;
+  // Rank kDisk: always innermost of the storage pair (pool shard -> disk).
+  mutable Mutex mu_{lock_rank::kDisk};
   std::vector<Segment> segments_ GUARDED_BY(mu_);
-  IoStats io_stats_;  // relaxed atomics: charged without the latch
+  // Relaxed atomics, charged without the latch; mutable so the const
+  // RawPage overload can still account its page hand-outs.
+  mutable IoStats io_stats_;
   PageId last_read_ GUARDED_BY(mu_);  // invalid when head position unknown
   std::atomic<int64_t> read_latency_us_{0};  // its own synchronization
   // Metric handles, null until AttachMetrics (set once at a quiescent

@@ -95,6 +95,14 @@ struct IoStats {
   AtomicCounter logical_reads;
   AtomicCounter buffer_hits;
 
+  // Page images handed out by DiskManager::RawPage, the latch-cheap escape
+  // hatch the offline paths (histogram/statistics builds, index builds,
+  // workload generation) use to scan segments without disturbing the buffer
+  // pool. Counted so no page access is invisible to the accounting
+  // (dpcf-ast-charge-conservation polices this); charged no simulated time,
+  // since these paths sit outside the measured query runs.
+  AtomicCounter raw_page_reads;
+
   int64_t physical_reads() const {
     return physical_seq_reads + physical_rand_reads;
   }
@@ -109,6 +117,7 @@ struct IoStats {
     prefetch_hits += o.prefetch_hits;
     logical_reads += o.logical_reads;
     buffer_hits += o.buffer_hits;
+    raw_page_reads += o.raw_page_reads;
     return *this;
   }
 
@@ -122,6 +131,7 @@ struct IoStats {
     prefetch_hits -= o.prefetch_hits;
     logical_reads -= o.logical_reads;
     buffer_hits -= o.buffer_hits;
+    raw_page_reads -= o.raw_page_reads;
     return *this;
   }
 

@@ -1,0 +1,17 @@
+// dpcf-ast-nondeterminism fixture: direct ambient-entropy reads inside
+// src/core. Each line is a distinct entropy source.
+
+extern "C" int rand();
+extern "C" long time(void* t);
+
+namespace dpcf {
+
+int PickVictim(int n) {
+  return rand() % n;  // bad: process-global PRNG
+}
+
+long long SampleSeed() {
+  return static_cast<long long>(time(nullptr));  // bad: wall clock
+}
+
+}  // namespace dpcf

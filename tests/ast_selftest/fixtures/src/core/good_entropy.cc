@@ -1,0 +1,24 @@
+// dpcf-ast-nondeterminism clean fixture: the core draws randomness from
+// the seeded generator (declared pure here, and the real one lives in the
+// allowlisted src/common/random barrier) and emits a span timestamp via
+// the observability sink (src/obs/report_sink.cc) — the barrier absorbs
+// the clock read, so no finding.
+
+struct Rng {
+  explicit Rng(unsigned long long seed);
+  unsigned long long Next();
+};
+
+namespace dpcf {
+
+double NowMs();
+
+unsigned long long DrawSeeded(Rng* rng) {
+  return rng->Next();  // good: seeded plumbing
+}
+
+double ReportTimestamp() {
+  return NowMs();  // good: callee is inside the src/obs barrier
+}
+
+}  // namespace dpcf

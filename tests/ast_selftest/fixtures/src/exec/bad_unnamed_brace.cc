@@ -1,0 +1,13 @@
+// dpcf-ast-unnamed-raii fixture: brace-constructed and class-qualified
+// unnamed temporary — `TraceCollector::QueryIdScope{qid};` tags nothing,
+// because the scope ends at the semicolon.
+
+struct TraceCollector {
+  struct QueryIdScope {
+    explicit QueryIdScope(unsigned long long qid);
+  };
+};
+
+void TagSpans(unsigned long long qid) {
+  TraceCollector::QueryIdScope{qid};  // bad: unnamed brace temporary
+}

@@ -1,0 +1,27 @@
+// dpcf-ast-unnamed-raii clean fixture: the same guards, named — they
+// live to the end of their scope, which is the whole point.
+
+struct Mutex {};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu);
+};
+
+struct TraceCollector {
+  struct QueryIdScope {
+    explicit QueryIdScope(unsigned long long qid);
+  };
+};
+
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceCollector* t, const char* category, const char* name);
+};
+
+int Workload(Mutex* mu, TraceCollector* trace, unsigned long long qid) {
+  MutexLock lock(mu);
+  ScopedSpan span(trace, "exec", "scan");
+  TraceCollector::QueryIdScope qid_scope{qid};
+  return 1;
+}

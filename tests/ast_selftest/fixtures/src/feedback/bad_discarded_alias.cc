@@ -1,0 +1,22 @@
+// dpcf-ast-discarded-status fixture: the discarded type is only Status
+// after resolving a `using` alias, and Result<T> counts the same as
+// Status. A regex keyed on the literal word "Status" sees neither.
+
+struct Status {
+  bool ok() const;
+};
+
+template <typename T>
+struct Result {
+  T value;
+};
+
+using WriteAck = Status;  // resolved type is still Status
+
+WriteAck WriteRuns(int n);
+Result<int> CountPages(int segment);
+
+void Tick() {
+  WriteRuns(3);   // bad: alias-typed Status discarded
+  CountPages(7);  // bad: Result<T> discarded
+}

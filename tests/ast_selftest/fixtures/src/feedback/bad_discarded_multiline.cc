@@ -1,0 +1,22 @@
+// dpcf-ast-discarded-status fixture: Status-returning calls discarded as
+// bare statements. The call spanning a line break is exactly what the
+// line-oriented regex rule cannot see; the member-call form exercises
+// receiver-chain parsing. Self-contained: the selftest analyzes this file
+// alone, and the clang engine (when present) parses it with no includes.
+
+struct Status {
+  static Status OK();
+  bool ok() const;
+};
+
+struct FeedbackSink {
+  Status Apply(int run_id);
+  Status Flush();
+};
+
+void DriveFeedback(FeedbackSink* sink) {
+  sink->Apply(
+      42);  // bad: Status dropped, call spans two lines
+
+  sink->Flush();  // bad: member-call Status dropped
+}

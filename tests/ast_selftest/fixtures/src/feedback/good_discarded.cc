@@ -1,0 +1,37 @@
+// dpcf-ast-discarded-status clean fixture: every Status is consumed, and
+// the MergeFrom pair pins the resolved-type improvement — the name has a
+// void-returning declaration too, so a bare call to the void one must NOT
+// be flagged (the regex rule needs a hand-written NOLINT for this exact
+// case in src/core/dpsample.cc).
+
+struct Status {
+  static Status OK();
+  bool ok() const;
+};
+
+struct Pool {
+  Status FlushAll();
+  void Reset();
+};
+
+struct Counter {
+  void MergeFrom(const Counter& o);
+};
+
+struct Bundle {
+  Status MergeFrom(const Bundle& o);
+};
+
+Status Checked();
+
+Status UseProperly(Pool* pool) {
+  Status st = pool->FlushAll();  // good: assigned
+  if (!st.ok()) return st;
+  (void)Checked();  // good: explicit discard with a cast
+  pool->Reset();    // good: resolved type is void
+  return Status::OK();
+}
+
+void Fold(Counter* c, const Counter& o) {
+  c->MergeFrom(o);  // good: this MergeFrom resolves to void
+}

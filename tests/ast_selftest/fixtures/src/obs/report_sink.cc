@@ -1,0 +1,12 @@
+// Companion fixture for good_entropy.cc: src/obs/ is an allowlisted
+// reporting barrier — observability code may read clocks for span
+// timestamps, and the call-graph walk must stop here instead of
+// propagating entropy to its callers.
+
+extern "C" long time(void* t);
+
+namespace dpcf {
+
+double NowMs() { return static_cast<double>(time(nullptr)) * 1000.0; }
+
+}  // namespace dpcf

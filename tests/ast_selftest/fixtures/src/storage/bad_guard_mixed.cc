@@ -1,0 +1,27 @@
+// dpcf-ast-guard-consistency fixture: `size_` is GUARDED_BY(mu_) and
+// Insert takes the lock, but UnsafeSize reads it bare — the mixed
+// discipline the rule exists to catch (clang's TSA sees this too, but
+// only on clang builds; this rule is the gcc shadow).
+
+struct Mutex {};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu);
+};
+
+class FrameTable {
+ public:
+  void Insert(int frame) {
+    MutexLock lock(&mu_);
+    size_ = size_ + frame;  // guarded access
+  }
+
+  int UnsafeSize() {
+    return size_;  // bad: no lock on mu_
+  }
+
+ private:
+  Mutex mu_;
+  int size_ GUARDED_BY(mu_);
+};

@@ -1,0 +1,31 @@
+// dpcf-ast-guard-consistency fixture: out-of-line definitions. The
+// REQUIRES annotation lives on the *declaration* (as in the real tree),
+// so CountLocked is clean; Peek has neither a MutexLock nor a REQUIRES
+// and must be the one finding.
+
+struct Mutex {};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu);
+};
+
+class SpanStore {
+ public:
+  void Add(int span);
+  int CountLocked() REQUIRES(mu_);
+  int Peek();
+
+ private:
+  Mutex mu_;
+  int count_ GUARDED_BY(mu_);
+};
+
+void SpanStore::Add(int span) {
+  MutexLock lock(&mu_);
+  count_ += span;  // guarded access
+}
+
+int SpanStore::CountLocked() { return count_; }  // good: REQUIRES(mu_)
+
+int SpanStore::Peek() { return count_; }  // bad: lock-free read

@@ -1,0 +1,24 @@
+// dpcf-ast-unnamed-raii fixture: scope guards constructed as unnamed
+// temporaries, destroyed at the semicolon. The forms are chosen to be
+// unambiguous expressions (no most-vexing-parse) so the clang engine sees
+// the same statements the token engine does.
+
+struct Mutex {};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu);
+};
+
+struct TraceCollector {};
+
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceCollector* t, const char* category, const char* name);
+};
+
+void CriticalSection(Mutex* mu, TraceCollector* trace) {
+  MutexLock{mu};  // bad: "guard" unlocks before the next statement
+
+  ScopedSpan(trace, "exec", "scan");  // bad: span closes immediately
+}

@@ -1,0 +1,28 @@
+// dpcf-ast-guard-consistency clean fixture: every access to the guarded
+// field happens under the lock or inside a REQUIRES-annotated helper.
+
+struct Mutex {};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu);
+};
+
+class LatchedCounter {
+ public:
+  void Add(int d) {
+    MutexLock lock(&mu_);
+    AddLocked(d);
+  }
+
+  int Get() {
+    MutexLock lock(&mu_);
+    return value_;
+  }
+
+ private:
+  void AddLocked(int d) REQUIRES(mu_) { value_ += d; }
+
+  Mutex mu_;
+  int value_ GUARDED_BY(mu_);
+};

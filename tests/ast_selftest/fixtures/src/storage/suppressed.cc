@@ -1,0 +1,22 @@
+// Suppression fixture: real violations, silenced with NOLINT — both
+// spellings must work, and the analyzer must report nothing here.
+
+struct Mutex {};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu);
+};
+
+struct Status {
+  bool ok() const;
+};
+
+Status Checkpoint();
+
+void Suppressed(Mutex* mu) {
+  MutexLock{mu};  // NOLINT(dpcf-ast-unnamed-raii) -- fixture: same-line form
+
+  // NOLINTNEXTLINE(dpcf-ast-discarded-status)
+  Checkpoint();
+}

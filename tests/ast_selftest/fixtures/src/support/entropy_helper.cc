@@ -1,0 +1,8 @@
+// Companion fixture for bad_entropy_transitive.cc: a helper outside the
+// deterministic core (src/support is neither src/core nor src/exec, and
+// not an allowlisted barrier either) that reads the wall clock. Clean on
+// its own — the finding belongs to the core-side caller.
+
+extern "C" long time(void* t);
+
+long NowSeconds() { return time(nullptr); }

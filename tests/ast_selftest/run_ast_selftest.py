@@ -1,0 +1,235 @@
+#!/usr/bin/env python3
+"""Self-test for tools/analysis/dpcf_ast.py, run as a ctest case.
+
+Every rule gets violating fixtures (exact finding counts, right rule id)
+and a clean fixture; further cases pin NOLINT suppression, --fix (naming
+an unnamed RAII temporary must make the file clean), and tree-walk
+discovery skipping this directory. Fixtures mirror the repo layout under
+fixtures/ and are analyzed with --rel-root so the path-scoped rules
+(nondeterminism, charge-conservation) fire.
+
+All cases pin --engine python so they are deterministic on a bare
+python3. When python bindings for libclang are importable — or required
+via DPCF_AST_REQUIRE_CLANG=1, as the CI ast-analysis job does — the
+rule-1/2 cases are repeated with --engine clang against a synthesized
+compile_commands.json, proving both engines agree on the fixtures.
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+AST = os.path.join(REPO, "tools", "analysis", "dpcf_ast.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+
+# (rule id, fixture paths relative to fixtures/, expected finding count)
+VIOLATING = [
+    ("dpcf-ast-discarded-status",
+     ["src/feedback/bad_discarded_multiline.cc"], 2),
+    ("dpcf-ast-discarded-status",
+     ["src/feedback/bad_discarded_alias.cc"], 2),
+    ("dpcf-ast-unnamed-raii", ["src/storage/bad_unnamed_raii.cc"], 2),
+    ("dpcf-ast-unnamed-raii", ["src/exec/bad_unnamed_brace.cc"], 1),
+    ("dpcf-ast-nondeterminism", ["src/core/bad_entropy_direct.cc"], 2),
+    ("dpcf-ast-nondeterminism",
+     ["src/core/bad_entropy_transitive.cc",
+      "src/support/entropy_helper.cc"], 1),
+    ("dpcf-ast-guard-consistency", ["src/storage/bad_guard_mixed.cc"], 1),
+    ("dpcf-ast-guard-consistency",
+     ["src/storage/bad_guard_outofline.cc"], 1),
+    ("dpcf-ast-charge-conservation",
+     ["src/exec/bad_charge_missing.cc"], 1),
+    ("dpcf-ast-charge-conservation",
+     ["src/exec/bad_charge_earlyreturn.cc"], 1),
+]
+
+CLEAN = [
+    ("dpcf-ast-discarded-status", ["src/feedback/good_discarded.cc"]),
+    ("dpcf-ast-unnamed-raii", ["src/exec/good_named_raii.cc"]),
+    ("dpcf-ast-nondeterminism",
+     ["src/core/good_entropy.cc", "src/obs/report_sink.cc"]),
+    ("dpcf-ast-guard-consistency", ["src/storage/good_guard.cc"]),
+    ("dpcf-ast-charge-conservation", ["src/exec/good_charge.cc"]),
+    # Violations present but suppressed -> clean (no --rule filter: every
+    # rule must honor the suppressions).
+    (None, ["src/storage/suppressed.cc"]),
+]
+
+# Rule-1/2 cases repeated on the clang engine when available.
+CLANG_CASES = [
+    ("dpcf-ast-discarded-status",
+     ["src/feedback/bad_discarded_multiline.cc"], 2),
+    ("dpcf-ast-discarded-status",
+     ["src/feedback/bad_discarded_alias.cc"], 2),
+    ("dpcf-ast-discarded-status", ["src/feedback/good_discarded.cc"], 0),
+    ("dpcf-ast-unnamed-raii", ["src/storage/bad_unnamed_raii.cc"], 2),
+    ("dpcf-ast-unnamed-raii", ["src/exec/bad_unnamed_brace.cc"], 1),
+    ("dpcf-ast-unnamed-raii", ["src/exec/good_named_raii.cc"], 0),
+]
+
+
+def run_ast(rule, rel_paths, extra=None, fixture_root=FIXTURES):
+    cmd = [sys.executable, AST, "--engine", "python",
+           "--rel-root", fixture_root]
+    if rule:
+        cmd += ["--rule", rule]
+    cmd += extra or []
+    cmd += [os.path.join(fixture_root, p) for p in rel_paths]
+    return subprocess.run(cmd, capture_output=True, text=True)
+
+
+def main():
+    failures = []
+
+    for rule, paths, expected in VIOLATING:
+        proc = run_ast(rule, paths)
+        findings = [ln for ln in proc.stdout.splitlines()
+                    if f"[{rule}]" in ln]
+        if proc.returncode != 1:
+            failures.append(f"{rule} on {paths}: expected exit 1, got "
+                            f"{proc.returncode}\n{proc.stdout}{proc.stderr}")
+        elif len(findings) != expected:
+            failures.append(f"{rule} on {paths}: expected {expected} "
+                            f"finding(s), got {len(findings)}:\n"
+                            + "\n".join(findings))
+        else:
+            print(f"ok  (violating) {rule}: {len(findings)} finding(s)")
+
+    for rule, paths in CLEAN:
+        proc = run_ast(rule, paths)
+        if proc.returncode != 0:
+            failures.append(f"{rule or 'all rules'} on {paths}: expected "
+                            f"clean exit 0, got {proc.returncode}\n"
+                            f"{proc.stdout}{proc.stderr}")
+        else:
+            print(f"ok  (clean)     {rule or 'all rules'}: {paths[-1]}")
+
+    # The transitive-nondeterminism message must carry the call chain.
+    proc = run_ast("dpcf-ast-nondeterminism",
+                   ["src/core/bad_entropy_transitive.cc",
+                    "src/support/entropy_helper.cc"])
+    if "StampRun -> NowSeconds -> time()" not in proc.stdout:
+        failures.append("transitive finding must name the call chain, "
+                        f"got:\n{proc.stdout}")
+    else:
+        print("ok  (chain)     nondeterminism message names the chain")
+
+    # --json emits machine-readable findings (the CI annotation step's
+    # input).
+    proc = run_ast("dpcf-ast-unnamed-raii",
+                   ["src/storage/bad_unnamed_raii.cc"], extra=["--json", "-"])
+    try:
+        payload = json.loads(proc.stdout)
+        assert payload["count"] == 2
+        assert all(f["rule"] == "dpcf-ast-unnamed-raii"
+                   for f in payload["findings"])
+        print("ok  (json)      --json payload parses, count matches")
+    except Exception as e:  # noqa: BLE001 - any mismatch is a failure
+        failures.append(f"--json output invalid: {e}\n{proc.stdout}")
+
+    # --fix must name the temporaries and leave the file clean.
+    tmp = tempfile.mkdtemp(prefix="dpcf_ast_fix_")
+    try:
+        rel = "src/storage/bad_unnamed_raii.cc"
+        dst = os.path.join(tmp, rel)
+        os.makedirs(os.path.dirname(dst))
+        shutil.copy(os.path.join(FIXTURES, rel), dst)
+        proc = run_ast("dpcf-ast-unnamed-raii", [rel], extra=["--fix"],
+                       fixture_root=tmp)
+        if proc.returncode != 1:
+            failures.append(f"--fix run: expected exit 1 (findings "
+                            f"reported), got {proc.returncode}\n"
+                            f"{proc.stdout}{proc.stderr}")
+        proc = run_ast("dpcf-ast-unnamed-raii", [rel], fixture_root=tmp)
+        if proc.returncode != 0:
+            failures.append("after --fix the fixture must be clean, got "
+                            f"exit {proc.returncode}:\n{proc.stdout}")
+        else:
+            with open(dst, encoding="utf-8") as fh:
+                fixed = fh.read()
+            if "MutexLock lock{mu}" not in fixed or \
+                    "ScopedSpan span(" not in fixed:
+                failures.append(f"--fix output unexpected:\n{fixed}")
+            else:
+                print("ok  (fix)       --fix names the temporaries; "
+                      "re-run is clean")
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    # The tree-wide walk must skip this fixture directory (and the
+    # deliberately-violating TSA negative-compile cases).
+    proc = subprocess.run(
+        [sys.executable, AST, "--engine", "python",
+         os.path.join(REPO, "tests")],
+        capture_output=True, text=True)
+    if proc.returncode != 0:
+        failures.append("tree-wide analysis of tests/ must skip "
+                        f"ast_selftest fixtures but exited "
+                        f"{proc.returncode}:\n{proc.stdout}{proc.stderr}")
+    else:
+        print("ok  (discovery) tests/ walk skips ast_selftest fixtures")
+
+    # Clang-engine agreement on the rule-1/2 fixtures, when available.
+    failures.extend(run_clang_cases())
+
+    if failures:
+        print("\n".join(["", "FAILURES:"] + failures), file=sys.stderr)
+        return 1
+    print("\nast selftest: all cases passed")
+    return 0
+
+
+def run_clang_cases():
+    require = os.environ.get("DPCF_AST_REQUIRE_CLANG") == "1"
+    try:
+        from clang import cindex  # noqa: F401
+    except ImportError:
+        if require:
+            return ["DPCF_AST_REQUIRE_CLANG=1 but python bindings for "
+                    "libclang are not importable"]
+        print("--  (clang)     libclang not importable; clang-engine "
+              "cases skipped")
+        return []
+
+    failures = []
+    tmp = tempfile.mkdtemp(prefix="dpcf_ast_compdb_")
+    try:
+        entries = []
+        for _, paths, _ in CLANG_CASES:
+            for p in paths:
+                full = os.path.join(FIXTURES, p)
+                entries.append({"directory": FIXTURES,
+                                "file": full,
+                                "command": f"c++ -std=c++20 -c {full}"})
+        compdb = os.path.join(tmp, "compile_commands.json")
+        with open(compdb, "w", encoding="utf-8") as fh:
+            json.dump(entries, fh)
+        for rule, paths, expected in CLANG_CASES:
+            cmd = [sys.executable, AST, "--engine", "clang",
+                   "--compdb", compdb, "--rel-root", FIXTURES,
+                   "--rule", rule]
+            cmd += [os.path.join(FIXTURES, p) for p in paths]
+            proc = subprocess.run(cmd, capture_output=True, text=True)
+            findings = [ln for ln in proc.stdout.splitlines()
+                        if f"[{rule}]" in ln]
+            want_exit = 1 if expected else 0
+            if proc.returncode != want_exit or len(findings) != expected:
+                failures.append(
+                    f"[clang] {rule} on {paths}: expected {expected} "
+                    f"finding(s)/exit {want_exit}, got {len(findings)}/"
+                    f"{proc.returncode}\n{proc.stdout}{proc.stderr}")
+            else:
+                print(f"ok  (clang)     {rule}: {len(findings)} "
+                      "finding(s)")
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return failures
+
+
+if __name__ == "__main__":
+    sys.exit(main())

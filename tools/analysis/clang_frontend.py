@@ -1,0 +1,182 @@
+"""libclang engine for dpcf_ast.py (rules 1-2).
+
+When python bindings for libclang are importable and a
+compile_commands.json is available, the discarded-status and unnamed-raii
+rules run on real clang ASTs: return types come from the semantic
+analyzer (so overload sets, templates and `auto` are exact, not
+name-indexed), and "discarded" means the call is a full-expression
+statement in a compound statement, exactly as the standard defines it.
+
+The engine is deliberately defensive: any failure to import, load the
+shared library, or parse a TU raises, and dpcf_ast.py (in --engine auto)
+falls back to the token-tree engine for these rules. It is never the only
+implementation — the fixtures in tests/ast_selftest pass on both engines,
+and CI sets DPCF_AST_REQUIRE_CLANG=1 so a regression here fails loudly
+instead of silently degrading.
+"""
+
+import json
+import os
+import shlex
+
+
+class EngineUnavailable(RuntimeError):
+    pass
+
+
+# Canonical-type spellings counted as "must not be discarded".
+_STATUS_SPELLINGS = ("dpcf::Status", "Status")
+_RESULT_PREFIXES = ("dpcf::Result<", "Result<")
+
+_RAII_TYPE_NAMES = {"MutexLock", "ScopedSpan", "QueryIdScope",
+                    "WorkerRegion", "PageGuard", "lock_guard",
+                    "unique_lock", "scoped_lock", "shared_lock"}
+
+_RAII_FIX_NAMES = {"MutexLock": "lock", "ScopedSpan": "span",
+                   "QueryIdScope": "qid_scope",
+                   "WorkerRegion": "worker_region", "PageGuard": "guard",
+                   "lock_guard": "lock", "unique_lock": "lock",
+                   "scoped_lock": "lock", "shared_lock": "lock"}
+
+
+class ClangEngine:
+    def __init__(self, compdb_path):
+        try:
+            from clang import cindex
+        except ImportError as e:
+            raise EngineUnavailable(f"clang.cindex not importable: {e}")
+        self.cindex = cindex
+        try:
+            self.index = cindex.Index.create()
+        except Exception as e:  # LibclangError: .so missing/mismatched
+            raise EngineUnavailable(f"libclang shared library: {e}")
+        if compdb_path is None:
+            raise EngineUnavailable(
+                "no compile_commands.json found (configure a build dir "
+                "first, or pass --compdb)")
+        with open(compdb_path, encoding="utf-8") as fh:
+            self.compdb = json.load(fh)
+
+    # ------------------------------------------------------------------
+
+    def analyze(self, sources, rule_ids, rel_of):
+        """Returns finding tuples (rel, line, rule, message, fix) for the
+        requested rules over every source that appears in (or is included
+        by) a compile_commands.json entry."""
+        wanted = {os.path.abspath(s.path) for s in sources}
+        findings = []
+        seen_tu_files = set()
+        for entry in self.compdb:
+            path = os.path.abspath(
+                os.path.join(entry.get("directory", "."), entry["file"]))
+            if not path.endswith(".cc"):
+                continue
+            args = self._entry_args(entry)
+            tu = self.index.parse(path, args=args)
+            fatal = [d for d in tu.diagnostics if d.severity >= 4]
+            if fatal:
+                raise EngineUnavailable(
+                    f"clang failed to parse {path}: {fatal[0].spelling}")
+            self._walk(tu.cursor, wanted, rule_ids, rel_of, findings,
+                       seen_tu_files)
+        # Dedup: a header included from many TUs reports once.
+        uniq = {}
+        for f in findings:
+            uniq.setdefault((f[0], f[1], f[2]), f)
+        return sorted(uniq.values())
+
+    def _entry_args(self, entry):
+        if "arguments" in entry:
+            args = list(entry["arguments"])[1:]
+        else:
+            args = shlex.split(entry.get("command", ""))[1:]
+        # Drop the -o/-c and the input file; keep includes/defines/std.
+        out, skip = [], False
+        for a in args:
+            if skip:
+                skip = False
+                continue
+            if a in ("-o", "-c"):
+                skip = a == "-o"
+                continue
+            if a.endswith((".cc", ".o")):
+                continue
+            out.append(a)
+        return out
+
+    # ------------------------------------------------------------------
+
+    def _walk(self, cursor, wanted, rule_ids, rel_of, findings, _seen):
+        ck = self.cindex.CursorKind
+        for node in cursor.walk_preorder():
+            loc = node.location
+            if loc.file is None or \
+                    os.path.abspath(loc.file.name) not in wanted:
+                continue
+            if node.kind != ck.COMPOUND_STMT:
+                continue
+            for child in node.get_children():
+                stmt = self._unwrap(child)
+                if stmt is None:
+                    continue
+                if "dpcf-ast-discarded-status" in rule_ids:
+                    f = self._check_discarded(stmt, rel_of)
+                    if f:
+                        findings.append(f)
+                if "dpcf-ast-unnamed-raii" in rule_ids:
+                    f = self._check_unnamed_raii(stmt, rel_of)
+                    if f:
+                        findings.append(f)
+
+    def _unwrap(self, node):
+        """Peels EXPR_WITH_CLEANUPS / UNEXPOSED_EXPR wrappers clang puts
+        around full-expression statements."""
+        ck = self.cindex.CursorKind
+        while node is not None and node.kind in (ck.UNEXPOSED_EXPR,
+                                                 ck.EXPR_WITH_CLEANUPS
+                                                 if hasattr(
+                                                     ck,
+                                                     "EXPR_WITH_CLEANUPS")
+                                                 else ck.UNEXPOSED_EXPR):
+            children = list(node.get_children())
+            if len(children) != 1:
+                return node
+            node = children[0]
+        return node
+
+    def _check_discarded(self, stmt, rel_of):
+        ck = self.cindex.CursorKind
+        if stmt.kind != ck.CALL_EXPR:
+            return None
+        ty = stmt.type.get_canonical().spelling
+        is_status = ty in _STATUS_SPELLINGS or \
+            any(ty.startswith(p) for p in _RESULT_PREFIXES)
+        if not is_status:
+            return None
+        name = stmt.spelling or "<call>"
+        loc = stmt.location
+        return (rel_of(loc.file.name), loc.line,
+                "dpcf-ast-discarded-status",
+                f"result of '{name}' (returns {ty}) is silently "
+                "discarded; check it, or (void)-cast with a comment "
+                "saying why failure is impossible here [clang]", None)
+
+    def _check_unnamed_raii(self, stmt, rel_of):
+        ck = self.cindex.CursorKind
+        temp_kinds = [ck.CXX_FUNCTIONAL_CAST_EXPR]
+        if hasattr(ck, "CXX_TEMPORARY_OBJECT_EXPR"):
+            temp_kinds.append(ck.CXX_TEMPORARY_OBJECT_EXPR)
+        if stmt.kind not in temp_kinds and stmt.kind != ck.CALL_EXPR:
+            return None
+        ty = stmt.type.spelling
+        base = ty.split("<")[0].split("::")[-1].strip()
+        if base not in _RAII_TYPE_NAMES:
+            return None
+        # A named declaration's initializer is not a statement-child of
+        # the compound statement, so reaching here means it is unnamed.
+        loc = stmt.location
+        name = _RAII_FIX_NAMES.get(base, "guard")
+        return (rel_of(loc.file.name), loc.line, "dpcf-ast-unnamed-raii",
+                f"'{base}' temporary is destroyed at the semicolon — the "
+                f"guard covers nothing; name it (e.g. `{base} "
+                f"{name}(...)`) [clang]", None)

@@ -1,0 +1,643 @@
+"""Token-tree C++ frontend for the DPCF AST analyzer (dpcf_ast.py).
+
+This is the analyzer's built-in semantic model, used for every rule when
+libclang is unavailable and for the attribute/call-graph rules even when it
+is (libclang does not expose the *arguments* of thread-safety attributes
+such as GUARDED_BY, so those are parsed from tokens in both engines).
+
+It is deliberately not a full C++ parser. It tokenizes, tracks
+namespace/class/function scopes by brace matching, and builds a
+whole-program model with exactly the facts the rules need:
+
+  * every function definition with its body token range, qualifier chain,
+    REQUIRES(...) clauses and NO_THREAD_SAFETY_ANALYSIS marker;
+  * a repo-wide return-type index (function name -> set of declared return
+    types), with `using`/`typedef` aliases resolved, so a call statement
+    can be checked against the *resolved* type rather than a same-line
+    regex;
+  * every GUARDED_BY field with its owning class chain and mutex
+    expression;
+  * a name-level call graph (callee name -> call sites per function).
+
+The idiom constraints of this codebase (Google style, no function-try
+blocks, no K&R declarations) are assumed; on code it cannot follow the
+model errs toward *not* reporting, and the fixture suite in
+tests/ast_selftest pins the behaviors the rules rely on.
+"""
+
+import os
+import re
+
+# C++ keywords that can precede a '(' without being a call/function name.
+NON_CALL_KEYWORDS = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof",
+    "alignas", "decltype", "new", "delete", "throw", "case", "do", "else",
+    "static_assert", "noexcept", "co_await", "co_return", "co_yield",
+    "assert", "defined", "typeid",
+}
+
+# Declaration specifiers stripped when reconstructing a return type.
+DECL_SPECIFIERS = {
+    "virtual", "static", "inline", "constexpr", "consteval", "constinit",
+    "explicit", "friend", "extern", "mutable", "typename",
+}
+
+# Trailing tokens allowed between a parameter list's ')' and the body '{'
+# (besides annotation macros, which are ALL_CAPS idents with optional
+# parens).
+SIGNATURE_TRAILERS = {"const", "noexcept", "override", "final", "mutable",
+                      "volatile", "&", "&&", "->", "try"}
+
+_TWO_CHAR_PUNCT = {
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "##",
+}
+_THREE_CHAR_PUNCT = {"<=>", "->*", "...", "<<=", ">>="}
+
+_IDENT_START = re.compile(r"[A-Za-z_]")
+_IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_ALL_CAPS = re.compile(r"^[A-Z][A-Z0-9_]*$")
+
+
+class Token:
+    __slots__ = ("kind", "text", "line", "col")
+
+    def __init__(self, kind, text, line, col):
+        self.kind = kind  # ident | number | string | char | punct
+        self.text = text
+        self.line = line  # 1-based
+        self.col = col    # 0-based offset in the raw line
+
+    def __repr__(self):
+        return f"Token({self.kind},{self.text!r},{self.line})"
+
+
+def tokenize(text):
+    """Lexes `text` into Tokens, dropping comments and preprocessor lines
+    (except that #include targets never matter to the rules). String and
+    char literals become single tokens so their contents cannot confuse
+    statement parsing."""
+    tokens = []
+    i, n = 0, len(text)
+    line, col = 1, 0
+
+    def advance(k):
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and text[i] == "\n":
+                line += 1
+                col = 0
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c in " \t\r\n":
+            advance(1)
+            continue
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                advance(1)
+            continue
+        if c == "/" and nxt == "*":
+            advance(2)
+            while i < n and not (text[i] == "*" and i + 1 < n
+                                 and text[i + 1] == "/"):
+                advance(1)
+            advance(2)
+            continue
+        if c == "#" and (col == 0 or text[:i].rstrip(" \t").endswith("\n")):
+            # Preprocessor directive: skip to end of line, honoring
+            # backslash continuations.
+            while i < n:
+                if text[i] == "\\" and i + 1 < n and text[i + 1] == "\n":
+                    advance(2)
+                    continue
+                if text[i] == "\n":
+                    break
+                advance(1)
+            continue
+        if c in "\"'":
+            quote = c
+            start_line, start_col = line, col
+            j = i + 1
+            buf = [c]
+            while j < n:
+                if text[j] == "\\" and j + 1 < n:
+                    buf.append(text[j:j + 2])
+                    j += 2
+                    continue
+                buf.append(text[j])
+                if text[j] == quote or text[j] == "\n":
+                    j += 1
+                    break
+                j += 1
+            tok_text = "".join(buf)
+            tokens.append(Token("string" if quote == '"' else "char",
+                                tok_text, start_line, start_col))
+            advance(j - i)
+            continue
+        if _IDENT_START.match(c):
+            m = _IDENT.match(text, i)
+            word = m.group(0)
+            tokens.append(Token("ident", word, line, col))
+            advance(len(word))
+            continue
+        if c.isdigit() or (c == "." and nxt.isdigit()):
+            j = i
+            while j < n and (text[j].isalnum() or text[j] in "._'+-"):
+                # '+'/'-' only directly after an exponent marker.
+                if text[j] in "+-" and text[j - 1] not in "eEpP":
+                    break
+                j += 1
+            tokens.append(Token("number", text[i:j], line, col))
+            advance(j - i)
+            continue
+        three = text[i:i + 3]
+        if three in _THREE_CHAR_PUNCT:
+            tokens.append(Token("punct", three, line, col))
+            advance(3)
+            continue
+        two = text[i:i + 2]
+        if two in _TWO_CHAR_PUNCT:
+            tokens.append(Token("punct", two, line, col))
+            advance(2)
+            continue
+        tokens.append(Token("punct", c, line, col))
+        advance(1)
+    return tokens
+
+
+class SourceFile:
+    def __init__(self, path, rel, text):
+        self.path = path
+        self.rel = rel.replace("\\", "/")
+        self.text = text
+        self.raw_lines = text.splitlines()
+        self.tokens = tokenize(text)
+
+
+class FunctionDef:
+    """One function definition (a body was seen)."""
+
+    __slots__ = ("name", "qualifier", "lexical_classes", "file", "line",
+                 "sig_start", "body_start", "body_end", "requires",
+                 "no_tsa", "calls")
+
+    def __init__(self, name, qualifier, lexical_classes, file, line,
+                 sig_start, body_start, body_end, requires, no_tsa):
+        self.name = name
+        # Explicit qualifier chain at the definition ("BufferPool" in
+        # `BufferPool::Fetch`), innermost last. Empty for free functions
+        # and inline methods.
+        self.qualifier = qualifier
+        # Class scopes the definition is lexically nested in (for inline
+        # methods), innermost last.
+        self.lexical_classes = lexical_classes
+        self.file = file
+        self.line = line
+        self.sig_start = sig_start    # token index of the name
+        self.body_start = body_start  # token index of '{'
+        self.body_end = body_end      # token index of matching '}'
+        self.requires = requires      # raw REQUIRES(...) expr strings
+        self.no_tsa = no_tsa
+        self.calls = []               # (callee_name, token_index, receiver)
+
+    @property
+    def owner_chain(self):
+        """Class chain owning this method, best effort: the explicit
+        qualifier if present, else the lexical class nesting."""
+        return self.qualifier or self.lexical_classes
+
+    @property
+    def display_name(self):
+        return "::".join(list(self.owner_chain) + [self.name])
+
+    def body_tokens(self, tokens):
+        return tokens[self.body_start + 1:self.body_end]
+
+
+class GuardedField:
+    __slots__ = ("cls_chain", "name", "guard_expr", "file", "line")
+
+    def __init__(self, cls_chain, name, guard_expr, file, line):
+        self.cls_chain = cls_chain  # ("BufferPool", "Shard")
+        self.name = name
+        self.guard_expr = guard_expr  # "mu", "disk->mu_", ...
+        self.file = file
+        self.line = line
+
+    @property
+    def guard_last(self):
+        """Last identifier of the mutex expression — what a MutexLock
+        statement's argument is matched against."""
+        parts = re.findall(r"[A-Za-z_][A-Za-z0-9_]*", self.guard_expr)
+        return parts[-1] if parts else self.guard_expr
+
+
+def match_brackets(tokens):
+    """Returns {open_index: close_index} for (), {} and [] pairs."""
+    match = {}
+    stack = []
+    pairs = {"(": ")", "{": "}", "[": "]"}
+    closers = {")": "(", "}": "{", "]": "["}
+    for idx, tok in enumerate(tokens):
+        if tok.kind != "punct":
+            continue
+        if tok.text in pairs:
+            stack.append((tok.text, idx))
+        elif tok.text in closers:
+            # Pop until the matching opener kind (tolerates unbalanced
+            # input from macro tricks rather than crashing).
+            while stack:
+                kind, open_idx = stack.pop()
+                if kind == closers[tok.text]:
+                    match[open_idx] = idx
+                    break
+    return match
+
+
+class Model:
+    """Whole-program facts over a set of SourceFiles."""
+
+    def __init__(self, sources):
+        self.sources = sources
+        self.functions = []          # FunctionDef, every file
+        self.aliases = {}            # alias name -> underlying type string
+        self.return_types = {}       # function name -> set of type strings
+        self.guarded_fields = []     # GuardedField
+        self.defined_names = {}      # name -> [FunctionDef]
+        # Annotations live on *declarations* (headers); out-of-line
+        # definitions do not repeat them, so rules consult these by name.
+        self.declared_requires = {}  # name -> [REQUIRES expr strings]
+        self.declared_no_tsa = set()
+        for src in sources:
+            try:
+                self._scan_file(src)
+            except Exception as e:  # keep going; one odd file must not
+                import sys          # take down the whole run
+                print(f"dpcf_ast: warning: model error in {src.rel}: {e}",
+                      file=sys.stderr)
+        for fn in self.functions:
+            self.defined_names.setdefault(fn.name, []).append(fn)
+            self._collect_calls(fn)
+
+    # ---- harvesting -----------------------------------------------------
+
+    def _scan_file(self, src):
+        toks = src.tokens
+        brackets = match_brackets(toks)
+        # Scope stack entries: (kind, name, close_index) where kind is
+        # 'namespace' | 'class' | 'other'.
+        scopes = []
+        i = 0
+        n = len(toks)
+        while i < n:
+            tok = toks[i]
+            while scopes and i >= scopes[-1][2]:
+                scopes.pop()
+            if tok.kind != "ident":
+                i += 1
+                continue
+
+            if tok.text in ("using", "typedef"):
+                i = self._harvest_alias(src, toks, i)
+                continue
+
+            if tok.text in ("GUARDED_BY", "PT_GUARDED_BY"):
+                i = self._harvest_guarded_at(src, toks, brackets, i, scopes)
+                continue
+
+            if tok.text in ("class", "struct") and i + 1 < n:
+                j = i + 1
+                # skip attributes / export macros between keyword and name
+                while j < n and toks[j].kind == "ident" and \
+                        _ALL_CAPS.match(toks[j].text):
+                    # CAPABILITY("mutex") style macro with optional parens
+                    if j + 1 < n and toks[j + 1].text == "(":
+                        j = brackets.get(j + 1, j + 1) + 1
+                    else:
+                        j += 1
+                if j < n and toks[j].kind == "ident":
+                    name = toks[j].text
+                    k = j + 1
+                    # scan to '{' (definition) or ';' (fwd decl) at depth 0
+                    while k < n and toks[k].text not in ("{", ";"):
+                        if toks[k].text in ("(", "[", "<"):
+                            pass  # base lists with templates stay linear
+                        k += 1
+                    if k < n and toks[k].text == "{":
+                        close = brackets.get(k, n)
+                        scopes.append(("class", name, close))
+                        i = k + 1
+                        continue
+                i = j
+                continue
+
+            if tok.text == "namespace":
+                j = i + 1
+                name = ""
+                if j < n and toks[j].kind == "ident":
+                    name = toks[j].text
+                    j += 1
+                if j < n and toks[j].text == "{":
+                    scopes.append(("namespace", name, brackets.get(j, n)))
+                    i = j + 1
+                    continue
+                i = j
+                continue
+
+            fn = self._try_function_def(src, toks, brackets, i, scopes)
+            if fn is not None:
+                self.functions.append(fn)
+                i = fn.body_start + 1  # descend into the body (lambdas,
+                continue               # local classes are re-scanned)
+            i += 1
+
+    def _harvest_alias(self, src, toks, i):
+        """`using X = type;` / `typedef type X;`"""
+        n = len(toks)
+        j = i + 1
+        if toks[i].text == "using":
+            if j + 1 < n and toks[j].kind == "ident" and \
+                    toks[j + 1].text == "=":
+                name = toks[j].text
+                k = j + 2
+                ty = []
+                while k < n and toks[k].text != ";":
+                    ty.append(toks[k].text)
+                    k += 1
+                self.aliases[name] = " ".join(ty)
+                return k
+            return j
+        # typedef: the alias is the last identifier before ';'
+        k = j
+        parts = []
+        while k < n and toks[k].text != ";":
+            parts.append(toks[k])
+            k += 1
+        idents = [t for t in parts if t.kind == "ident"]
+        if len(idents) >= 2:
+            alias = idents[-1].text
+            ty = " ".join(t.text for t in parts
+                          if t is not idents[-1])
+            self.aliases[alias] = ty
+        return k
+
+    def _harvest_guarded_at(self, src, toks, brackets, i, scopes):
+        """One GUARDED_BY / PT_GUARDED_BY annotation at token i, with the
+        *current* scope stack (so nested classes get their full chain).
+        Returns the index to resume scanning at."""
+        n = len(toks)
+        if i + 1 >= n or toks[i + 1].text != "(":
+            return i + 1
+        close = brackets.get(i + 1)
+        if close is None:
+            return i + 1
+        cls_chain = tuple(name for kind, name, _ in scopes
+                          if kind == "class")
+        expr = "".join(t.text for t in toks[i + 2:close])
+        # Field name: nearest identifier to the left, skipping a
+        # brace/paren initializer.
+        j = i - 1
+        if j >= 0 and toks[j].text in ("}", ")"):
+            opener = {"}": "{", ")": "("}[toks[j].text]
+            closer = toks[j].text
+            d = 1
+            while j > 0 and d:
+                j -= 1
+                if toks[j].text == closer:
+                    d += 1
+                elif toks[j].text == opener:
+                    d -= 1
+            j -= 1
+        while j > 0 and toks[j].kind != "ident":
+            j -= 1
+        if j >= 0 and toks[j].kind == "ident" and cls_chain:
+            self.guarded_fields.append(GuardedField(
+                cls_chain, toks[j].text, expr, src, toks[j].line))
+        return close + 1
+
+    def _try_function_def(self, src, toks, brackets, i, scopes):
+        """Tries to parse a function definition whose *name* starts at or
+        after token i; returns a FunctionDef or None. Only called with i
+        at an identifier."""
+        n = len(toks)
+        tok = toks[i]
+        if tok.text in NON_CALL_KEYWORDS or tok.text in DECL_SPECIFIERS:
+            return None
+        # The candidate name is an identifier directly followed by '('.
+        # Walk the qualifier chain backwards later; first find `name (`.
+        if i + 1 >= n or toks[i + 1].text != "(":
+            return None
+        name = tok.text
+        close_paren = brackets.get(i + 1)
+        if close_paren is None:
+            return None
+        # Destructor / operator are skipped (no rule needs them).
+        prev = toks[i - 1] if i > 0 else None
+        if prev is not None and prev.text in ("~", "operator"):
+            return None
+        # Reject calls: a call site is preceded by an operator or appears
+        # inside another function body — distinguished by requiring a
+        # *return type or ctor position*: the token before the qualifier
+        # chain must not be one of . -> ( , = return etc.
+        q = i - 1
+        qualifier = []
+        while q >= 1 and toks[q].text == "::" and toks[q - 1].kind == "ident":
+            qualifier.insert(0, toks[q - 1].text)
+            q -= 2
+        before = toks[q] if q >= 0 else None
+        if before is not None:
+            if before.kind == "punct" and before.text not in \
+                    ("}", ";", "{", ">", "&", "*", "]"):
+                return None
+            if before.kind == "ident" and before.text in NON_CALL_KEYWORDS:
+                return None
+        # Scan the signature trailer for '{' (definition), ';'
+        # (declaration) or anything else (not a function).
+        j = close_paren + 1
+        requires = []
+        no_tsa = False
+        saw_arrow = False
+        while j < n:
+            t = toks[j]
+            if t.text == "{":
+                if saw_arrow or not self._is_decl_context(toks, q):
+                    pass
+                break
+            if t.text == ";":
+                # Declaration: harvest the return type and the
+                # thread-safety annotations, then stop.
+                self._harvest_return_type(toks, q, i, name)
+                if requires:
+                    self.declared_requires.setdefault(
+                        name, []).extend(requires)
+                if no_tsa:
+                    self.declared_no_tsa.add(name)
+                return None
+            if t.text == ":" and toks[j - 1].text != ":":
+                # ctor initializer list: scan to the body '{'.
+                j = self._skip_ctor_initializers(toks, brackets, j + 1)
+                continue
+            if t.text == "->":
+                saw_arrow = True
+                j += 1
+                continue
+            if t.kind == "ident":
+                if t.text == "NO_THREAD_SAFETY_ANALYSIS":
+                    no_tsa = True
+                    j += 1
+                    continue
+                if _ALL_CAPS.match(t.text) or t.text in SIGNATURE_TRAILERS:
+                    if j + 1 < n and toks[j + 1].text == "(":
+                        inner_close = brackets.get(j + 1, j + 1)
+                        if t.text in ("REQUIRES", "REQUIRES_SHARED"):
+                            requires.append("".join(
+                                x.text for x in toks[j + 2:inner_close]))
+                        j = inner_close + 1
+                        continue
+                    j += 1
+                    continue
+                if t.text in SIGNATURE_TRAILERS or saw_arrow:
+                    j += 1
+                    continue
+                return None
+            if t.kind == "punct" and (t.text in SIGNATURE_TRAILERS or
+                                      saw_arrow or t.text in ("=",)):
+                if t.text == "=":
+                    # `= default` / `= delete` / `= 0`: declaration-like.
+                    self._harvest_return_type(toks, q, i, name)
+                    return None
+                j += 1
+                continue
+            return None
+        if j >= n or toks[j].text != "{":
+            return None
+        body_end = brackets.get(j)
+        if body_end is None:
+            return None
+        self._harvest_return_type(toks, q, i, name)
+        lexical = tuple(nm for kind, nm, _ in scopes if kind == "class")
+        return FunctionDef(name, tuple(qualifier), lexical, src,
+                           tok.line, i, j, body_end, requires, no_tsa)
+
+    @staticmethod
+    def _is_decl_context(toks, q):
+        return True  # placeholder for future tightening
+
+    @staticmethod
+    def _skip_ctor_initializers(toks, brackets, j):
+        """From just after the ':' of a ctor-initializer list, returns the
+        index of the body '{'. A '{' directly following an identifier or
+        '>' is a brace-initializer; any other '{' opens the body."""
+        n = len(toks)
+        while j < n:
+            t = toks[j]
+            if t.text == "(" or t.text == "[":
+                j = brackets.get(j, j) + 1
+                continue
+            if t.text == "{":
+                prev = toks[j - 1]
+                if prev.kind == "ident" or prev.text == ">":
+                    j = brackets.get(j, j) + 1
+                    continue
+                return j
+            j += 1
+        return n - 1
+
+    def _harvest_return_type(self, toks, q, name_idx, name):
+        """Reconstructs the declared return type from the tokens between
+        the statement start and the function name; records it in the
+        return-type index."""
+        # Walk back from q to the previous statement/scope boundary.
+        start = q
+        while start >= 0 and toks[start].text not in ("{", "}", ";"):
+            # public: / private: labels end with ':' but a lone ':' also
+            # appears in ternaries; class bodies only have the former.
+            if toks[start].text == ":" and toks[start - 1].kind == "ident" \
+                    and toks[start - 1].text in ("public", "private",
+                                                 "protected"):
+                break
+            start -= 1
+        parts = []
+        angle = 0
+        for t in toks[start + 1:q + 1]:
+            if t.kind == "ident" and t.text in DECL_SPECIFIERS and angle == 0:
+                continue
+            if t.text == "[" or t.text == "]":
+                continue  # [[nodiscard]] etc.
+            if t.text == "<":
+                angle += 1
+            elif t.text == ">":
+                angle = max(0, angle - 1)
+            parts.append(t.text)
+        ty = " ".join(parts).strip()
+        if not ty:
+            return  # constructor (no return type) — nothing to record
+        self.return_types.setdefault(name, set()).add(ty)
+
+    # ---- calls ----------------------------------------------------------
+
+    def _collect_calls(self, fn):
+        toks = fn.file.tokens
+        body = range(fn.body_start + 1, fn.body_end)
+        for idx in body:
+            t = toks[idx]
+            if t.kind != "ident" or t.text in NON_CALL_KEYWORDS:
+                continue
+            if idx + 1 >= fn.body_end or toks[idx + 1].text != "(":
+                continue
+            prev = toks[idx - 1]
+            if prev.text in ("class", "struct", "new"):
+                continue
+            # Receiver chain text, e.g. "std::chrono::steady_clock::" or
+            # "obj->" — walked backwards over ident/::/./-> runs.
+            j = idx - 1
+            chain = []
+            while j > fn.body_start:
+                if toks[j].text in ("::", ".", "->"):
+                    chain.insert(0, toks[j].text)
+                    j -= 1
+                elif toks[j].kind == "ident" and chain and \
+                        chain[0] in ("::", ".", "->"):
+                    chain.insert(0, toks[j].text)
+                    j -= 1
+                else:
+                    break
+            fn.calls.append((t.text, idx, "".join(chain)))
+
+    # ---- type resolution -------------------------------------------------
+
+    def resolve_type(self, ty, _depth=0):
+        """Resolves leading alias names: `StatusOr` declared as
+        `using StatusOr = Result<PageGuard>;` resolves to the Result
+        spelling. Bounded to avoid alias cycles."""
+        if _depth > 8:
+            return ty
+        head = ty.split(" ", 1)[0].split("<", 1)[0]
+        if head in self.aliases:
+            resolved = self.aliases[head]
+            rest = ty[len(head):]
+            return self.resolve_type((resolved + rest).strip(), _depth + 1)
+        return ty
+
+    def status_like_names(self, ignored=()):
+        """Function names whose *every* harvested declaration returns
+        Status or Result<T> (after alias resolution). Names that collide
+        with a void/other-returning declaration anywhere in the tree are
+        excluded — that is the resolved-type improvement over the line
+        regex, which can only suppress such collisions by hand."""
+        out = set()
+        for name, types in self.return_types.items():
+            if name in ignored:
+                continue
+            resolved = {self.resolve_type(t) for t in types}
+            if resolved and all(
+                    t == "Status" or t.startswith("Status ") or
+                    t.startswith("Result <") or t == "Result"
+                    for t in resolved):
+                out.add(name)
+        return out

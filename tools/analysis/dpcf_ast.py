@@ -1,0 +1,925 @@
+#!/usr/bin/env python3
+"""dpcf-ast: semantic (AST-level) analysis for the DPCF tree.
+
+Where tools/lint/dpcf_lint.py matches single lines, this analyzer builds a
+whole-program model — resolved return types, the call graph, thread-safety
+attribute arguments, lock scopes — and checks the properties that need it
+(DESIGN.md section 13 has the catalog and the regex-vs-AST division of
+labor):
+
+  dpcf-ast-discarded-status   a call whose *resolved* return type is
+                              Status/Result<T> (through typedefs and
+                              member chains, across lines) discarded as a
+                              bare statement
+  dpcf-ast-unnamed-raii       MutexLock / ScopedSpan / QueryIdScope / ...
+                              constructed as an unnamed temporary, which
+                              destructs at the semicolon (--fix names it)
+  dpcf-ast-nondeterminism     src/core + src/exec functions *reaching*
+                              ambient entropy (rand, time, random_device,
+                              *_clock::now) through the call graph, not
+                              just mentioning it on a line; seeded-RNG
+                              plumbing and reporting sinks are allowlisted
+  dpcf-ast-guard-consistency  a GUARDED_BY(mu) field accessed under a
+                              MutexLock on mu in one place and with no
+                              lock on another path (the gcc-build shadow
+                              of clang's thread-safety analysis)
+  dpcf-ast-charge-conservation a function reading a heap-page image
+                              (PageRowCount / RowInPage / PageRows /
+                              FetchRow) with a return path that charges
+                              neither IoStats nor CpuStats, directly or
+                              through any callee
+
+Engines: with python bindings for libclang available (CI installs them),
+rules 1-2 run on real clang ASTs driven by compile_commands.json; the
+remaining rules always run on the built-in token-tree model in
+cpp_model.py, because libclang does not expose the *arguments* of
+thread-safety attributes (GUARDED_BY(mu_) et al.) except as raw tokens.
+Without libclang every rule runs on the token-tree model, so the analyzer
+works — and its selftest passes — on a bare python3.
+
+Usage:
+  tools/analysis/dpcf_ast.py [options] PATH...
+    --list-rules          print the rule catalog and exit
+    --rule ID             run only this rule (repeatable)
+    --engine {auto,clang,python}   AST engine (default auto)
+    --compdb FILE         compile_commands.json (default: build*/...)
+    --rel-root DIR        report paths relative to DIR (fixture trees)
+    --json FILE           also write findings as JSON ('-' = stdout only)
+    --fix                 apply fixes (names unnamed RAII temporaries)
+
+Exit status: 0 clean, 1 findings, 2 usage error, 3 requested engine
+unavailable.
+
+Suppression: `// NOLINT(dpcf-ast-<rule>)` on the flagged line or
+`// NOLINTNEXTLINE(dpcf-ast-<rule>)` above it, same as the repo lint; a
+bare NOLINT suppresses everything. Each suppression is a reviewed
+exception and should say why.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, _HERE)
+
+import cpp_model  # noqa: E402
+from cpp_model import (  # noqa: E402
+    Model, SourceFile, match_brackets, NON_CALL_KEYWORDS)
+
+SOURCE_EXTENSIONS = (".h", ".cc")
+# lint_selftest / ast_selftest hold deliberately-violating fixtures that
+# their selftests analyze explicitly; negative_compile holds the clang-TSA
+# must-not-compile cases, which violate the guard rules by construction.
+SKIP_DIR_PATTERNS = re.compile(
+    r"^(build.*|\.git|\.cache|__pycache__|lint_selftest|ast_selftest"
+    r"|negative_compile)$")
+
+NOLINT_RE = re.compile(r"//\s*NOLINT(?:NEXTLINE)?(?:\(([^)]*)\))?")
+NOLINTNEXTLINE_RE = re.compile(r"//\s*NOLINTNEXTLINE(?:\(([^)]*)\))?")
+
+# ---------------------------------------------------------------------------
+# Shared vocabulary
+
+# RAII types whose unnamed-temporary form is always a bug: the object's
+# entire point is its scope, and `MutexLock(&mu);` unlocks at the `;`.
+RAII_TYPES = {
+    "MutexLock": "lock",
+    "ScopedSpan": "span",
+    "QueryIdScope": "qid_scope",
+    "WorkerRegion": "worker_region",
+    "PageGuard": "guard",
+    "lock_guard": "lock",
+    "unique_lock": "lock",
+    "scoped_lock": "lock",
+    "shared_lock": "lock",
+}
+
+# Functions whose Status return is legitimately ignorable.
+STATUS_IGNORED_NAMES = {"main"}
+
+# Rule 3: the entropy sources, and where the call-graph walk stops.
+CLOCK_NAMES = {"steady_clock", "system_clock", "high_resolution_clock"}
+# (file-prefix, why) — functions defined under these prefixes are treated
+# as sinks, not conduits: they may read clocks for *reporting* but feed
+# nothing back into feedback state. The list is part of the rule's
+# contract; DESIGN.md section 13 documents each entry.
+NONDET_BARRIERS = [
+    ("src/common/random", "the seeded-RNG plumbing itself"),
+    ("src/obs/", "observability sinks: spans/metrics timing, never state"),
+    ("src/storage/buffer_pool", "miss-read latency histogram timing only"),
+]
+
+# Rule 5: page-image readers and the charge-token vocabulary.
+PAGE_READERS = {"PageRowCount", "RowInPage", "PageRows", "FetchRow"}
+CHARGE_TOKENS = {
+    # IoStats (storage/io_stats.h)
+    "physical_seq_reads", "physical_rand_reads", "physical_writes",
+    "prefetch_reads", "prefetch_hits", "logical_reads", "buffer_hits",
+    "raw_page_reads",
+    # CpuStats
+    "rows_processed", "predicate_atom_evals", "monitor_hash_ops",
+    "monitor_row_ops", "hash_table_ops",
+}
+# Files that *define* the page accessors / charge primitives: exempt from
+# rule 5 (the reader itself cannot charge on behalf of its caller).
+CHARGE_EXEMPT_PREFIXES = ("src/table/heap_file", "src/table/row_codec",
+                         "src/storage/io_stats")
+
+
+class Finding:
+    __slots__ = ("rel", "line", "rule", "message", "fix")
+
+    def __init__(self, rel, line, rule, message, fix=None):
+        self.rel = rel
+        self.line = line
+        self.rule = rule
+        self.message = message
+        self.fix = fix  # (path, line, col, insert_text) or None
+
+    def sort_key(self):
+        return (self.rel, self.line, self.rule, self.message)
+
+
+# ---------------------------------------------------------------------------
+# Statement iteration helpers (shared by rules 1 and 2)
+
+def body_statements(src, fn, brackets):
+    """Yields (start, end) absolute token-index ranges for the expression
+    statements in fn's body, at every block depth. `end` is exclusive and
+    does not include the ';'. Control-flow headers and block braces act as
+    boundaries; a '{' directly after an identifier or '>' is treated as a
+    braced initializer and stays inside its statement."""
+    toks = src.tokens
+    i = fn.body_start + 1
+    end = fn.body_end
+    start = i
+    while i < end:
+        t = toks[i]
+        if t.text in ("(", "["):
+            i = brackets.get(i, i) + 1
+            continue
+        if t.text == "{":
+            prev = toks[i - 1]
+            if prev.kind == "ident" and prev.text not in NON_CALL_KEYWORDS \
+                    or prev.text == ">":
+                i = brackets.get(i, i) + 1  # braced init: part of the stmt
+                continue
+            start = i + 1  # block open: boundary
+            i += 1
+            continue
+        if t.text == "}":
+            start = i + 1
+            i += 1
+            continue
+        if t.text == ";":
+            if i > start:
+                yield (start, i)
+            start = i + 1
+            i += 1
+            continue
+        if t.text == ":" and i > start and toks[i - 1].kind == "ident" \
+                and toks[i - 1].text in ("public", "private", "protected",
+                                         "default", "else"):
+            start = i + 1  # labels inside local classes / switch
+            i += 1
+            continue
+        i += 1
+
+
+# ---------------------------------------------------------------------------
+# Rule 1: dpcf-ast-discarded-status
+
+class DiscardedStatusRule:
+    RULE_ID = "dpcf-ast-discarded-status"
+    DESCRIPTION = ("call with resolved return type Status/Result<T> "
+                   "discarded as a bare statement")
+
+    def __init__(self, model):
+        self.model = model
+        self.status_names = model.status_like_names(STATUS_IGNORED_NAMES)
+
+    def check(self, src, brackets, reverse):
+        for fn in self.model.functions:
+            if fn.file is not src:
+                continue
+            for start, end in body_statements(src, fn, brackets):
+                callee = self._bare_call(src, brackets, reverse, start, end)
+                if callee is None:
+                    continue
+                name = src.tokens[callee].text
+                if name not in self.status_names:
+                    continue
+                types = sorted(self.model.resolve_type(t) for t in
+                               self.model.return_types.get(name, ()))
+                ty = types[0].replace(" ", "") if types else "Status"
+                yield Finding(
+                    src.rel, src.tokens[callee].line, self.RULE_ID,
+                    f"result of '{name}' (returns {ty}) is silently "
+                    "discarded; every declaration of this name in the "
+                    "tree returns Status/Result — check it, or "
+                    "(void)-cast with a comment saying why failure is "
+                    "impossible here")
+
+    @staticmethod
+    def _bare_call(src, brackets, reverse, start, end):
+        toks = src.tokens
+        if end - start < 3 or toks[end - 1].text != ")":
+            return None
+        open_idx = reverse.get(end - 1)
+        if open_idx is None or open_idx <= start:
+            return None
+        callee = open_idx - 1
+        ct = toks[callee]
+        if ct.kind != "ident" or ct.text in NON_CALL_KEYWORDS:
+            return None
+        i = start
+        expect_connector = False
+        while i < callee:
+            t = toks[i]
+            if t.text in ("(", "["):
+                i = brackets.get(i, i) + 1
+                expect_connector = True
+                continue
+            if t.kind == "ident" and t.text not in NON_CALL_KEYWORDS:
+                if expect_connector:
+                    return None
+                i += 1
+                expect_connector = True
+                continue
+            if t.text in ("::", ".", "->") :
+                i += 1
+                expect_connector = False
+                continue
+            if t.text == "this":
+                i += 1
+                expect_connector = True
+                continue
+            return None
+        if i != callee or expect_connector:
+            return None
+        return callee
+
+
+# ---------------------------------------------------------------------------
+# Rule 2: dpcf-ast-unnamed-raii
+
+class UnnamedRaiiRule:
+    RULE_ID = "dpcf-ast-unnamed-raii"
+    DESCRIPTION = ("scope-guard type (MutexLock, ScopedSpan, ...) "
+                   "constructed as an unnamed temporary")
+
+    def __init__(self, model):
+        self.model = model
+
+    def check(self, src, brackets, reverse):
+        for fn in self.model.functions:
+            if fn.file is not src:
+                continue
+            body_names = {t.text for t in
+                          src.tokens[fn.body_start:fn.body_end]
+                          if t.kind == "ident"}
+            for start, end in body_statements(src, fn, brackets):
+                hit = self._unnamed_temp(src, brackets, start, end)
+                if hit is None:
+                    continue
+                type_idx, args_idx = hit
+                type_tok = src.tokens[type_idx]
+                base = RAII_TYPES[type_tok.text]
+                name = base
+                n = 2
+                while name in body_names:
+                    name = f"{base}{n}"
+                    n += 1
+                args_tok = src.tokens[args_idx]
+                yield Finding(
+                    src.rel, type_tok.line, self.RULE_ID,
+                    f"'{type_tok.text}' temporary is destroyed at the "
+                    "semicolon — the guard covers nothing; name it "
+                    f"(e.g. `{type_tok.text} {name}(...)`)",
+                    fix=(src.path, args_tok.line, args_tok.col,
+                         f" {name}"))
+
+    @staticmethod
+    def _unnamed_temp(src, brackets, start, end):
+        """Matches `[ns::]* RaiiType ( ... )` or `{ ... }` spanning the
+        whole statement; returns (type_idx, open_idx) or None."""
+        toks = src.tokens
+        i = start
+        # Optional namespace qualifiers: `std::scoped_lock(...)`.
+        while i + 1 < end and toks[i].kind == "ident" and \
+                toks[i + 1].text == "::":
+            i += 2
+        if i >= end or toks[i].kind != "ident":
+            return None
+        type_idx = i
+        if toks[i].text not in RAII_TYPES:
+            return None
+        i += 1
+        # Optional template arguments: `lock_guard<Mutex>(mu)`.
+        if i < end and toks[i].text == "<":
+            depth = 1
+            i += 1
+            while i < end and depth:
+                if toks[i].text == "<":
+                    depth += 1
+                elif toks[i].text == ">":
+                    depth -= 1
+                elif toks[i].text == ">>":
+                    depth -= 2
+                i += 1
+            if depth:
+                return None
+        if i >= end or toks[i].text not in ("(", "{"):
+            return None
+        close = brackets.get(i)
+        if close != end - 1:
+            return None  # something follows the ctor args: not unnamed
+        return (type_idx, i)
+
+
+# ---------------------------------------------------------------------------
+# Rule 3: dpcf-ast-nondeterminism
+
+class NondeterminismRule:
+    RULE_ID = "dpcf-ast-nondeterminism"
+    DESCRIPTION = ("src/core + src/exec code reaching ambient entropy "
+                   "(rand/time/random_device/*_clock::now) via the call "
+                   "graph")
+
+    SCOPE_PREFIXES = ("src/core/", "src/exec/")
+
+    def __init__(self, model):
+        self.model = model
+        self._reach_memo = {}
+
+    # -- entropy classification ------------------------------------------
+
+    def _receiver_idents(self, receiver):
+        idents = re.findall(r"[A-Za-z_][A-Za-z0-9_]*", receiver)
+        out = set(idents)
+        for ident in idents:
+            resolved = self.model.aliases.get(ident)
+            if resolved:
+                out.update(re.findall(r"[A-Za-z_][A-Za-z0-9_]*", resolved))
+        return out
+
+    def direct_entropy_calls(self, fn):
+        """Yields (token_index, description) for entropy read directly in
+        fn's body."""
+        toks = fn.file.tokens
+        for name, idx, receiver in fn.calls:
+            recv = self._receiver_idents(receiver)
+            bare = not recv or recv <= {"std"}
+            if name in ("rand", "srand") and bare:
+                yield idx, f"{name}() (process-global PRNG)"
+            elif name == "time" and (bare or recv <= {"std", "nullptr"}):
+                yield idx, "time() (wall clock)"
+            elif name == "clock" and bare:
+                yield idx, "clock() (CPU time)"
+            elif name == "gettimeofday":
+                yield idx, "gettimeofday() (wall clock)"
+            elif name == "now" and recv & CLOCK_NAMES:
+                clock = sorted(recv & CLOCK_NAMES)[0]
+                yield idx, f"{clock}::now() (clock read)"
+        for i in range(fn.body_start + 1, fn.body_end):
+            t = toks[i]
+            if t.kind == "ident" and t.text == "random_device":
+                yield i, "std::random_device (hardware entropy)"
+
+    # -- call-graph closure ----------------------------------------------
+
+    def _is_barrier(self, fn):
+        return any(fn.file.rel.startswith(p) for p, _ in NONDET_BARRIERS)
+
+    def _in_scope(self, fn):
+        return fn.file.rel.startswith(self.SCOPE_PREFIXES)
+
+    def reaches_entropy(self, name, _stack=None):
+        """Shortest-discovered chain [name, ..., source-description] by
+        which `name` reaches entropy, or None. Barrier functions absorb;
+        undefined names are assumed pure."""
+        if name in self._reach_memo:
+            return self._reach_memo[name]
+        if _stack is None:
+            _stack = set()
+        if name in _stack:
+            return None
+        _stack.add(name)
+        result = None
+        for fn in self.model.defined_names.get(name, ()):
+            if self._is_barrier(fn):
+                continue
+            for _, desc in self.direct_entropy_calls(fn):
+                result = [name, desc]
+                break
+            if result:
+                break
+            for callee, _, _ in fn.calls:
+                if callee == name or callee in NON_CALL_KEYWORDS:
+                    continue
+                sub = self.reaches_entropy(callee, _stack)
+                if sub:
+                    result = [name] + sub
+                    break
+            if result:
+                break
+        _stack.discard(name)
+        self._reach_memo[name] = result
+        return result
+
+    def check(self, src, brackets, reverse):
+        del brackets, reverse
+        for fn in self.model.functions:
+            if fn.file is not src or not self._in_scope(fn):
+                continue
+            toks = src.tokens
+            seen_lines = set()
+            for idx, desc in self.direct_entropy_calls(fn):
+                line = toks[idx].line
+                if line in seen_lines:
+                    continue
+                seen_lines.add(line)
+                yield Finding(
+                    src.rel, line, self.RULE_ID,
+                    f"'{fn.display_name}' reads {desc} directly; feedback "
+                    "must be a pure function of (data, seed) — route "
+                    "randomness through common/random.h and timestamps "
+                    "through the observability sinks")
+            for callee, idx, _ in fn.calls:
+                defs = self.model.defined_names.get(callee)
+                if not defs:
+                    continue
+                if any(self._in_scope(d) for d in defs):
+                    continue  # flagged at its own definition instead
+                if all(self._is_barrier(d) for d in defs):
+                    continue
+                chain = self.reaches_entropy(callee)
+                if not chain:
+                    continue
+                line = toks[idx].line
+                if line in seen_lines:
+                    continue
+                seen_lines.add(line)
+                pretty = " -> ".join([fn.display_name] + chain)
+                yield Finding(
+                    src.rel, line, self.RULE_ID,
+                    f"call reaches ambient entropy: {pretty}; feedback "
+                    "must be deterministic, so either seed this path or "
+                    "add the callee to the reviewed reporting barriers")
+
+
+# ---------------------------------------------------------------------------
+# Rule 4: dpcf-ast-guard-consistency
+
+class GuardConsistencyRule:
+    RULE_ID = "dpcf-ast-guard-consistency"
+    DESCRIPTION = ("GUARDED_BY field locked on some accesses and "
+                   "lock-free on others")
+
+    def __init__(self, model):
+        self.model = model
+        # Evaluated whole-program in prepare_findings(); check() then
+        # yields per file.
+        self._by_file = {}
+        self._prepare()
+
+    def _prepare(self):
+        for gf in self.model.guarded_fields:
+            owners = set(gf.cls_chain)
+            if not owners:
+                continue
+            guarded, unguarded = [], []
+            for fn in self.model.functions:
+                if not (set(fn.owner_chain) & owners):
+                    continue
+                if fn.no_tsa or fn.name in self.model.declared_no_tsa \
+                        or fn.name in owners or fn.name.startswith("~"):
+                    continue
+                g, u = self._classify_accesses(fn, gf)
+                guarded.extend(g)
+                unguarded.extend(u)
+            if not guarded or not unguarded:
+                continue
+            g_src, g_line = guarded[0]
+            for (u_src, u_line) in sorted(set(unguarded),
+                                          key=lambda x: (x[0].rel, x[1])):
+                self._by_file.setdefault(u_src, []).append(Finding(
+                    u_src.rel, u_line, self.RULE_ID,
+                    f"'{'::'.join(gf.cls_chain)}::{gf.name}' is "
+                    f"GUARDED_BY({gf.guard_expr}) and locked at e.g. "
+                    f"{g_src.rel}:{g_line}, but this access holds no "
+                    f"MutexLock on '{gf.guard_last}' and the enclosing "
+                    "function does not REQUIRES it"))
+
+    def _classify_accesses(self, fn, gf):
+        src = fn.file
+        toks = src.tokens
+        brackets = match_brackets(toks)
+        requires_lasts = set()
+        all_requires = list(fn.requires) + \
+            self.model.declared_requires.get(fn.name, [])
+        for expr in all_requires:
+            for part in expr.split(","):
+                idents = re.findall(r"[A-Za-z_][A-Za-z0-9_]*", part)
+                if idents:
+                    requires_lasts.add(idents[-1])
+        # Lock regions: (start_idx, end_idx, guard_last).
+        regions = []
+        block_stack = []
+        i = fn.body_start + 1
+        while i < fn.body_end:
+            t = toks[i]
+            if t.text == "{":
+                block_stack.append(brackets.get(i, fn.body_end))
+                i += 1
+                continue
+            if t.text == "}":
+                if block_stack:
+                    block_stack.pop()
+                i += 1
+                continue
+            if t.kind == "ident" and t.text in ("MutexLock", "lock_guard",
+                                                "scoped_lock",
+                                                "unique_lock"):
+                j = i + 1
+                if j < fn.body_end and toks[j].text == "<":  # lock_guard<>
+                    depth = 1
+                    j += 1
+                    while j < fn.body_end and depth:
+                        depth += {"<": 1, ">": -1}.get(toks[j].text, 0)
+                        j += 1
+                if j < fn.body_end and toks[j].kind == "ident":
+                    j += 1  # the variable name
+                if j < fn.body_end and toks[j].text == "(":
+                    close = brackets.get(j, j)
+                    idents = [t2.text for t2 in toks[j + 1:close]
+                              if t2.kind == "ident"]
+                    if idents:
+                        scope_end = block_stack[-1] if block_stack \
+                            else fn.body_end
+                        regions.append((close, scope_end, idents[-1]))
+                    i = close + 1
+                    continue
+            i += 1
+        # Direct lock()/unlock() calls on the guard also open a region
+        # (BufferPool's serialize_miss_io path does this around cv waits).
+        i = fn.body_start + 1
+        while i < fn.body_end:
+            t = toks[i]
+            if t.kind == "ident" and t.text == "lock" and \
+                    i + 1 < fn.body_end and toks[i + 1].text == "(" and \
+                    toks[i - 1].text in (".", "->") and \
+                    toks[i - 2].kind == "ident":
+                # receiver chain last ident before `.lock(`
+                if self._expr_last_ident(toks, i - 2) == gf.guard_last:
+                    regions.append((i, fn.body_end, gf.guard_last))
+            i += 1
+        guarded, unguarded = [], []
+        for i in range(fn.body_start + 1, fn.body_end):
+            t = toks[i]
+            if t.kind != "ident" or t.text != gf.name:
+                continue
+            nxt = toks[i + 1] if i + 1 < fn.body_end else None
+            if nxt is not None and nxt.text == "(":
+                continue  # a call, not a field access
+            prev = toks[i - 1]
+            if prev.text == "::":
+                continue  # qualified name, e.g. Class::field in a sizeof
+            if not (prev.text in (".", "->") or gf.name.endswith("_")):
+                continue  # likely an unrelated local
+            if any(r_start < i <= r_end and last == gf.guard_last
+                   for r_start, r_end, last in regions):
+                guarded.append((src, t.line))
+            elif gf.guard_last in requires_lasts:
+                guarded.append((src, t.line))
+            else:
+                unguarded.append((src, t.line))
+        return guarded, unguarded
+
+    @staticmethod
+    def _expr_last_ident(toks, idx):
+        return toks[idx].text if toks[idx].kind == "ident" else None
+
+    def check(self, src, brackets, reverse):
+        del brackets, reverse
+        for finding in self._by_file.get(src, []):
+            yield finding
+
+
+# ---------------------------------------------------------------------------
+# Rule 5: dpcf-ast-charge-conservation
+
+class ChargeConservationRule:
+    RULE_ID = "dpcf-ast-charge-conservation"
+    DESCRIPTION = ("page-image read with a return path charging neither "
+                   "IoStats nor CpuStats")
+
+    def __init__(self, model):
+        self.model = model
+        self.charging = self._charging_closure()
+
+    def _charging_closure(self):
+        """Function names that charge IoStats/CpuStats directly or through
+        any callee (name-level fixpoint over the call graph)."""
+        charging = set()
+        direct = {}
+        for fn in self.model.functions:
+            toks = fn.file.tokens
+            has = any(toks[i].kind == "ident" and
+                      toks[i].text in CHARGE_TOKENS
+                      for i in range(fn.body_start + 1, fn.body_end))
+            direct[fn] = has
+            if has:
+                charging.add(fn.name)
+        changed = True
+        while changed:
+            changed = False
+            for fn in self.model.functions:
+                if fn.name in charging:
+                    continue
+                if any(callee in charging for callee, _, _ in fn.calls):
+                    charging.add(fn.name)
+                    changed = True
+        return charging
+
+    def _in_scope(self, fn):
+        rel = fn.file.rel
+        if not rel.startswith("src/"):
+            return False
+        return not rel.startswith(CHARGE_EXEMPT_PREFIXES)
+
+    def check(self, src, brackets, reverse):
+        del reverse
+        toks = src.tokens
+        for fn in self.model.functions:
+            if fn.file is not src or not self._in_scope(fn):
+                continue
+            readers = [(idx, name) for name, idx, _ in fn.calls
+                       if name in PAGE_READERS]
+            if not readers:
+                continue
+            first_idx, first_name = min(readers)
+            charge_positions = [
+                i for i in range(fn.body_start + 1, fn.body_end)
+                if toks[i].kind == "ident" and toks[i].text in CHARGE_TOKENS]
+            charge_positions += [idx for callee, idx, _ in fn.calls
+                                 if callee in self.charging]
+            charge_positions.sort()
+            # Return paths after the first read must see a charge first;
+            # the implicit fall-off-the-end return of a void function is
+            # modelled as a return at the closing brace.
+            returns = [i for i in range(fn.body_start + 1, fn.body_end)
+                       if toks[i].kind == "ident" and
+                       toks[i].text == "return" and i > first_idx]
+            if not returns:
+                returns = [fn.body_end]
+            for r in returns:
+                if any(c < r for c in charge_positions):
+                    continue
+                line = toks[min(r, fn.body_end - 1)].line
+                yield Finding(
+                    src.rel, fn.line, self.RULE_ID,
+                    f"'{fn.display_name}' reads the page image via "
+                    f"'{first_name}' (line {toks[first_idx].line}) but "
+                    f"the path returning at line {line} charges neither "
+                    "IoStats nor CpuStats, directly or via any callee; "
+                    "every page access must be accounted so estimation-"
+                    "error diagnosis can trust the counters")
+                break  # one finding per function keeps the signal readable
+
+
+ALL_RULES = [DiscardedStatusRule, UnnamedRaiiRule, NondeterminismRule,
+             GuardConsistencyRule, ChargeConservationRule]
+CLANG_RULES = {"dpcf-ast-discarded-status", "dpcf-ast-unnamed-raii"}
+
+
+# ---------------------------------------------------------------------------
+# Driver
+
+def discover_files(paths):
+    files = []
+    for p in paths:
+        if os.path.isfile(p):
+            files.append(p)
+        elif os.path.isdir(p):
+            for root, dirs, names in os.walk(p):
+                dirs[:] = sorted(
+                    d for d in dirs if not SKIP_DIR_PATTERNS.match(d))
+                for name in sorted(names):
+                    if name.endswith(SOURCE_EXTENSIONS):
+                        files.append(os.path.join(root, name))
+        else:
+            print(f"dpcf_ast: no such file or directory: {p}",
+                  file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+def repo_relative(path, rel_root=None):
+    root = (os.path.abspath(rel_root) if rel_root
+            else os.path.dirname(os.path.dirname(_HERE)))
+    try:
+        return os.path.relpath(os.path.abspath(path), root).replace(
+            "\\", "/")
+    except ValueError:
+        return path
+
+
+def find_compdb(explicit):
+    if explicit:
+        if not os.path.isfile(explicit):
+            print(f"dpcf_ast: compdb not found: {explicit}",
+                  file=sys.stderr)
+            sys.exit(2)
+        return explicit
+    repo_root = os.path.dirname(os.path.dirname(_HERE))
+    for entry in sorted(os.listdir(repo_root)):
+        if entry.startswith("build"):
+            candidate = os.path.join(repo_root, entry,
+                                     "compile_commands.json")
+            if os.path.isfile(candidate):
+                return candidate
+    return None
+
+
+def suppressed_rules(raw_lines, line_no):
+    suppressed = set()
+    if not 1 <= line_no <= len(raw_lines):
+        return suppressed
+    line = raw_lines[line_no - 1]
+    m = NOLINT_RE.search(line)
+    if m and not NOLINTNEXTLINE_RE.search(line):
+        if m.group(1) is None:
+            return None
+        suppressed.update(r.strip() for r in m.group(1).split(","))
+    if line_no >= 2:
+        m = NOLINTNEXTLINE_RE.search(raw_lines[line_no - 2])
+        if m:
+            if m.group(1) is None:
+                return None
+            suppressed.update(r.strip() for r in m.group(1).split(","))
+    return suppressed
+
+
+def apply_fixes(findings):
+    """Applies insert-text fixes bottom-up per file; returns count."""
+    by_path = {}
+    for f in findings:
+        if f.fix:
+            by_path.setdefault(f.fix[0], []).append(f.fix)
+    applied = 0
+    for path, fixes in by_path.items():
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.read().splitlines(keepends=True)
+        for _, line, col, text in sorted(fixes, reverse=True):
+            raw = lines[line - 1]
+            lines[line - 1] = raw[:col] + text + raw[col:]
+            applied += 1
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("".join(lines))
+    return applied
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("paths", nargs="*", help="files or directories")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--rule", action="append", default=[])
+    parser.add_argument("--engine", choices=("auto", "clang", "python"),
+                        default="auto")
+    parser.add_argument("--compdb", default=None)
+    parser.add_argument("--rel-root", default=None)
+    parser.add_argument("--json", dest="json_out", default=None,
+                        metavar="FILE")
+    parser.add_argument("--fix", action="store_true",
+                        help="apply fixes (names unnamed RAII temporaries)")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.RULE_ID}: {rule.DESCRIPTION}")
+        return 0
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        return 2
+
+    selected = {r.RULE_ID for r in ALL_RULES}
+    if args.rule:
+        unknown = [r for r in args.rule if r not in selected]
+        if unknown:
+            print(f"dpcf_ast: unknown rule id(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+        selected = set(args.rule)
+
+    # ---- engine selection ----
+    clang_engine = None
+    if args.engine in ("auto", "clang") and selected & CLANG_RULES:
+        try:
+            import clang_frontend
+            clang_engine = clang_frontend.ClangEngine(
+                find_compdb(args.compdb))
+        except Exception as e:  # ImportError, LibclangError, bad compdb
+            if args.engine == "clang":
+                print(f"dpcf_ast: --engine clang requested but libclang "
+                      f"is unavailable: {e}", file=sys.stderr)
+                return 3
+            print(f"dpcf_ast: note: libclang unavailable ({e}); all "
+                  "rules run on the built-in token-tree engine",
+                  file=sys.stderr)
+            clang_engine = None
+
+    files = discover_files(args.paths)
+    sources = []
+    for path in files:
+        try:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                text = f.read()
+        except OSError as e:
+            print(f"dpcf_ast: cannot read {path}: {e}", file=sys.stderr)
+            return 2
+        sources.append(SourceFile(path, repo_relative(path, args.rel_root),
+                                  text))
+
+    model = Model(sources)
+    rules = [cls(model) for cls in ALL_RULES if cls.RULE_ID in selected]
+
+    findings = []
+    token_rules = [r for r in rules
+                   if clang_engine is None or r.RULE_ID not in CLANG_RULES]
+    for src in sources:
+        brackets = match_brackets(src.tokens)
+        reverse = {c: o for o, c in brackets.items()}
+        for rule in token_rules:
+            findings.extend(rule.check(src, brackets, reverse))
+
+    if clang_engine is not None:
+        try:
+            clang_findings = clang_engine.analyze(
+                sources, selected & CLANG_RULES,
+                lambda p: repo_relative(p, args.rel_root))
+            findings.extend(Finding(*f) for f in clang_findings)
+        except Exception as e:
+            if args.engine == "clang":
+                print(f"dpcf_ast: clang engine failed: {e}",
+                      file=sys.stderr)
+                return 3
+            print(f"dpcf_ast: note: clang engine failed ({e}); falling "
+                  "back to the token-tree engine for its rules",
+                  file=sys.stderr)
+            for src in sources:
+                brackets = match_brackets(src.tokens)
+                reverse = {c: o for o, c in brackets.items()}
+                for rule in rules:
+                    if rule.RULE_ID in CLANG_RULES:
+                        findings.extend(rule.check(src, brackets, reverse))
+
+    # ---- suppression ----
+    raw_by_rel = {s.rel: s.raw_lines for s in sources}
+    kept = []
+    for f in findings:
+        sup = suppressed_rules(raw_by_rel.get(f.rel, []), f.line)
+        if sup is None or f.rule in sup:
+            continue
+        kept.append(f)
+    # Dedup (clang + token engines may agree) and sort.
+    uniq = {}
+    for f in kept:
+        uniq.setdefault((f.rel, f.line, f.rule), f)
+    kept = sorted(uniq.values(), key=Finding.sort_key)
+
+    engine_name = "clang+python" if clang_engine is not None else "python"
+    payload = {
+        "engine": engine_name,
+        "count": len(kept),
+        "findings": [{"file": f.rel, "line": f.line, "rule": f.rule,
+                      "message": f.message} for f in kept],
+    }
+    if args.json_out == "-":
+        print(json.dumps(payload, indent=2))
+    else:
+        for f in kept:
+            print(f"{f.rel}:{f.line}: [{f.rule}] {f.message}")
+        if args.json_out:
+            with open(args.json_out, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=2)
+                fh.write("\n")
+
+    if args.fix:
+        applied = apply_fixes(kept)
+        print(f"dpcf_ast: applied {applied} fix(es)", file=sys.stderr)
+
+    if kept:
+        print(f"dpcf_ast: {len(kept)} finding(s) in {len(files)} file(s) "
+              f"[engine: {engine_name}]", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

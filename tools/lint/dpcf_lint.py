@@ -44,10 +44,11 @@ sys.path.insert(0, _HERE)
 from rules import ALL_RULES  # noqa: E402  (path setup must precede)
 
 SOURCE_EXTENSIONS = (".h", ".cc")
-# lint_selftest holds deliberately-violating fixtures; the selftest lints
-# them explicitly (with --rel-root), tree-wide runs must not see them.
+# lint_selftest and ast_selftest hold deliberately-violating fixtures;
+# their selftests lint them explicitly (with --rel-root), tree-wide runs
+# must not see them.
 SKIP_DIR_PATTERNS = re.compile(
-    r"^(build.*|\.git|\.cache|__pycache__|lint_selftest)$")
+    r"^(build.*|\.git|\.cache|__pycache__|lint_selftest|ast_selftest)$")
 
 NOLINT_RE = re.compile(r"//\s*NOLINT(?:NEXTLINE)?(?:\(([^)]*)\))?")
 NOLINTNEXTLINE_RE = re.compile(r"//\s*NOLINTNEXTLINE(?:\(([^)]*)\))?")

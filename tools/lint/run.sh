@@ -1,9 +1,35 @@
 #!/usr/bin/env sh
-# Runs the DPCF lint over the default tree (src tests bench examples
-# tools/lint ignores non-C++ files). Usage: tools/lint/run.sh [paths...]
+# One entry point for both static-analysis layers: the regex lint
+# (tools/lint/dpcf_lint.py) and the AST-level semantic analyzer
+# (tools/analysis/dpcf_ast.py). Usage: tools/lint/run.sh [paths...]
+#
+# The AST pass auto-selects its engine: python bindings for libclang
+# when importable, the built-in token-tree engine otherwise — so this
+# script needs nothing beyond python3 and degrades gracefully on a bare
+# container. Either layer reporting findings fails the run.
 set -eu
 cd "$(dirname "$0")/../.."
 if [ "$#" -eq 0 ]; then
   set -- src tests bench examples
 fi
-exec python3 tools/lint/dpcf_lint.py "$@"
+
+status=0
+echo "== regex lint (tools/lint/dpcf_lint.py) =="
+python3 tools/lint/dpcf_lint.py "$@" || status=1
+
+echo "== ast analysis (tools/analysis/dpcf_ast.py) =="
+if python3 tools/analysis/dpcf_ast.py "$@"; then
+  :
+else
+  rc=$?
+  # Exit 3 = no analysis engine at all (not even python3's tokenizer
+  # could run, e.g. --engine clang forced without libclang); report but
+  # do not fail the combined lint on a missing optional dependency.
+  if [ "$rc" -eq 3 ]; then
+    echo "ast analysis skipped: no engine available (exit 3)"
+  else
+    status=1
+  fi
+fi
+
+exit "$status"
