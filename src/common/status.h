@@ -25,6 +25,7 @@ enum class StatusCode {
   kResourceExhausted,
   kNotSupported,
   kInternal,
+  kCancelled,
 };
 
 /// Returns a short human-readable name ("InvalidArgument", ...) for a code.
@@ -61,6 +62,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -99,6 +99,7 @@ namespace lock_rank {
 inline constexpr int kUnranked = -1;          // exempt (tests, ad hoc)
 inline constexpr int kBufferPoolShard = 100;  // BufferPool::Shard::mu
 inline constexpr int kDisk = 200;             // DiskManager::mu_
+inline constexpr int kDiskSubmission = 250;   // DiskManager::submit_mu_
 inline constexpr int kExecMergedCpu = 300;    // ExecContext::merged_cpu_mu_
 inline constexpr int kEstimationTracker = 310;  // EstimationErrorTracker::mu_
 inline constexpr int kMetricsRegistry = 320;  // MetricsRegistry::mu_

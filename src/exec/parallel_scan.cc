@@ -9,6 +9,7 @@
 #include "common/thread_annotations.h"
 #include "exec/executor.h"
 #include "exec/predicate_kernel.h"
+#include "exec/readahead.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace_collector.h"
 
@@ -97,6 +98,7 @@ Status ParallelTableScanOp::OpenImpl(ExecContext* ctx) {
 
   ReadaheadState ra;
   std::thread ra_thread;
+  std::unique_ptr<AdaptiveReadaheadController> ra_controller;
   const SegmentId segment = file->segment();
   const PageNo total_pages = file->page_count();
   int64_t window = static_cast<int64_t>(options_.prefetch_pages);
@@ -104,32 +106,74 @@ Status ParallelTableScanOp::OpenImpl(ExecContext* ctx) {
   if (window > half_pool) window = half_pool;
   if (window > 0 && total_pages > 0) {
     BufferPool* pool = ctx->pool();
-    // Prime the initial window synchronously, before any worker starts, so
-    // the prefetch-vs-demand split of the scan's first pages does not
-    // depend on how quickly the first worker gets going: those pages are
-    // always charged as prefetch_reads on a cold cache.
+    AdaptiveReadaheadConfig ra_cfg;
+    ra_cfg.initial_window = window;
+    ra_cfg.max_window = half_pool;
+    ra_cfg.adaptive = options_.adaptive_readahead;
+    Gauge* window_gauge =
+        ctx->metrics() != nullptr
+            ? ctx->metrics()->GetGauge(
+                  "scan_readahead_window_pages",
+                  "Current (adaptive) readahead window of the last scan")
+            : nullptr;
+    ra_controller = std::make_unique<AdaptiveReadaheadController>(
+        ra_cfg, pool->disk()->io_stats(), window_gauge);
+    // Prime the initial window before any worker starts, so the
+    // prefetch-vs-demand split of the scan's first pages does not depend
+    // on how quickly the first worker gets going: those pages are always
+    // charged as prefetch_reads on a cold cache. (In async mode priming
+    // submits one batch; a worker demanding one of these pages before its
+    // completion lands simply waits behind the kLoading frame.)
     const PageNo primed =
         total_pages < static_cast<PageNo>(window)
             ? total_pages
             : static_cast<PageNo>(window);
+    std::vector<PageId> prime_batch;
+    prime_batch.reserve(static_cast<size_t>(primed));
     for (PageNo p = 0; p < primed; ++p) {
-      if (!pool->Prefetch(PageId{segment, p}).ok()) break;
+      prime_batch.push_back(PageId{segment, p});
+    }
+    if (!pool->PrefetchBatch(prime_batch).ok()) {
+      // Backpressure is OK-by-contract, so this is a hard disk error;
+      // keep going — demand fetches will surface it with context.
     }
     const uint64_t query_id = ctx->query_id();
-    ra_thread = std::thread([&ra, pool, segment, total_pages, window,
-                             primed, query_id] {
+    AdaptiveReadaheadController* const controller = ra_controller.get();
+    const int64_t batch_pages =
+        static_cast<int64_t>(options_.morsel_pages);
+    ra_thread = std::thread([&ra, pool, controller, segment, total_pages,
+                             primed, query_id, batch_pages] {
       TraceCollector::QueryIdScope qid_scope(query_id);
-      for (PageNo p = primed; p < total_pages; ++p) {
+      PageNo next = primed;
+      std::vector<PageId> batch;
+      while (next < total_pages) {
         ra.mu.lock();
-        while (!ra.stop &&
-               static_cast<int64_t>(p) >= ra.pages_consumed + window) {
+        while (!ra.stop && static_cast<int64_t>(next) >=
+                               ra.pages_consumed + controller->window()) {
           ra.cv.wait(ra.mu);
         }
         const bool stop_requested = ra.stop;
+        const int64_t consumed = ra.pages_consumed;
         ra.mu.unlock();
         if (stop_requested) return;
-        Status st = pool->Prefetch(PageId{segment, p});
+        // Submit up to one morsel's worth in a single batch, staying
+        // inside the (possibly just-narrowed) window.
+        int64_t limit = consumed + controller->window();
+        if (limit > static_cast<int64_t>(total_pages)) {
+          limit = static_cast<int64_t>(total_pages);
+        }
+        int64_t end = static_cast<int64_t>(next) + batch_pages;
+        if (end > limit) end = limit;
+        if (end <= static_cast<int64_t>(next)) continue;
+        batch.clear();
+        for (PageNo p = next; p < static_cast<PageNo>(end); ++p) {
+          batch.push_back(PageId{segment, p});
+        }
+        Status st = pool->PrefetchBatch(batch);
         if (!st.ok()) return;  // demand fetches will surface disk errors
+        next = static_cast<PageNo>(end);
+        // Feedback: react to the hit/rejection deltas this batch exposed.
+        controller->Update();
       }
     });
   }
@@ -287,7 +331,8 @@ Status ParallelTableScanOp::CloseImpl(ExecContext* ctx) {
 std::string ParallelTableScanOp::Describe() const {
   std::string prefetch =
       options_.prefetch_pages > 0
-          ? StrFormat(", prefetch=%u", options_.prefetch_pages)
+          ? StrFormat(", prefetch=%u%s", options_.prefetch_pages,
+                      options_.adaptive_readahead ? "+adaptive" : "")
           : std::string();
   return StrFormat("Parallel%s(%s, %s, threads=%d%s)",
                    table_->organization() == TableOrganization::kClustered

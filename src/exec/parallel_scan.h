@@ -31,18 +31,26 @@ struct ParallelScanOptions {
   /// Pages per morsel. Small enough to balance load across workers, large
   /// enough that queue traffic is negligible next to page work.
   uint32_t morsel_pages = 32;
-  /// Readahead window: a dedicated prefetch thread keeps up to this many
-  /// pages ahead of the scan cursor resident in the buffer pool (clamped to
-  /// half the pool so prefetch can never evict pages the scan still needs).
-  /// Prefetched pages are charged to IoStats::prefetch_reads, not physical
-  /// reads, and readahead never touches monitors, so feedback stays
-  /// bit-for-bit identical to the serial scan. 0 disables readahead.
+  /// Initial readahead window: a dedicated prefetch thread keeps up to
+  /// this many pages ahead of the scan cursor resident in the buffer pool
+  /// (clamped to half the pool so prefetch can never evict pages the scan
+  /// still needs), submitting morsel-sized batches through
+  /// BufferPool::PrefetchBatch. Prefetched pages are charged to
+  /// IoStats::prefetch_reads, not physical reads, and readahead never
+  /// touches monitors, so feedback stays bit-for-bit identical to the
+  /// serial scan. 0 disables readahead.
   uint32_t prefetch_pages = 0;
   /// Evaluate predicates with the vectorized PredicateKernel per page and
   /// feed monitors via ObserveBatch (DESIGN.md section 12). Off = the
   /// row-at-a-time oracle loop. Both paths produce identical tuples,
   /// CpuStats, and monitor feedback.
   bool vectorized = true;
+  /// Let AdaptiveReadaheadController widen/narrow the window per scan from
+  /// the live prefetch hit/rejection counters (exec/readahead.h);
+  /// prefetch_pages seeds the initial window. Off freezes the window at
+  /// prefetch_pages — the historical static knob. Either way the merged
+  /// monitor feedback is unaffected.
+  bool adaptive_readahead = true;
 };
 
 /// Per-worker tallies, exposed after the scan for load-balance reporting

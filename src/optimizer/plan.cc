@@ -257,7 +257,8 @@ Result<OperatorPtr> BuildSingleTableExec(const AccessPathPlan& path,
                         ParallelScanOptions{hooks.scan_threads,
                                             hooks.morsel_pages,
                                             hooks.prefetch_pages,
-                                            hooks.vectorized_scan}));
+                                            hooks.vectorized_scan,
+                                            hooks.adaptive_readahead}));
   if (query.count_star) {
     op = OperatorPtr(std::make_unique<AggregateCountOp>(std::move(op)));
   }

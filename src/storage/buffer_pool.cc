@@ -95,6 +95,16 @@ BufferPool::BufferPool(DiskManager* disk, size_t capacity_pages,
   }
 }
 
+BufferPool::~BufferPool() {
+  if (options_.async_io && !options_.serialize_miss_io) {
+    // Retire queued prefetches (their completions free the frames) and
+    // wait out claimed ones, so no disk io-thread can call back into this
+    // pool once the members start being destroyed.
+    disk_->CancelPending();
+    disk_->DrainSubmissions();
+  }
+}
+
 void BufferPool::AttachObservability(MetricsRegistry* registry,
                                      TraceCollector* trace) {
   trace_ = trace;
@@ -168,11 +178,13 @@ Result<PageGuard> BufferPool::Fetch(PageId pid) {
     auto it = s.table.find(pid);
     if (it != s.table.end()) {
       Frame& fr = s.frames[static_cast<size_t>(it->second)];
-      if (fr.state == FrameState::kLoading) {
-        // Another fetcher is reading this page off disk. Wait (the latch is
-        // released inside the wait) and re-check from the top; a wake-up
-        // with the entry gone means the load failed or the frame was
-        // evicted, in which case this fetch becomes the loader.
+      if (fr.state != FrameState::kReady) {
+        // Another fetcher is reading this page off disk (kLoading), or its
+        // async load just failed (kLoadError) and the loader — who holds
+        // the pin — is about to free the frame. Either way: wait (the
+        // latch is released inside the wait) and re-check from the top; a
+        // wake-up with the entry gone means the load failed or the frame
+        // was evicted, in which case this fetch becomes the loader.
         if (s.m_loading_waits != nullptr) s.m_loading_waits->Increment();
         s.cv.wait(s.mu);
         continue;
@@ -228,6 +240,28 @@ Result<PageGuard> BufferPool::Fetch(PageId pid) {
       // Legacy mode: the read happens under the latch, as in the
       // monolithic pool. Lock order shard -> disk either way.
       st = disk_->ReadPage(pid, dst);
+    } else if (options_.async_io) {
+      // Async mode: submit and sleep on the shard condvar; the completion
+      // (on a disk io-thread, holding no latch) re-latches the shard,
+      // resolves the frame state and wakes every waiter. The frame cannot
+      // be reused meanwhile — it is pinned and kLoading — so capturing
+      // the shard/frame indexes is safe.
+      s.mu.unlock();
+      disk_->SubmitRead(
+          pid, dst, ReadClass::kDemand, [this, si, f](const Status& read) {
+            Shard& sh = *shards_[si];
+            {
+              MutexLock relock(&sh.mu);
+              Frame& loaded = sh.frames[static_cast<size_t>(f)];
+              loaded.load_status = read;
+              loaded.state = read.ok() ? FrameState::kReady
+                                       : FrameState::kLoadError;
+            }
+            sh.cv.notify_all();
+          });
+      s.mu.lock();
+      while (fr.state == FrameState::kLoading) s.cv.wait(s.mu);
+      st = fr.state == FrameState::kReady ? Status::OK() : fr.load_status;
     } else {
       s.mu.unlock();
       st = disk_->ReadPage(pid, dst);
@@ -271,6 +305,7 @@ Result<PageGuard> BufferPool::Fetch(PageId pid) {
 Status BufferPool::Prefetch(PageId pid) {
   const uint32_t si = static_cast<uint32_t>(shard_index(pid));
   Shard& s = *shards_[si];
+  IoStats* io = disk_->io_stats();
   s.mu.lock();
   if (s.table.find(pid) != s.table.end()) {
     // Cached or already loading (demand fetchers wait on it themselves):
@@ -282,7 +317,10 @@ Status BufferPool::Prefetch(PageId pid) {
   int32_t f = AcquireFrameLocked(&s, &status);
   if (f < 0) {
     // A full shard just means readahead is running too far ahead of the
-    // consumers; skipping the page is the correct backpressure.
+    // consumers; skipping the page is the correct backpressure. Counted so
+    // the adaptive readahead window can narrow on it instead of the scan
+    // silently losing its prefetcher.
+    ++io->prefetch_rejected;
     s.mu.unlock();
     return Status::OK();
   }
@@ -328,6 +366,74 @@ Status BufferPool::Prefetch(PageId pid) {
   fr.in_lru = true;
   s.cv.notify_all();
   s.mu.unlock();
+  return Status::OK();
+}
+
+Status BufferPool::PrefetchBatch(const std::vector<PageId>& pids) {
+  if (!options_.async_io || options_.serialize_miss_io) {
+    for (PageId pid : pids) {
+      DPCF_RETURN_IF_ERROR(Prefetch(pid));
+    }
+    return Status::OK();
+  }
+  // Async: publish a kLoading frame per still-uncached page (one shard
+  // latch at a time, never two), then hand the whole batch to the ring in
+  // a single SubmitBatch. Completions run on disk io-threads and resolve
+  // each frame to ready-unpinned-MRU — or free it again on error or
+  // cancellation — with no thread ever waiting on a prefetched page.
+  std::vector<ReadRequest> batch;
+  batch.reserve(pids.size());
+  IoStats* io = disk_->io_stats();
+  for (PageId pid : pids) {
+    const uint32_t si = static_cast<uint32_t>(shard_index(pid));
+    Shard& s = *shards_[si];
+    MutexLock lock(&s.mu);
+    if (s.table.find(pid) != s.table.end()) continue;
+    Status status = Status::OK();
+    int32_t f = AcquireFrameLocked(&s, &status);
+    if (f < 0) {
+      // Same backpressure semantics as Prefetch: skip, count, carry on.
+      ++io->prefetch_rejected;
+      continue;
+    }
+    Frame& fr = s.frames[static_cast<size_t>(f)];
+    fr.pid = pid;
+    fr.state = FrameState::kLoading;
+    fr.pin_count = 1;
+    fr.dirty = false;
+    fr.prefetched = false;
+    s.table[pid] = f;
+    batch.push_back(ReadRequest{
+        pid, fr.data.get(), ReadClass::kPrefetch,
+        [this, si, f](const Status& read) {
+          Shard& sh = *shards_[si];
+          {
+            MutexLock relock(&sh.mu);
+            Frame& loaded = sh.frames[static_cast<size_t>(f)];
+            if (read.ok()) {
+              // Ready, unpinned, most recently used: the window of
+              // prefetched-but-unconsumed pages survives until the scan
+              // cursor arrives (unless the shard is under real pressure).
+              loaded.state = FrameState::kReady;
+              loaded.prefetched = true;
+              loaded.pin_count = 0;
+              sh.lru.push_front(f);
+              loaded.lru_pos = sh.lru.begin();
+              loaded.in_lru = true;
+            } else {
+              // Disk error or CancelPending: nothing was read, nothing
+              // was charged; give the frame back. Demand fetches of the
+              // page will surface a persistent error themselves.
+              sh.table.erase(loaded.pid);
+              loaded.state = FrameState::kFree;
+              loaded.pin_count = 0;
+              sh.free_frames.push_back(f);
+            }
+          }
+          sh.cv.notify_all();
+        }});
+  }
+  disk_->SubmitBatch(std::move(batch));
   return Status::OK();
 }
 
@@ -377,6 +483,14 @@ Status BufferPool::FlushAll() {
 }
 
 Status BufferPool::ColdReset() {
+  if (options_.async_io && !options_.serialize_miss_io) {
+    // A speculative readahead backlog must not stall (or fail) the reset:
+    // retire everything still queued — the Cancelled completions free
+    // their kLoading frames without charging anything — and wait for the
+    // claimed reads to finish resolving their frames.
+    disk_->CancelPending();
+    disk_->DrainSubmissions();
+  }
   // Pass 1: verify quiescence, one shard at a time in index order. A pin or
   // in-flight load appearing *after* its shard was checked would be a caller
   // bug — ColdReset's contract requires a quiescent pool, as before.

@@ -25,6 +25,20 @@
 // there would let a concurrent miss of the victim page read stale bytes
 // from the disk mid-writeback.
 //
+// Async mode (BufferPoolOptions::async_io, DESIGN.md section 14): the same
+// LOADING protocol, but the disk read goes through DiskManager's
+// submission ring instead of blocking the fetching thread inside ReadPage.
+// The demand loader publishes the kLoading frame, submits, and waits on
+// the shard condvar; the completion callback (on a disk io-thread)
+// re-latches the shard, flips the frame to kReady (or kLoadError with the
+// status), and wakes the waiters — so the loader and any wait-behind
+// fetchers resume through the exact same re-check loop. PrefetchBatch()
+// publishes a kLoading frame per page and hands the whole batch to
+// SubmitBatch in one ring round-trip; its completions resolve frames to
+// ready-unpinned-MRU with no waiting thread at all. Accounting is
+// unchanged: the charge sites are identical, only the thread that blocks
+// differs.
+//
 // Accounting is exact, not approximate: logical_reads is charged only when
 // a fetch succeeds (hit, wait-behind-loader, or completed load), so
 //   logical_reads == buffer_hits + physical_reads()
@@ -101,6 +115,15 @@ struct BufferPoolOptions {
   /// reproduces the monolithic pool bit for bit; bench_buffer_contention
   /// uses it as the A side of its A/B comparison.
   bool serialize_miss_io = false;
+  /// Route miss and prefetch reads through DiskManager's asynchronous
+  /// submission ring (SubmitRead/SubmitBatch) instead of synchronous
+  /// ReadPage calls. Demand fetchers still block (on the shard condvar,
+  /// woken by the completion) but prefetch becomes fire-and-forget and the
+  /// simulated latency is paid by the disk's io_threads, which is what
+  /// lets a scan overlap more reads than it has workers. Ignored when
+  /// serialize_miss_io is set (that mode exists to reproduce the
+  /// monolithic pool exactly).
+  bool async_io = false;
 };
 
 /// Fixed-capacity sharded page cache with per-shard LRU replacement and pin
@@ -112,17 +135,33 @@ class BufferPool {
   BufferPool(DiskManager* disk, size_t capacity_pages,
              BufferPoolOptions options = BufferPoolOptions{});
 
+  /// Drains the submission ring first in async mode: a completion callback
+  /// must never run against a destroyed pool.
+  ~BufferPool();
+
   /// Pins the page, reading it from disk on a miss. Fails with
   /// ResourceExhausted if every frame of the page's shard is pinned or
   /// loading. Nothing is charged to IoStats on failure.
   Result<PageGuard> Fetch(PageId pid) EXCLUDES(disk_->mu_);
 
   /// Speculatively loads the page into its shard (unpinned, most recently
-  /// used) so a subsequent Fetch is a hit. Charges IoStats::prefetch_reads
-  /// instead of a physical read and never moves the disk read head. A page
-  /// already cached or loading, and a shard with no evictable frame, are
-  /// benign no-ops (Status::OK()).
+  /// used) so a subsequent Fetch is a hit, synchronously on the calling
+  /// thread. Charges IoStats::prefetch_reads instead of a physical read
+  /// and never moves the disk read head. A page already cached or loading
+  /// is a benign no-op; a shard with no evictable frame skips the page,
+  /// charges IoStats::prefetch_rejected, and still returns OK (readahead
+  /// running too far ahead of the consumers is backpressure, not an
+  /// error — the adaptive window narrows on the counter).
   Status Prefetch(PageId pid) EXCLUDES(disk_->mu_);
+
+  /// Batch prefetch: publishes a kLoading frame per still-uncached page
+  /// and submits the whole batch through the disk's submission ring in one
+  /// SubmitBatch call (async mode), or falls back to a loop of synchronous
+  /// Prefetch calls otherwise. Same skip/charge semantics as Prefetch per
+  /// page; returns the first hard disk error (sync mode only — async
+  /// completions resolve errors by freeing the frame).
+  Status PrefetchBatch(const std::vector<PageId>& pids)
+      EXCLUDES(disk_->mu_);
 
   /// Allocates a fresh zeroed page in `segment`, pins it, and returns the
   /// guard together with its id via `out_pid`. No physical read is charged
@@ -177,15 +216,20 @@ class BufferPool {
   friend class PageGuard;
 
   enum class FrameState : uint8_t {
-    kFree,     // on the shard free list; pid meaningless
-    kLoading,  // published in the page table; disk read in flight
-    kReady,    // contents valid
+    kFree,       // on the shard free list; pid meaningless
+    kLoading,    // published in the page table; disk read in flight
+    kReady,      // contents valid
+    kLoadError,  // async load failed; load_status set, loader cleans up
   };
 
   struct Frame {
     PageId pid;
     std::unique_ptr<char[]> data;
     FrameState state = FrameState::kFree;
+    // Outcome of a failed async demand load, parked here (state
+    // kLoadError) until the loader — who still holds the pin — wakes,
+    // frees the frame and propagates it to the Fetch caller.
+    Status load_status;
     int32_t pin_count = 0;
     bool dirty = false;
     // Position in the shard lru when pin_count == 0; lru.end() otherwise.

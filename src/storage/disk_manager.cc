@@ -2,16 +2,75 @@
 
 #include <chrono>
 #include <cstring>
-#include <thread>
+#include <utility>
 
 #include "common/string_util.h"
 #include "obs/metrics_registry.h"
+#include "obs/trace_collector.h"
 
 namespace dpcf {
 
-DiskManager::DiskManager(size_t page_size) : page_size_(page_size) {}
+namespace {
+int64_t SteadyNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
 
-void DiskManager::AttachMetrics(MetricsRegistry* registry) {
+/// Retires one claimed submission at scope exit: decrements in_flight_
+/// under the ring latch and wakes producers blocked on a full ring plus
+/// DrainSubmissions waiters. RAII so the slot is retired even if the
+/// completion callback returns early; constructed *before* the read and
+/// destroyed *after* the callback, which is what makes DrainSubmissions'
+/// "every callback has returned" guarantee hold.
+class CompletionScope {
+ public:
+  explicit CompletionScope(DiskManager* disk) : disk_(disk) {}
+  CompletionScope(const CompletionScope&) = delete;
+  CompletionScope& operator=(const CompletionScope&) = delete;
+  ~CompletionScope() {
+    {
+      MutexLock lock(&disk_->submit_mu_);
+      --disk_->in_flight_;
+    }
+    disk_->submit_cv_.notify_all();
+  }
+
+ private:
+  DiskManager* const disk_;
+};
+
+DiskManager::DiskManager(size_t page_size)
+    : DiskManager(DiskManagerOptions{page_size, 2, 256}) {}
+
+DiskManager::DiskManager(const DiskManagerOptions& options)
+    : page_size_(options.page_size),
+      io_threads_(options.io_threads < 1 ? 1 : options.io_threads),
+      queue_depth_(options.queue_depth < 1 ? 1 : options.queue_depth) {}
+
+DiskManager::~DiskManager() {
+  std::deque<ReadRequest> orphaned;
+  {
+    MutexLock lock(&submit_mu_);
+    stop_workers_ = true;
+    orphaned.swap(queue_);
+  }
+  submit_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  // Workers are gone; whatever was still waiting on the ring never ran.
+  // Callers that care (the buffer pool, tests) drain or cancel first, so
+  // these callbacks never reference already-destroyed state here.
+  for (ReadRequest& req : orphaned) {
+    if (req.on_complete) {
+      req.on_complete(Status::Cancelled("disk manager destroyed"));
+    }
+  }
+}
+
+void DiskManager::AttachMetrics(MetricsRegistry* registry,
+                                TraceCollector* trace) {
+  trace_ = trace;
   if (registry == nullptr) return;
   m_reads_seq_ = registry->GetCounter(
       "disk_reads_total", "Physical page reads by class",
@@ -28,6 +87,19 @@ void DiskManager::AttachMetrics(MetricsRegistry* registry) {
       "disk_read_latency_us", "Configured simulated per-read latency");
   m_latency_us_->Set(
       static_cast<double>(read_latency_us_.load(std::memory_order_relaxed)));
+  m_submitted_ = registry->GetCounter(
+      "disk_async_submitted_total",
+      "Reads enqueued on the async submission ring");
+  m_cancelled_ = registry->GetCounter(
+      "disk_async_cancelled_total",
+      "Submitted reads retired unread by CancelPending");
+  m_queue_depth_ = registry->GetGauge(
+      "disk_submission_queue_pages",
+      "Pages waiting on the submission ring (unclaimed requests)");
+  m_submit_to_complete_us_ = registry->GetHistogram(
+      "disk_submit_to_complete_us",
+      "Wall time from ring submission to completion-callback return",
+      1.0, 2.0, 20);
 }
 
 void DiskManager::set_read_latency_us(int64_t us) {
@@ -65,7 +137,7 @@ bool DiskManager::ValidPage(PageId pid) const {
          pid.page_no < segments_[pid.segment].pages.size();
 }
 
-Status DiskManager::ReadPage(PageId pid, char* out, ReadClass cls) {
+Status DiskManager::CopyPageImage(PageId pid, char* out, ReadClass cls) {
   const char* src = nullptr;
   {
     MutexLock lock(&mu_);
@@ -100,6 +172,141 @@ Status DiskManager::ReadPage(PageId pid, char* out, ReadClass cls) {
   if (lat > 0) std::this_thread::sleep_for(std::chrono::microseconds(lat));
   std::memcpy(out, src, page_size_);
   return Status::OK();
+}
+
+Status DiskManager::ReadPage(PageId pid, char* out, ReadClass cls) {
+  return CopyPageImage(pid, out, cls);
+}
+
+DiskManager::SubmissionGuard::SubmissionGuard(DiskManager* disk)
+    : disk_(disk) {
+  disk_->submit_mu_.lock();
+  disk_->EnsureWorkersLocked();
+}
+
+void DiskManager::SubmissionGuard::Add(ReadRequest req) {
+  // Producer backpressure: never grow the ring past queue_depth. The wait
+  // releases submit_mu_, so workers can keep claiming entries.
+  while (disk_->queue_.size() >= disk_->queue_depth_ &&
+         !disk_->stop_workers_) {
+    disk_->submit_cv_.wait(disk_->submit_mu_);
+  }
+  if (disk_->m_submit_to_complete_us_ != nullptr) {
+    req.submit_us = SteadyNowUs();
+  }
+  disk_->queue_.push_back(std::move(req));
+  if (disk_->m_submitted_ != nullptr) disk_->m_submitted_->Increment();
+  if (disk_->m_queue_depth_ != nullptr) {
+    disk_->m_queue_depth_->Set(static_cast<double>(disk_->queue_.size()));
+  }
+  ++added_;
+}
+
+DiskManager::SubmissionGuard::~SubmissionGuard() {
+  disk_->submit_mu_.unlock();
+  if (added_ > 0) {
+    disk_->submit_cv_.notify_all();
+    if (disk_->trace_ != nullptr && disk_->trace_->enabled()) {
+      disk_->trace_->AddInstant(
+          "io", StrFormat("submit batch n=%zu", added_));
+    }
+  }
+}
+
+void DiskManager::SubmitRead(PageId pid, char* out, ReadClass cls,
+                             ReadCompletion cb) {
+  SubmissionGuard guard(this);
+  guard.Add(ReadRequest{pid, out, cls, std::move(cb)});
+}
+
+void DiskManager::SubmitBatch(std::vector<ReadRequest> batch) {
+  if (batch.empty()) return;
+  SubmissionGuard guard(this);
+  for (ReadRequest& req : batch) guard.Add(std::move(req));
+}
+
+void DiskManager::EnsureWorkersLocked() {
+  if (workers_started_) return;
+  workers_started_ = true;
+  workers_.reserve(static_cast<size_t>(io_threads_));
+  for (int i = 0; i < io_threads_; ++i) {
+    workers_.emplace_back([this] { IoWorkerLoop(); });
+  }
+}
+
+void DiskManager::IoWorkerLoop() {
+  for (;;) {
+    submit_mu_.lock();
+    while (queue_.empty() && !stop_workers_) {
+      submit_cv_.wait(submit_mu_);
+    }
+    if (queue_.empty()) {  // stop requested and nothing left to claim
+      submit_mu_.unlock();
+      return;
+    }
+    ReadRequest req = std::move(queue_.front());
+    queue_.pop_front();
+    ++in_flight_;
+    if (m_queue_depth_ != nullptr) {
+      m_queue_depth_->Set(static_cast<double>(queue_.size()));
+    }
+    submit_mu_.unlock();
+    // A producer may be blocked on the full ring; the claim freed a slot.
+    submit_cv_.notify_all();
+    {
+      CompletionScope done(this);
+      const bool traced = trace_ != nullptr && trace_->enabled();
+      const int64_t span_begin = traced ? trace_->NowUs() : 0;
+      const Status st = CopyPageImage(req.pid, req.dst, req.cls);
+      if (traced) {
+        trace_->AddSpan(
+            "io",
+            StrFormat("async %s read %s",
+                      req.cls == ReadClass::kPrefetch ? "prefetch"
+                                                      : "demand",
+                      req.pid.ToString().c_str()),
+            span_begin);
+      }
+      if (req.on_complete) req.on_complete(st);
+      if (m_submit_to_complete_us_ != nullptr && req.submit_us != 0) {
+        m_submit_to_complete_us_->Observe(
+            static_cast<double>(SteadyNowUs() - req.submit_us));
+      }
+    }
+  }
+}
+
+void DiskManager::CancelPending() {
+  std::deque<ReadRequest> cancelled;
+  {
+    MutexLock lock(&submit_mu_);
+    cancelled.swap(queue_);
+    if (m_queue_depth_ != nullptr) m_queue_depth_->Set(0.0);
+  }
+  // Producers blocked on a full ring can proceed now.
+  submit_cv_.notify_all();
+  // Callbacks fire off-latch: they are allowed to take buffer-pool shard
+  // latches (rank 100), which would invert against submit_mu_ (rank 250).
+  for (ReadRequest& req : cancelled) {
+    if (m_cancelled_ != nullptr) m_cancelled_->Increment();
+    if (req.on_complete) {
+      req.on_complete(
+          Status::Cancelled("read retired from the submission ring"));
+    }
+  }
+}
+
+void DiskManager::DrainSubmissions() {
+  submit_mu_.lock();
+  while (!queue_.empty() || in_flight_ > 0) {
+    submit_cv_.wait(submit_mu_);
+  }
+  submit_mu_.unlock();
+}
+
+size_t DiskManager::pending_submissions() const {
+  MutexLock lock(&submit_mu_);
+  return queue_.size() + in_flight_;
 }
 
 Status DiskManager::WritePage(PageId pid, const char* data) {

@@ -7,13 +7,29 @@
 // mis-costed Index Seek slow). A single read head is modelled: a read is
 // sequential iff it targets the page immediately after the previous read in
 // the same segment.
+//
+// Two read paths share that classifier:
+//  * ReadPage(): the synchronous path — classify + charge under the latch,
+//    sleep the simulated latency and copy the bytes off-latch. The caller's
+//    thread is blocked for the full device time.
+//  * SubmitRead()/SubmitBatch(): the io_uring-style asynchronous path — the
+//    request lands on a bounded submission ring (its own ranked latch,
+//    lock_rank::kDiskSubmission) and a small pool of completion workers
+//    (DiskManagerOptions::io_threads) performs the same classify/charge/
+//    sleep/copy and then fires the completion callback off-latch. The
+//    accounting is identical to the synchronous path because both funnel
+//    through CopyPageImage(); only *whose thread* pays the latency differs.
 
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/status.h"
@@ -31,7 +47,42 @@ enum class ReadClass { kDemand, kPrefetch };
 
 class Counter;          // obs/metrics_registry.h
 class Gauge;            // obs/metrics_registry.h
+class LogHistogram;     // obs/metrics_registry.h
 class MetricsRegistry;  // obs/metrics_registry.h
+class TraceCollector;   // obs/trace_collector.h
+class CompletionScope;  // disk_manager.cc (friend below)
+
+/// Invoked exactly once per submitted request, off every disk latch, with
+/// the read's outcome: OK once the bytes are in the destination buffer, an
+/// error status if the page was invalid, or Cancelled if CancelPending()
+/// (or destruction) retired the request before a worker claimed it — in
+/// which case the destination buffer was never written.
+using ReadCompletion = std::function<void(const Status&)>;
+
+/// One entry on the submission ring. `dst` must stay valid until the
+/// completion fires (the buffer pool guarantees this with its kLoading
+/// frame state: a loading frame is pinned and never a victim).
+struct ReadRequest {
+  PageId pid;
+  char* dst = nullptr;
+  ReadClass cls = ReadClass::kDemand;
+  ReadCompletion on_complete;
+  /// Set by the queue at enqueue time when latency observation is attached;
+  /// 0 means unobserved. Internal — leave defaulted.
+  int64_t submit_us = 0;
+};
+
+struct DiskManagerOptions {
+  size_t page_size = kDefaultPageSize;
+  /// Completion workers draining the submission ring. Each blocked worker
+  /// represents one in-flight device operation, so this is the simulated
+  /// device queue depth for latency overlap. Clamped to >= 1.
+  int io_threads = 2;
+  /// Bounded ring capacity: Add()/SubmitRead() block (releasing no latch
+  /// the caller holds — producers must not submit under a shard latch)
+  /// once this many requests are enqueued and unclaimed.
+  size_t queue_depth = 256;
+};
 
 /// In-memory simulated disk with per-segment page arrays and I/O accounting.
 ///
@@ -46,11 +97,21 @@ class MetricsRegistry;  // obs/metrics_registry.h
 /// reused). With morsel-parallel scans the interleaving of workers means
 /// fewer reads classify as sequential than in a serial scan — exactly as on
 /// real hardware with one arm.
+///
+/// The submission ring has its own latch (submit_mu_, rank kDiskSubmission
+/// = 250 > kDisk): a completion worker never holds the ring latch while it
+/// performs the read (it pops, releases, then takes mu_ inside
+/// CopyPageImage), and callbacks fire with no disk latch held so they may
+/// take buffer-pool shard latches (rank 100) without inverting the rank
+/// order on a fresh thread.
 class DiskManager {
  public:
   explicit DiskManager(size_t page_size = kDefaultPageSize);
+  explicit DiskManager(const DiskManagerOptions& options);
+  ~DiskManager();
 
   size_t page_size() const { return page_size_; }
+  int io_threads() const { return io_threads_; }
 
   /// Creates an empty segment and returns its id.
   SegmentId CreateSegment(std::string name) EXCLUDES(mu_);
@@ -64,12 +125,66 @@ class DiskManager {
 
   const std::string& SegmentName(SegmentId segment) const EXCLUDES(mu_);
 
-  /// Physical read of a page into `out` (page_size bytes). Demand reads are
-  /// charged to IoStats as sequential or random per the read-head model;
-  /// prefetch reads are charged to prefetch_reads only. The simulated device
-  /// latency (if any) is slept outside the latch so concurrent reads overlap.
+  /// Physical read of a page into `out` (page_size bytes), synchronously on
+  /// the calling thread. Demand reads are charged to IoStats as sequential
+  /// or random per the read-head model; prefetch reads are charged to
+  /// prefetch_reads only. The simulated device latency (if any) is slept
+  /// outside the latch so concurrent reads overlap.
   Status ReadPage(PageId pid, char* out, ReadClass cls = ReadClass::kDemand)
       EXCLUDES(mu_);
+
+  /// Enqueues one read on the submission ring; `cb` fires from a completion
+  /// worker once the bytes are in `out` (or with the error). Blocks only
+  /// while the ring is full. Prefer SubmitBatch/SubmissionGuard when
+  /// enqueueing more than one request.
+  void SubmitRead(PageId pid, char* out, ReadClass cls, ReadCompletion cb)
+      EXCLUDES(submit_mu_, mu_);
+
+  /// Enqueues a whole batch in one ring latch round-trip, preserving order
+  /// (the ring is FIFO; with io_threads == 1 completions are FIFO too).
+  void SubmitBatch(std::vector<ReadRequest> batch)
+      EXCLUDES(submit_mu_, mu_);
+
+  /// Retires every request still waiting on the ring (requests a worker
+  /// has already claimed are not interrupted) and fires their callbacks
+  /// with Status::Cancelled, off-latch, on the calling thread. Used by
+  /// BufferPool::ColdReset so a quiescing pool does not wait out the
+  /// simulated latency of a speculative readahead backlog.
+  void CancelPending() EXCLUDES(submit_mu_, mu_);
+
+  /// Blocks until the ring is empty and no claimed request is still being
+  /// serviced — i.e. every completion callback submitted so far has
+  /// returned. The pool drains before destruction and before ColdReset so
+  /// no callback can touch a frame after the pool mutates it.
+  void DrainSubmissions() EXCLUDES(submit_mu_, mu_);
+
+  /// Waiting + claimed-but-incomplete request count (exact only at
+  /// quiescent points; tests use it, the gauge mirrors the waiting part).
+  size_t pending_submissions() const EXCLUDES(submit_mu_);
+
+  /// Batches several Add() calls into a single acquisition of the ring
+  /// latch; workers are woken once, at scope exit. Named-object RAII (the
+  /// dpcf-ast-unnamed-raii rule rejects a discarded temporary, which would
+  /// enqueue nothing and release the latch immediately).
+  class SCOPED_CAPABILITY SubmissionGuard {
+   public:
+    explicit SubmissionGuard(DiskManager* disk) ACQUIRE(disk->submit_mu_);
+    SubmissionGuard(const SubmissionGuard&) = delete;
+    SubmissionGuard& operator=(const SubmissionGuard&) = delete;
+    ~SubmissionGuard() RELEASE();
+
+    /// Enqueues one request. Blocks (releasing the ring latch inside the
+    /// wait) while the ring is at queue_depth. Runs under submit_mu_ (held
+    /// for the guard's whole lifetime), but clang cannot equate the
+    /// aliased capability `disk_->submit_mu_` with the mutex the
+    /// constructor acquired at the call site, so the analysis is opted
+    /// out here rather than annotated with an unprovable REQUIRES.
+    void Add(ReadRequest req) NO_THREAD_SAFETY_ANALYSIS;
+
+   private:
+    DiskManager* const disk_;
+    size_t added_ = 0;
+  };
 
   /// Physical write of a page. Charged as a write.
   Status WritePage(PageId pid, const char* data) EXCLUDES(mu_);
@@ -92,6 +207,11 @@ class DiskManager {
   /// a disk-before-pool acquisition a compile error at the call site).
   Mutex* latch() const RETURN_CAPABILITY(mu_) { return &mu_; }
 
+  /// The submission-ring latch, for rank assertions in tests.
+  Mutex* submission_latch() const RETURN_CAPABILITY(submit_mu_) {
+    return &submit_mu_;
+  }
+
   /// Simulated per-read device latency, slept outside any latch so reads
   /// issued by different threads overlap (as on a disk with queue depth).
   /// Contention benches and tests use this to make miss-path latch holds
@@ -102,12 +222,17 @@ class DiskManager {
   }
 
   /// Resolves this disk's metric handles (reads by class, writes, the
-  /// latency-knob gauge) from `registry`. Call once at a quiescent point
-  /// (Database's constructor does); null detaches nothing and is ignored.
-  void AttachMetrics(MetricsRegistry* registry) EXCLUDES(mu_);
+  /// latency-knob gauge, submission-ring depth and submit→complete
+  /// latency) from `registry`, and wires `trace` for async read spans.
+  /// Call once at a quiescent point (Database's constructor does); null
+  /// detaches nothing and is ignored.
+  void AttachMetrics(MetricsRegistry* registry,
+                     TraceCollector* trace = nullptr) EXCLUDES(mu_);
 
  private:
   friend class BufferPool;  // names mu_ in its lock-order annotations
+  friend class SubmissionGuard;
+  friend class CompletionScope;  // in_flight_ retirement (disk_manager.cc)
 
   struct Segment {
     std::string name;
@@ -116,7 +241,23 @@ class DiskManager {
 
   bool ValidPage(PageId pid) const REQUIRES(mu_);
 
+  /// The one read implementation both paths share: classify + charge under
+  /// mu_, then sleep the simulated latency and memcpy off-latch. Exactly
+  /// one page image leaves the disk per OK return (dpcf-ast-charge-
+  /// conservation lists this as a page reader).
+  Status CopyPageImage(PageId pid, char* out, ReadClass cls) EXCLUDES(mu_);
+
+  /// Spawns the io_threads_ completion workers on first use, so purely
+  /// synchronous workloads (every pre-async caller) never pay the threads.
+  void EnsureWorkersLocked() REQUIRES(submit_mu_);
+
+  /// Completion-worker body: pop under submit_mu_, release, read via
+  /// CopyPageImage, fire the callback off-latch, retire the slot.
+  void IoWorkerLoop();
+
   size_t page_size_;
+  int io_threads_;
+  size_t queue_depth_;
   // Rank kDisk: always innermost of the storage pair (pool shard -> disk).
   mutable Mutex mu_{lock_rank::kDisk};
   std::vector<Segment> segments_ GUARDED_BY(mu_);
@@ -125,6 +266,24 @@ class DiskManager {
   mutable IoStats io_stats_;
   PageId last_read_ GUARDED_BY(mu_);  // invalid when head position unknown
   std::atomic<int64_t> read_latency_us_{0};  // its own synchronization
+
+  // --- Submission ring (async path) ---------------------------------
+  // Rank kDiskSubmission > kDisk: a worker that popped a request takes
+  // mu_ only after releasing submit_mu_, and producers may submit while
+  // holding nothing (or a shard latch, rank 100 < 250).
+  mutable Mutex submit_mu_{lock_rank::kDiskSubmission};
+  /// Signaled on enqueue (workers), dequeue (producers blocked on a full
+  /// ring) and retirement (DrainSubmissions waiters).
+  mutable std::condition_variable_any submit_cv_;
+  std::deque<ReadRequest> queue_ GUARDED_BY(submit_mu_);
+  size_t in_flight_ GUARDED_BY(submit_mu_) = 0;  // claimed, not yet retired
+  bool stop_workers_ GUARDED_BY(submit_mu_) = false;
+  bool workers_started_ GUARDED_BY(submit_mu_) = false;
+  // Mutated only by EnsureWorkersLocked (under submit_mu_) and joined in
+  // the destructor after the workers have been stopped; no concurrent
+  // access in between, so no GUARDED_BY.
+  std::vector<std::thread> workers_;
+
   // Metric handles, null until AttachMetrics (set once at a quiescent
   // point; the metrics themselves are relaxed atomics — no GUARDED_BY).
   Counter* m_reads_seq_ = nullptr;
@@ -132,6 +291,11 @@ class DiskManager {
   Counter* m_reads_prefetch_ = nullptr;
   Counter* m_writes_ = nullptr;
   Gauge* m_latency_us_ = nullptr;
+  Counter* m_submitted_ = nullptr;
+  Counter* m_cancelled_ = nullptr;
+  Gauge* m_queue_depth_ = nullptr;
+  LogHistogram* m_submit_to_complete_us_ = nullptr;
+  TraceCollector* trace_ = nullptr;
 };
 
 }  // namespace dpcf

@@ -7,12 +7,14 @@ namespace dpcf {
 std::string IoStats::ToString() const {
   return StrFormat(
       "IoStats{seq=%lld rand=%lld writes=%lld prefetch=%lld "
-      "prefetch_hits=%lld logical=%lld hits=%lld raw=%lld}",
+      "prefetch_hits=%lld prefetch_rejected=%lld logical=%lld hits=%lld "
+      "raw=%lld}",
       static_cast<long long>(physical_seq_reads),
       static_cast<long long>(physical_rand_reads),
       static_cast<long long>(physical_writes),
       static_cast<long long>(prefetch_reads),
       static_cast<long long>(prefetch_hits),
+      static_cast<long long>(prefetch_rejected),
       static_cast<long long>(logical_reads),
       static_cast<long long>(buffer_hits),
       static_cast<long long>(raw_page_reads));

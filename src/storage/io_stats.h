@@ -89,6 +89,12 @@ struct IoStats {
   // quiescent points: prefetch_hits <= prefetch_reads.
   AtomicCounter prefetch_hits;
 
+  // Prefetch requests the buffer pool dropped because the page's shard had
+  // no evictable frame (readahead running too far ahead of the consumers).
+  // Nothing was read, so nothing else is charged; the adaptive readahead
+  // window treats a nonzero delta here as the signal to narrow.
+  AtomicCounter prefetch_rejected;
+
   // Logical I/O: every *successful* buffer-pool page request, hit or miss.
   // Failed fetches (e.g. ResourceExhausted) charge nothing, which keeps the
   // invariant above exact rather than approximate under contention.
@@ -115,6 +121,7 @@ struct IoStats {
     physical_writes += o.physical_writes;
     prefetch_reads += o.prefetch_reads;
     prefetch_hits += o.prefetch_hits;
+    prefetch_rejected += o.prefetch_rejected;
     logical_reads += o.logical_reads;
     buffer_hits += o.buffer_hits;
     raw_page_reads += o.raw_page_reads;
@@ -129,6 +136,7 @@ struct IoStats {
     physical_writes -= o.physical_writes;
     prefetch_reads -= o.prefetch_reads;
     prefetch_hits -= o.prefetch_hits;
+    prefetch_rejected -= o.prefetch_rejected;
     logical_reads -= o.logical_reads;
     buffer_hits -= o.buffer_hits;
     raw_page_reads -= o.raw_page_reads;

@@ -57,12 +57,15 @@ std::vector<Index*> Catalog::Indexes() const {
 Database::Database(DatabaseOptions options)
     : options_(options),
       trace_(options.observability.tracing),
-      disk_(options.page_size),
+      disk_(DiskManagerOptions{options.page_size, options.io_threads,
+                               /*queue_depth=*/256}),
       pool_(&disk_, options.buffer_pool_pages,
-            BufferPoolOptions{options.buffer_pool_shards}) {
+            BufferPoolOptions{options.buffer_pool_shards,
+                              /*serialize_miss_io=*/false,
+                              options.async_io}) {
   MetricsRegistry* registry =
       options_.observability.metrics ? &metrics_ : nullptr;
-  disk_.AttachMetrics(registry);
+  disk_.AttachMetrics(registry, &trace_);
   pool_.AttachObservability(registry, &trace_);
 }
 

@@ -1,0 +1,24 @@
+// dpcf-ast-unnamed-raii fixture: the disk manager's submission-ring
+// guards constructed as unnamed temporaries. A SubmissionGuard that dies
+// at the semicolon batches nothing and wakes the workers for an empty
+// ring; a CompletionScope that dies immediately retires the in-flight
+// slot before the completion callback ran. Brace forms keep the
+// statements unambiguous expressions for both engines.
+
+struct DiskManager {};
+
+class SubmissionGuard {
+ public:
+  explicit SubmissionGuard(DiskManager* disk);
+};
+
+class CompletionScope {
+ public:
+  explicit CompletionScope(DiskManager* disk);
+};
+
+void SubmitAndRetire(DiskManager* disk) {
+  SubmissionGuard{disk};  // bad: ring latch dropped before any Add
+
+  CompletionScope{disk};  // bad: in-flight slot retired immediately
+}

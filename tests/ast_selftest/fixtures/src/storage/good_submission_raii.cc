@@ -1,0 +1,23 @@
+// dpcf-ast-unnamed-raii clean fixture: the submission-ring guards held
+// for their full intended scopes, as the disk manager uses them.
+
+struct DiskManager {};
+
+class SubmissionGuard {
+ public:
+  explicit SubmissionGuard(DiskManager* disk);
+  void Add(int request);
+};
+
+class CompletionScope {
+ public:
+  explicit CompletionScope(DiskManager* disk);
+};
+
+void SubmitAndRetire(DiskManager* disk) {
+  SubmissionGuard batch{disk};
+  batch.Add(1);
+  batch.Add(2);
+
+  CompletionScope done{disk};
+}

@@ -35,6 +35,8 @@ VIOLATING = [
      ["src/feedback/bad_discarded_alias.cc"], 2),
     ("dpcf-ast-unnamed-raii", ["src/storage/bad_unnamed_raii.cc"], 2),
     ("dpcf-ast-unnamed-raii", ["src/exec/bad_unnamed_brace.cc"], 1),
+    ("dpcf-ast-unnamed-raii",
+     ["src/storage/bad_unnamed_submission.cc"], 2),
     ("dpcf-ast-nondeterminism", ["src/core/bad_entropy_direct.cc"], 2),
     ("dpcf-ast-nondeterminism",
      ["src/core/bad_entropy_transitive.cc",
@@ -46,15 +48,20 @@ VIOLATING = [
      ["src/exec/bad_charge_missing.cc"], 1),
     ("dpcf-ast-charge-conservation",
      ["src/exec/bad_charge_earlyreturn.cc"], 1),
+    ("dpcf-ast-charge-conservation",
+     ["src/storage/bad_charge_copyimage.cc"], 1),
 ]
 
 CLEAN = [
     ("dpcf-ast-discarded-status", ["src/feedback/good_discarded.cc"]),
     ("dpcf-ast-unnamed-raii", ["src/exec/good_named_raii.cc"]),
+    ("dpcf-ast-unnamed-raii", ["src/storage/good_submission_raii.cc"]),
     ("dpcf-ast-nondeterminism",
      ["src/core/good_entropy.cc", "src/obs/report_sink.cc"]),
     ("dpcf-ast-guard-consistency", ["src/storage/good_guard.cc"]),
     ("dpcf-ast-charge-conservation", ["src/exec/good_charge.cc"]),
+    ("dpcf-ast-charge-conservation",
+     ["src/storage/good_charge_copyimage.cc"]),
     # Violations present but suppressed -> clean (no --rule filter: every
     # rule must honor the suppressions).
     (None, ["src/storage/suppressed.cc"]),
@@ -70,6 +77,10 @@ CLANG_CASES = [
     ("dpcf-ast-unnamed-raii", ["src/storage/bad_unnamed_raii.cc"], 2),
     ("dpcf-ast-unnamed-raii", ["src/exec/bad_unnamed_brace.cc"], 1),
     ("dpcf-ast-unnamed-raii", ["src/exec/good_named_raii.cc"], 0),
+    ("dpcf-ast-unnamed-raii",
+     ["src/storage/bad_unnamed_submission.cc"], 2),
+    ("dpcf-ast-unnamed-raii",
+     ["src/storage/good_submission_raii.cc"], 0),
 ]
 
 

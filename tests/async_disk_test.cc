@@ -1,0 +1,417 @@
+// The asynchronous disk submission ring (storage/disk_manager.h) and the
+// adaptive readahead window built on it (exec/readahead.h).
+//
+//  - one completion worker drains the ring in submission order (FIFO);
+//  - concurrent async Fetches of the same cold page collapse onto one
+//    physical read (the kLoading frame protocol), and the exact accounting
+//    invariant logical_reads == buffer_hits + physical_reads() holds;
+//  - ColdReset cancels the queued backlog instead of waiting out its
+//    simulated latency, and cancelled reads charge nothing;
+//  - the adaptive window controller follows its integer control law
+//    (widen on consumed prefetches, narrow on waste or rejection);
+//  - merged scan feedback is bit-for-bit identical to the serial oracle
+//    for every thread count x window x adaptive-mode combination.
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "exec/parallel_scan.h"
+#include "exec/readahead.h"
+#include "exec/scan_ops.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "tests/test_util.h"
+#include "workload/synthetic.h"
+
+namespace dpcf {
+namespace {
+
+using testing::SyntheticDbTest;
+
+constexpr uint32_t kPageSize = 256;
+
+// Writes kPages pages whose first byte is the page number.
+SegmentId FillSegment(DiskManager* disk, PageNo pages) {
+  SegmentId seg = disk->CreateSegment("t");
+  std::vector<char> buf(disk->page_size(), 0);
+  for (PageNo p = 0; p < pages; ++p) {
+    disk->AllocatePage(seg);
+    buf[0] = static_cast<char>(p);
+    EXPECT_TRUE(disk->WritePage(PageId{seg, p}, buf.data()).ok());
+  }
+  return seg;
+}
+
+void CheckExactInvariant(const IoStats& io, const char* what) {
+  EXPECT_EQ(static_cast<int64_t>(io.logical_reads),
+            static_cast<int64_t>(io.buffer_hits) + io.physical_reads())
+      << what;
+  EXPECT_LE(static_cast<int64_t>(io.prefetch_hits),
+            static_cast<int64_t>(io.prefetch_reads))
+      << what;
+}
+
+// ------------------------------------------------------------ raw ring
+
+TEST(AsyncDiskTest, SingleWorkerCompletesInSubmissionOrder) {
+  DiskManager disk(DiskManagerOptions{kPageSize, /*io_threads=*/1,
+                                      /*queue_depth=*/64});
+  const PageNo kPages = 24;
+  SegmentId seg = FillSegment(&disk, kPages);
+
+  std::vector<std::vector<char>> dst(kPages,
+                                     std::vector<char>(kPageSize, 0));
+  std::mutex order_mu;
+  std::vector<PageNo> completed;
+  std::vector<ReadRequest> batch;
+  for (PageNo p = 0; p < kPages; ++p) {
+    batch.push_back(ReadRequest{
+        PageId{seg, p}, dst[p].data(), ReadClass::kDemand,
+        [&order_mu, &completed, p](const Status& st) {
+          EXPECT_TRUE(st.ok()) << st.ToString();
+          std::lock_guard<std::mutex> hold(order_mu);
+          completed.push_back(p);
+        }});
+  }
+  disk.SubmitBatch(std::move(batch));
+  disk.DrainSubmissions();
+
+  ASSERT_EQ(completed.size(), kPages);
+  for (PageNo p = 0; p < kPages; ++p) {
+    EXPECT_EQ(completed[p], p) << "ring is FIFO with one worker";
+    EXPECT_EQ(dst[p][0], static_cast<char>(p)) << "page " << p;
+  }
+  EXPECT_EQ(disk.pending_submissions(), 0u);
+  EXPECT_EQ(disk.io_stats()->physical_reads(),
+            static_cast<int64_t>(kPages));
+}
+
+TEST(AsyncDiskTest, SubmitBeyondQueueDepthBackpressuresNotDrops) {
+  // 4x more requests than ring slots: producers must block, not drop.
+  DiskManager disk(DiskManagerOptions{kPageSize, /*io_threads=*/2,
+                                      /*queue_depth=*/8});
+  const PageNo kPages = 32;
+  SegmentId seg = FillSegment(&disk, kPages);
+
+  std::vector<std::vector<char>> dst(kPages,
+                                     std::vector<char>(kPageSize, 0));
+  std::atomic<int> ok_count{0};
+  for (PageNo p = 0; p < kPages; ++p) {
+    disk.SubmitRead(PageId{seg, p}, dst[p].data(), ReadClass::kDemand,
+                    [&ok_count](const Status& st) {
+                      if (st.ok()) ok_count.fetch_add(1);
+                    });
+  }
+  disk.DrainSubmissions();
+  EXPECT_EQ(ok_count.load(), static_cast<int>(kPages));
+  for (PageNo p = 0; p < kPages; ++p) {
+    EXPECT_EQ(dst[p][0], static_cast<char>(p));
+  }
+}
+
+TEST(AsyncDiskTest, DestructorCancelsQueuedReads) {
+  const PageNo kPages = 64;
+  std::vector<std::vector<char>> dst(kPages,
+                                     std::vector<char>(kPageSize, 0));
+  std::atomic<int> cancelled{0};
+  std::atomic<int> completed{0};
+  {
+    DiskManager disk(DiskManagerOptions{kPageSize, /*io_threads=*/1,
+                                        /*queue_depth=*/256});
+    SegmentId seg = FillSegment(&disk, kPages);
+    disk.set_read_latency_us(1000);  // the backlog would take ~64 ms
+    std::vector<ReadRequest> batch;
+    for (PageNo p = 0; p < kPages; ++p) {
+      batch.push_back(ReadRequest{
+          PageId{seg, p}, dst[p].data(), ReadClass::kPrefetch,
+          [&cancelled, &completed](const Status& st) {
+            (st.ok() ? completed : cancelled).fetch_add(1);
+          }});
+    }
+    disk.SubmitBatch(std::move(batch));
+    // Destroy with the ring still mostly full.
+  }
+  EXPECT_EQ(cancelled.load() + completed.load(),
+            static_cast<int>(kPages))
+      << "every submission gets exactly one completion call";
+  EXPECT_GT(cancelled.load(), 0) << "the backlog was retired, not slept";
+}
+
+// ---------------------------------------------------- pool integration
+
+TEST(AsyncDiskTest, ConcurrentFetchesShareOnePhysicalRead) {
+  DiskManager disk(DiskManagerOptions{kPageSize, /*io_threads=*/4,
+                                      /*queue_depth=*/256});
+  const PageNo kPages = 32;
+  SegmentId seg = FillSegment(&disk, kPages);
+  disk.set_read_latency_us(200);  // widen the kLoading window
+
+  BufferPool pool(&disk, /*capacity_pages=*/64,
+                  BufferPoolOptions{/*num_shards=*/4,
+                                    /*serialize_miss_io=*/false,
+                                    /*async_io=*/true});
+  const int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, &failures, seg, t] {
+      // Different start offsets maximize same-page contention.
+      for (PageNo i = 0; i < kPages; ++i) {
+        PageNo p = (i + static_cast<PageNo>(4 * t)) % kPages;
+        auto guard = pool.Fetch(PageId{seg, p});
+        if (!guard.ok() ||
+            guard.value().data()[0] != static_cast<char>(p)) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const IoStats& io = *disk.io_stats();
+  // Capacity exceeds the segment, so no eviction: the kLoading protocol
+  // must collapse all concurrent misses of a page onto ONE physical read.
+  EXPECT_EQ(io.physical_reads(), static_cast<int64_t>(kPages));
+  EXPECT_EQ(static_cast<int64_t>(io.logical_reads),
+            static_cast<int64_t>(kThreads) * kPages);
+  CheckExactInvariant(io, "contended async fetch");
+}
+
+TEST(AsyncDiskTest, ColdResetCancelsPendingPrefetches) {
+  DiskManager disk(DiskManagerOptions{kPageSize, /*io_threads=*/1,
+                                      /*queue_depth=*/256});
+  const PageNo kPages = 64;
+  SegmentId seg = FillSegment(&disk, kPages);
+  disk.set_read_latency_us(1000);  // ~64 ms if the backlog were slept
+
+  BufferPool pool(&disk, /*capacity_pages=*/128,
+                  BufferPoolOptions{/*num_shards=*/2,
+                                    /*serialize_miss_io=*/false,
+                                    /*async_io=*/true});
+  std::vector<PageId> pids;
+  for (PageNo p = 0; p < kPages; ++p) pids.push_back(PageId{seg, p});
+  ASSERT_OK(pool.PrefetchBatch(pids));
+  ASSERT_OK(pool.ColdReset());  // cancels the queue instead of draining it
+
+  EXPECT_EQ(pool.cached_pages(), 0u);
+  EXPECT_EQ(disk.pending_submissions(), 0u);
+  // Cancelled reads charged nothing: at most the one or two requests a
+  // worker had already claimed count as prefetch reads.
+  EXPECT_LT(static_cast<int64_t>(disk.io_stats()->prefetch_reads),
+            static_cast<int64_t>(kPages));
+  // The pool still works after the cancellation.
+  disk.set_read_latency_us(0);
+  auto guard = pool.Fetch(PageId{seg, 5});
+  ASSERT_OK(guard.status());
+  EXPECT_EQ(guard.value().data()[0], 5);
+  CheckExactInvariant(*disk.io_stats(), "after cold-reset cancellation");
+}
+
+TEST(AsyncDiskTest, InvariantHoldsUnderEvictionChurn) {
+  DiskManager disk(DiskManagerOptions{kPageSize, /*io_threads=*/2,
+                                      /*queue_depth=*/64});
+  const PageNo kPages = 128;
+  SegmentId seg = FillSegment(&disk, kPages);
+
+  // Capacity far below the segment: constant eviction, and PrefetchBatch
+  // sees rejections when a shard has no evictable frame.
+  BufferPool pool(&disk, /*capacity_pages=*/16,
+                  BufferPoolOptions{/*num_shards=*/2,
+                                    /*serialize_miss_io=*/false,
+                                    /*async_io=*/true});
+  for (int pass = 0; pass < 2; ++pass) {
+    for (PageNo p = 0; p < kPages; p += 8) {
+      std::vector<PageId> window;
+      for (PageNo q = p; q < std::min<PageNo>(p + 8, kPages); ++q) {
+        window.push_back(PageId{seg, q});
+      }
+      ASSERT_OK(pool.PrefetchBatch(window));
+      for (const PageId& pid : window) {
+        auto guard = pool.Fetch(pid);
+        ASSERT_OK(guard.status());
+        ASSERT_EQ(guard.value().data()[0],
+                  static_cast<char>(pid.page_no));
+      }
+    }
+  }
+  disk.DrainSubmissions();
+  CheckExactInvariant(*disk.io_stats(), "eviction churn");
+}
+
+// ------------------------------------------------- adaptive controller
+
+TEST(AdaptiveReadaheadTest, ControlLawWidensAndNarrows) {
+  IoStats io;
+  AdaptiveReadaheadConfig cfg;
+  cfg.initial_window = 16;
+  cfg.min_window = 4;
+  cfg.max_window = 64;
+  AdaptiveReadaheadController ctl(cfg, &io, /*window_gauge=*/nullptr);
+  EXPECT_EQ(ctl.window(), 16);
+
+  // Everything staged is consumed: double, up to the cap.
+  io.prefetch_reads += 16;
+  io.prefetch_hits += 16;
+  ctl.Update();
+  EXPECT_EQ(ctl.window(), 32);
+  io.prefetch_reads += 32;
+  io.prefetch_hits += 32;
+  ctl.Update();
+  EXPECT_EQ(ctl.window(), 64);
+  io.prefetch_reads += 64;
+  io.prefetch_hits += 64;
+  ctl.Update();
+  EXPECT_EQ(ctl.window(), 64) << "capped at max_window";
+
+  // A full window of speculative reads mostly unconsumed: halve.
+  io.prefetch_reads += 64;
+  ctl.Update();
+  EXPECT_EQ(ctl.window(), 32);
+
+  // Backpressure (rejected submissions) narrows regardless of hits.
+  ++io.prefetch_rejected;
+  io.prefetch_reads += 32;
+  io.prefetch_hits += 32;
+  ctl.Update();
+  EXPECT_EQ(ctl.window(), 16);
+  ++io.prefetch_rejected;
+  ctl.Update();
+  EXPECT_EQ(ctl.window(), 8);
+  ++io.prefetch_rejected;
+  ctl.Update();
+  EXPECT_EQ(ctl.window(), 4) << "floored at min_window";
+  ++io.prefetch_rejected;
+  ctl.Update();
+  EXPECT_EQ(ctl.window(), 4);
+
+  EXPECT_GE(ctl.widenings(), 2);
+  EXPECT_GE(ctl.narrowings(), 4);
+
+  // No new signal: the window is left alone.
+  ctl.Update();
+  EXPECT_EQ(ctl.window(), 4);
+}
+
+TEST(AdaptiveReadaheadTest, DisabledControllerHoldsWindow) {
+  IoStats io;
+  AdaptiveReadaheadConfig cfg;
+  cfg.initial_window = 32;
+  cfg.adaptive = false;
+  AdaptiveReadaheadController ctl(cfg, &io, nullptr);
+  io.prefetch_reads += 1000;
+  ++io.prefetch_rejected;
+  ctl.Update();
+  EXPECT_EQ(ctl.window(), 32);
+  EXPECT_EQ(ctl.widenings(), 0);
+  EXPECT_EQ(ctl.narrowings(), 0);
+}
+
+// --------------------------------------- feedback determinism (oracle)
+
+class AsyncScanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatabaseOptions opts;
+    opts.buffer_pool_pages = 512;
+    opts.async_io = true;
+    opts.io_threads = 4;
+    db_ = std::make_unique<Database>(opts);
+    SyntheticOptions sopts;
+    sopts.num_rows = 20'000;
+    sopts.seed = 7;
+    auto table = BuildSyntheticTable(db_.get(), "T", sopts);
+    ASSERT_TRUE(table.ok()) << table.status().ToString();
+    t_ = *table;
+    db_->disk()->set_read_latency_us(20);  // make the overlap real
+  }
+
+  static Predicate Pushed() {
+    return Predicate({PredicateAtom::Int64(kC3, CmpOp::kLt, 4000),
+                      PredicateAtom::Int64(kC5, CmpOp::kGe, 10'000)});
+  }
+
+  // Prefix-exact, full-conjunction, and genuinely sampled requests — the
+  // sampled one is the sensitive case: a DPSample draw is a pure function
+  // of (page, seed), so no readahead schedule may perturb it.
+  std::unique_ptr<ScanMonitorBundle> MakeBundle() {
+    auto bundle = std::make_unique<ScanMonitorBundle>(
+        Pushed(), &t_->schema(), /*sample_fraction=*/0.2, /*seed=*/99);
+    ScanExprRequest lead;
+    lead.label = "T: C3<4000";
+    lead.expr = Predicate({PredicateAtom::Int64(kC3, CmpOp::kLt, 4000)});
+    EXPECT_OK(bundle->AddRequest(lead));
+    ScanExprRequest sampled;
+    sampled.label = "T: C4<2000";
+    sampled.expr =
+        Predicate({PredicateAtom::Int64(kC4, CmpOp::kLt, 2000)});
+    EXPECT_OK(bundle->AddRequest(sampled));
+    return bundle;
+  }
+
+  RunResult Run(Operator* op) {
+    DPCF_CHECK_OK(db_->ColdCache());
+    ExecContext ctx(db_->buffer_pool());
+    auto result = ExecutePlan(op, &ctx);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  }
+
+  std::unique_ptr<Database> db_;
+  Table* t_ = nullptr;
+};
+
+TEST_F(AsyncScanTest, FeedbackIdenticalAcrossThreadsAndWindows) {
+  TableScanOp serial(t_, Pushed(), {kC1, kC5}, MakeBundle());
+  RunResult oracle = Run(&serial);
+  ASSERT_GT(oracle.output.size(), 0u);
+  ASSERT_EQ(oracle.stats.monitors.size(), 2u);
+
+  for (int threads : {1, 4}) {
+    for (uint32_t window : {16u, 256u}) {
+      for (bool adaptive : {false, true}) {
+        ParallelTableScanOp parallel(
+            t_, Pushed(), {kC1, kC5}, MakeBundle(),
+            ParallelScanOptions{threads, 8, window, /*vectorized=*/true,
+                                adaptive});
+        RunResult run = Run(&parallel);
+        const std::string what =
+            "threads=" + std::to_string(threads) +
+            " window=" + std::to_string(window) +
+            " adaptive=" + std::to_string(adaptive);
+
+        ASSERT_EQ(run.output.size(), oracle.output.size()) << what;
+        for (size_t i = 0; i < oracle.output.size(); ++i) {
+          ASSERT_TRUE(run.output[i] == oracle.output[i])
+              << what << " tuple " << i;
+        }
+        ASSERT_EQ(run.stats.monitors.size(),
+                  oracle.stats.monitors.size());
+        for (size_t i = 0; i < oracle.stats.monitors.size(); ++i) {
+          const MonitorRecord& s = oracle.stats.monitors[i];
+          const MonitorRecord& p = run.stats.monitors[i];
+          EXPECT_EQ(p.label, s.label) << what;
+          EXPECT_EQ(p.actual_dpc, s.actual_dpc) << what << " " << s.label;
+          EXPECT_EQ(p.actual_cardinality, s.actual_cardinality)
+              << what << " " << s.label;
+          EXPECT_EQ(p.exact, s.exact) << what;
+        }
+        EXPECT_EQ(run.stats.io.logical_reads,
+                  oracle.stats.io.logical_reads)
+            << what;
+        CheckExactInvariant(run.stats.io, what.c_str());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dpcf

@@ -57,6 +57,12 @@ TEST(LockRankTest, RanksAreAssignedAndOrdered) {
   // The storage pair is the load-bearing edge: pool shard strictly before
   // disk, mirroring ACQUIRED_BEFORE(disk->mu_).
   EXPECT_LT(lock_rank::kBufferPoolShard, lock_rank::kDisk);
+  // The submission ring sits between the disk latch and the leaves: a
+  // producer may enqueue while holding the disk latch is NOT allowed
+  // (submission happens before any disk work), but the ring latch must
+  // never be held when a leaf latch is taken by a completion callback.
+  EXPECT_LT(lock_rank::kDisk, lock_rank::kDiskSubmission);
+  EXPECT_LT(lock_rank::kDiskSubmission, lock_rank::kExecMergedCpu);
   // Leaf subsystems all rank above the storage latches so they may be
   // taken from anywhere in the engine.
   EXPECT_LT(lock_rank::kDisk, lock_rank::kExecMergedCpu);
@@ -66,6 +72,7 @@ TEST(LockRankTest, RanksAreAssignedAndOrdered) {
 
   DiskManager disk(kPageSize);
   EXPECT_EQ(disk.latch()->rank(), lock_rank::kDisk);
+  EXPECT_EQ(disk.submission_latch()->rank(), lock_rank::kDiskSubmission);
   Mutex unranked;
   EXPECT_EQ(unranked.rank(), lock_rank::kUnranked);
 }
@@ -137,6 +144,18 @@ TEST(LockRankDeathTest, RealPoolFetchWhileHoldingDiskLatchAborts) {
   disk.AllocatePage(seg);
   BufferPool pool(&disk, 4);
   EXPECT_DEATH(FetchWhileHoldingDiskLatch(&pool, PageId{seg, 0}),
+               "dpcf lock-rank violation");
+}
+
+TEST(LockRankDeathTest, SubmissionRingAfterLeafLatchAborts) {
+  // A completion callback runs with no disk-manager latch held precisely
+  // so it may take leaf latches (merged-CPU accumulators, metrics). The
+  // reverse — re-entering the submission ring while a leaf latch is held,
+  // e.g. submitting more I/O from inside a merged-feedback critical
+  // section — is rank 250 under a held rank 300 and must die.
+  Mutex leaf_mu(lock_rank::kExecMergedCpu);
+  Mutex ring_mu(lock_rank::kDiskSubmission);
+  EXPECT_DEATH(AcquireInOrder(&leaf_mu, &ring_mu),
                "dpcf lock-rank violation");
 }
 

@@ -91,6 +91,8 @@ RAII_TYPES = {
     "QueryIdScope": "qid_scope",
     "WorkerRegion": "worker_region",
     "PageGuard": "guard",
+    "SubmissionGuard": "lock",
+    "CompletionScope": "scope",
     "lock_guard": "lock",
     "unique_lock": "lock",
     "scoped_lock": "lock",
@@ -110,15 +112,18 @@ NONDET_BARRIERS = [
     ("src/common/random", "the seeded-RNG plumbing itself"),
     ("src/obs/", "observability sinks: spans/metrics timing, never state"),
     ("src/storage/buffer_pool", "miss-read latency histogram timing only"),
+    ("src/storage/disk_manager",
+     "submission-ring latency histogram/span timing only"),
 ]
 
 # Rule 5: page-image readers and the charge-token vocabulary.
-PAGE_READERS = {"PageRowCount", "RowInPage", "PageRows", "FetchRow"}
+PAGE_READERS = {"PageRowCount", "RowInPage", "PageRows", "FetchRow",
+                "CopyPageImage"}
 CHARGE_TOKENS = {
     # IoStats (storage/io_stats.h)
     "physical_seq_reads", "physical_rand_reads", "physical_writes",
-    "prefetch_reads", "prefetch_hits", "logical_reads", "buffer_hits",
-    "raw_page_reads",
+    "prefetch_reads", "prefetch_hits", "prefetch_rejected",
+    "logical_reads", "buffer_hits", "raw_page_reads",
     # CpuStats
     "rows_processed", "predicate_atom_evals", "monitor_hash_ops",
     "monitor_row_ops", "hash_table_ops",
