@@ -41,6 +41,7 @@ int main() {
   std::map<int, std::vector<double>> by_col;
   std::string last_annotated_plan;
   int changed = 0;
+  int advised = 0;
   for (size_t i = 0; i < queries.size(); ++i) {
     const GeneratedSingleQuery& g = queries[i];
     // Fresh hints per query: each query is optimized independently, as in
@@ -51,6 +52,7 @@ int main() {
         CheckOk(driver.RunSingleTable(g.query), "feedback run");
     by_col[g.column].push_back(out.speedup);
     changed += out.plan_changed;
+    advised += out.reoptimization_advised;
     if (!out.annotated_plan.empty()) {
       last_annotated_plan = out.annotated_plan;
     }
@@ -75,8 +77,11 @@ int main() {
   std::printf("\nEstimation error by (table, mechanism):\n%s",
               driver.error_tracker()->Report().c_str());
 
-  std::printf("\nSUMMARY fig6: %d/%zu plans changed by feedback\n",
-              changed, queries.size());
+  std::printf("\nSUMMARY fig6: %d/%zu plans changed by feedback, "
+              "%d runs with re-optimization advised (%zu drift alerts "
+              "active)\n",
+              changed, queries.size(), advised,
+              driver.drift_monitor()->ActiveAlerts().size());
   CheckIoInvariant(*pair.db->disk()->io_stats(), "fig6 accounting",
                    /*expect_no_prefetch=*/PrefetchPages() == 0);
   MaybeDumpObservability(pair.db.get(), last_annotated_plan,

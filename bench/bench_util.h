@@ -6,9 +6,11 @@
 //   DPCF_TPCH_ROWS    tpch-like lineitem rows        (default 240000)
 //   DPCF_SCAN_THREADS morsel workers for monitored scans (default 1)
 //   DPCF_PREFETCH     readahead window in pages      (default 0 = off)
+//   DPCF_ASYNC_IO     1 routes misses/readahead through the async
+//                     submission ring                (default 0 = sync)
 //   DPCF_OBS_DIR      when set, benches that support it enable tracing and
 //                     dump metrics.prom / metrics.json / trace.json /
-//                     explain.txt there (validated by
+//                     journal.json / explain.txt there (validated by
 //                     tools/check_observability.py)
 // Each binary prints the series of one paper table/figure as an aligned
 // text table plus a one-line SUMMARY, so `for b in build/bench/*; do $b;
@@ -52,6 +54,7 @@ inline int ScanThreads() {
 inline uint32_t PrefetchPages() {
   return static_cast<uint32_t>(EnvInt("DPCF_PREFETCH", 0));
 }
+inline bool AsyncIo() { return EnvInt("DPCF_ASYNC_IO", 0) != 0; }
 /// Observability dump directory; nullptr when DPCF_OBS_DIR is unset.
 inline const char* ObsDir() { return std::getenv("DPCF_OBS_DIR"); }
 
@@ -111,6 +114,7 @@ inline SyntheticPair BuildSyntheticPair(bool with_t1) {
   // An observability dump was requested: record trace events from the
   // start so the dump covers the whole bench, not just the final query.
   db_opts.observability.tracing = ObsDir() != nullptr;
+  db_opts.async_io = AsyncIo();
   out.db = std::make_unique<Database>(db_opts);
   SyntheticOptions opts;
   opts.num_rows = SyntheticRows();
@@ -149,10 +153,11 @@ inline void WriteFileOrDie(const std::string& dir, const char* file,
 
 /// When DPCF_OBS_DIR is set, dumps the Database's observability state
 /// there: metrics.prom (Prometheus text), metrics.json, trace.json
-/// (chrome://tracing / Perfetto), and explain.txt (`annotated_plan` plus
-/// `error_report`, typically FeedbackOutcome::annotated_plan and the
-/// driver's EstimationErrorTracker Report()). The directory must already
-/// exist. No-op when the variable is unset.
+/// (chrome://tracing / Perfetto), journal.json (flight-recorder events),
+/// and explain.txt (`annotated_plan` plus `error_report`, typically
+/// FeedbackOutcome::annotated_plan and the driver's
+/// EstimationErrorTracker Report()). The directory must already exist.
+/// No-op when the variable is unset.
 inline void MaybeDumpObservability(Database* db,
                                    const std::string& annotated_plan,
                                    const std::string& error_report) {
@@ -161,6 +166,13 @@ inline void MaybeDumpObservability(Database* db,
   WriteFileOrDie(dir, "metrics.prom", db->metrics()->PrometheusText());
   WriteFileOrDie(dir, "metrics.json", db->metrics()->ToJson());
   WriteFileOrDie(dir, "trace.json", db->trace()->ToJson());
+  WriteFileOrDie(dir, "journal.json",
+                 db->journal() != nullptr
+                     ? db->journal()->ToJson()
+                     : std::string("{\"capacity_per_thread\": 0, "
+                                   "\"threads\": 0, \"dropped_torn\": 0, "
+                                   "\"dropped_overwritten\": 0, "
+                                   "\"events\": []}\n"));
   WriteFileOrDie(dir, "explain.txt",
                  annotated_plan + "\n" + error_report);
   std::printf("observability dump written to %s\n", dir);

@@ -102,8 +102,10 @@ inline constexpr int kDisk = 200;             // DiskManager::mu_
 inline constexpr int kDiskSubmission = 250;   // DiskManager::submit_mu_
 inline constexpr int kExecMergedCpu = 300;    // ExecContext::merged_cpu_mu_
 inline constexpr int kEstimationTracker = 310;  // EstimationErrorTracker::mu_
+inline constexpr int kDriftMonitor = 315;     // DriftMonitor::mu_
 inline constexpr int kMetricsRegistry = 320;  // MetricsRegistry::mu_
 inline constexpr int kTraceCollector = 330;   // TraceCollector::mu_
+inline constexpr int kEventJournal = 340;     // EventJournal::drain_mu_
 inline constexpr int kScanReadahead = 400;    // parallel_scan ReadaheadState::mu
 }  // namespace lock_rank
 

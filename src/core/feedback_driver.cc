@@ -9,6 +9,17 @@
 
 namespace dpcf {
 
+FeedbackDriver::FeedbackDriver(Database* db, StatisticsCatalog* stats,
+                               FeedbackRunOptions options)
+    : db_(db),
+      stats_(stats),
+      options_(options),
+      drift_monitor_(options.drift) {
+  drift_monitor_.AttachObservability(
+      db_->options().observability.metrics ? db_->metrics() : nullptr,
+      db_->journal());
+}
+
 int64_t ExactCardinality(DiskManager* disk, const Table& table,
                          const Predicate& pred) {
   int64_t count = 0;
@@ -160,6 +171,7 @@ void AttachObservability(ExecContext* ctx, Database* db,
   ctx->set_profiling(options.profile_operators);
   ctx->set_query_id(g_next_query_id.fetch_add(1, std::memory_order_relaxed));
   if (db->options().observability.metrics) ctx->set_metrics(db->metrics());
+  ctx->set_journal(db->journal());
 }
 }  // namespace
 
@@ -288,6 +300,7 @@ Result<FeedbackOutcome> FeedbackDriver::RunSingleTable(
   AttachEstimates(opt, entries, nullptr, &out.monitored_run);
   out.feedback = out.monitored_run.monitors;
   error_tracker_.RecordAll(out.feedback);
+  out.reoptimization_advised = drift_monitor_.ObserveAll(out.feedback);
   if (out.monitored_run.profile != nullptr) {
     out.annotated_plan = RenderAnnotatedPlan(
         *out.monitored_run.profile, out.feedback, options_.cost_params);
@@ -339,6 +352,7 @@ Result<FeedbackOutcome> FeedbackDriver::RunJoin(const JoinQuery& query) {
   AttachEstimates(opt, entries, &query, &out.monitored_run);
   out.feedback = out.monitored_run.monitors;
   error_tracker_.RecordAll(out.feedback);
+  out.reoptimization_advised = drift_monitor_.ObserveAll(out.feedback);
   if (out.monitored_run.profile != nullptr) {
     out.annotated_plan = RenderAnnotatedPlan(
         *out.monitored_run.profile, out.feedback, options_.cost_params);

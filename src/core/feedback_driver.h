@@ -22,6 +22,7 @@
 #include "core/monitor_manager.h"
 #include "core/run_statistics.h"
 #include "exec/executor.h"
+#include "obs/drift_monitor.h"
 #include "obs/estimation_error_tracker.h"
 #include "optimizer/optimizer.h"
 
@@ -43,6 +44,11 @@ struct FeedbackRunOptions {
   /// Off by default: profiling snapshots IoStats around every operator
   /// call, which is measurable on the per-row Next path.
   bool profile_operators = false;
+  /// Estimation-drift alerting thresholds (obs/drift_monitor.h): every
+  /// diagnosed MonitorRecord is folded into per-(table, expression) EWMA
+  /// q-error series and FeedbackOutcome::reoptimization_advised reports
+  /// whether any series is in alert.
+  DriftMonitorOptions drift;
 };
 
 /// Everything the methodology produces for one query.
@@ -72,6 +78,12 @@ struct FeedbackOutcome {
   /// The query's result (the COUNT value), from the baseline run; -1 when
   /// the query returned no row.
   int64_t count_result = -1;
+
+  /// True when, after folding this query's feedback into the driver's
+  /// DriftMonitor, at least one (table, expression) q-error series is in
+  /// alert — the estimates have been persistently wrong enough that
+  /// re-optimizing dependent plans is advised.
+  bool reoptimization_advised = false;
 };
 
 /// Exact row count of a predicate by raw table walk (diagnostic-time).
@@ -90,8 +102,7 @@ Result<ExactJoinCardinalities> ExactJoinCardinality(DiskManager* disk,
 class FeedbackDriver {
  public:
   FeedbackDriver(Database* db, StatisticsCatalog* stats,
-                 FeedbackRunOptions options = {})
-      : db_(db), stats_(stats), options_(options) {}
+                 FeedbackRunOptions options = {});
 
   Result<FeedbackOutcome> RunSingleTable(const SingleTableQuery& query);
   Result<FeedbackOutcome> RunJoin(const JoinQuery& query);
@@ -104,6 +115,9 @@ class FeedbackDriver {
   /// folded into per-(table, mechanism) histograms of DPC and cardinality
   /// error. Queryable any time; fig benches dump its Report().
   EstimationErrorTracker* error_tracker() { return &error_tracker_; }
+  /// Per-(table, expression) EWMA q-error series with alerting; every
+  /// diagnosed MonitorRecord is folded in after each run.
+  DriftMonitor* drift_monitor() { return &drift_monitor_; }
   Database* db() const { return db_; }
   const FeedbackRunOptions& options() const { return options_; }
 
@@ -137,6 +151,7 @@ class FeedbackDriver {
   FeedbackStore store_;
   DpcHistogramCatalog dpc_histograms_;
   EstimationErrorTracker error_tracker_;
+  DriftMonitor drift_monitor_;
 };
 
 }  // namespace dpcf

@@ -228,15 +228,4 @@ void MonitorManager::RecordInstrumentation(const InstrumentedHooks& out,
   if (out.hooks.bitvector.has_value()) m_bitvector_filters_->Increment();
 }
 
-InstrumentationStats MonitorManager::stats() const {
-  InstrumentationStats out;
-  if (m_single_table_plans_ == nullptr) return out;
-  out.single_table_plans = m_single_table_plans_->value();
-  out.join_plans = m_join_plans_->value();
-  out.scan_expressions = m_scan_expressions_->value();
-  out.fetch_counters = m_fetch_counters_->value();
-  out.bitvector_filters = m_bitvector_filters_->value();
-  return out;
-}
-
 }  // namespace dpcf

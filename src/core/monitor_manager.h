@@ -90,19 +90,6 @@ struct InstrumentedHooks {
   std::vector<MonitoredExpr> entries;
 };
 
-/// Running totals of what the engine has instrumented, for production
-/// observability (how much monitoring is each workload paying for?).
-/// Backed by the Database's MetricsRegistry (monitor_* counters), so the
-/// totals are Database-wide: every MonitorManager on the same Database
-/// publishes into — and reads back — the same counters.
-struct InstrumentationStats {
-  int64_t single_table_plans = 0;
-  int64_t join_plans = 0;
-  int64_t scan_expressions = 0;
-  int64_t fetch_counters = 0;
-  int64_t bitvector_filters = 0;
-};
-
 class MonitorManager {
  public:
   /// Resolves the monitor_* counters from db->metrics() (no-op handles
@@ -129,13 +116,6 @@ class MonitorManager {
   void SelectionRequests(Table* table, const Predicate& pred,
                          std::vector<ScanExprRequest>* requests,
                          std::vector<MonitoredExpr>* entries) const;
-
-  /// Snapshot of the Database-wide instrumentation totals, reassembled
-  /// from the registry counters. Prefer reading the registry directly
-  /// (Database::metrics(), monitor_* families) — this accessor remains
-  /// for callers that want a struct, and returns zeros when the Database
-  /// has metrics publication off.
-  InstrumentationStats stats() const;
 
  private:
   void RecordInstrumentation(const InstrumentedHooks& out,

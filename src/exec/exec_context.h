@@ -20,6 +20,7 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "core/bitvector_filter.h"
+#include "obs/stall_tracker.h"
 #include "storage/buffer_pool.h"
 #include "storage/io_stats.h"
 
@@ -27,6 +28,7 @@ namespace dpcf {
 
 class TraceCollector;   // obs/trace_collector.h
 class MetricsRegistry;  // obs/metrics_registry.h
+class EventJournal;     // obs/event_journal.h
 
 /// Per-execution mutable state. Create one per plan run.
 class ExecContext {
@@ -61,6 +63,29 @@ class ExecContext {
     CpuStats total = cpu_;
     MutexLock lock(&merged_cpu_mu_);
     total += merged_cpu_;
+    return total;
+  }
+
+  /// Driver-thread stall tally: the executor installs a StallScope over it
+  /// for the run, so storage-layer blocking on the driver thread lands
+  /// here. Parallel workers fold their own tallies in via MergeStall().
+  StallStats* stall() { return &stall_; }
+
+  /// Folds a worker's thread-local stall tally into the context. Safe to
+  /// call concurrently from scan workers as each finishes.
+  void MergeStall(const StallStats& delta) EXCLUDES(merged_cpu_mu_) {
+    MutexLock lock(&merged_cpu_mu_);
+    merged_stall_ += delta;
+  }
+
+  /// Snapshot of driver + merged worker stalls; same quiescent-point
+  /// contract as cpu_stats().
+  StallStats stall_stats() const EXCLUDES(merged_cpu_mu_) {
+    assert(active_workers_.load(std::memory_order_acquire) == 0 &&
+           "stall_stats() called while scan workers are live");
+    StallStats total = stall_;
+    MutexLock lock(&merged_cpu_mu_);
+    total += merged_stall_;
     return total;
   }
 
@@ -102,6 +127,12 @@ class ExecContext {
   MetricsRegistry* metrics() const { return metrics_; }
   void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  /// Flight-recorder journal for exec-layer events (readahead resizes,
+  /// monitor build/merge), or null. Storage-layer events are journaled by
+  /// the pool/disk directly; this pointer only feeds the exec sites.
+  EventJournal* journal() const { return journal_; }
+  void set_journal(EventJournal* journal) { journal_ = journal; }
+
   /// Query id stamped on every trace span emitted while this context's
   /// plan runs, so concurrent sessions can untangle their events in one
   /// trace file. 0 means "unassigned" (spans carry no qid argument).
@@ -133,16 +164,20 @@ class ExecContext {
  private:
   BufferPool* pool_;
   uint64_t seed_;
-  CpuStats cpu_;  // driver thread only
-  // Leaf rank: MergeCpu holds no other latch and calls out to nothing.
+  CpuStats cpu_;      // driver thread only
+  StallStats stall_;  // driver thread only (via the executor's StallScope)
+  // Leaf rank: MergeCpu/MergeStall hold no other latch and call out to
+  // nothing.
   mutable Mutex merged_cpu_mu_{lock_rank::kExecMergedCpu};
   CpuStats merged_cpu_ GUARDED_BY(merged_cpu_mu_);
+  StallStats merged_stall_ GUARDED_BY(merged_cpu_mu_);
   // Count of live WorkerRegions; its own synchronization (like
   // AtomicCounter, no GUARDED_BY needed).
   std::atomic<int> active_workers_{0};
   bool profiling_ = false;
   TraceCollector* trace_ = nullptr;
   MetricsRegistry* metrics_ = nullptr;
+  EventJournal* journal_ = nullptr;
   uint64_t query_id_ = 0;
   std::vector<const BitvectorFilter*> filter_slots_;
   std::vector<std::unique_ptr<BitvectorFilter>> owned_filters_;

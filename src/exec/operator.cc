@@ -39,6 +39,7 @@ Status Operator::Open(ExecContext* ctx) {
   profile_ = OpProfile{};
   const IoStats io_before = SnapshotIo(ctx);
   const CpuStats cpu_before = ctx->cpu_stats();
+  const StallStats stall_before = ctx->stall_stats();
   // Wall-time profiling timestamp (OpProfile::open_wall_ms), not feedback.
   // NOLINTNEXTLINE(dpcf-ast-nondeterminism)
   const auto t0 = SteadyClock::now();
@@ -55,6 +56,8 @@ Status Operator::Open(ExecContext* ctx) {
   // contract of cpu_stats() holds here.
   profile_.cpu = ctx->cpu_stats();
   profile_.cpu -= cpu_before;
+  profile_.stall = ctx->stall_stats();
+  profile_.stall -= stall_before;
   return st;
 }
 
@@ -62,6 +65,7 @@ Result<bool> Operator::Next(ExecContext* ctx, Tuple* out) {
   if (!ctx->profiling()) return NextImpl(ctx, out);
   const IoStats io_before = SnapshotIo(ctx);
   const CpuStats cpu_before = ctx->cpu_stats();
+  const StallStats stall_before = ctx->stall_stats();
   // Wall-time profiling timestamp (OpProfile::next_wall_ms), not feedback.
   // NOLINTNEXTLINE(dpcf-ast-nondeterminism)
   const auto t0 = SteadyClock::now();
@@ -75,6 +79,9 @@ Result<bool> Operator::Next(ExecContext* ctx, Tuple* out) {
   CpuStats cpu_delta = ctx->cpu_stats();
   cpu_delta -= cpu_before;
   profile_.cpu += cpu_delta;
+  StallStats stall_delta = ctx->stall_stats();
+  stall_delta -= stall_before;
+  profile_.stall += stall_delta;
   return more;
 }
 
@@ -88,6 +95,7 @@ Status Operator::Close(ExecContext* ctx) {
   }
   const IoStats io_before = SnapshotIo(ctx);
   const CpuStats cpu_before = ctx->cpu_stats();
+  const StallStats stall_before = ctx->stall_stats();
   // Wall-time profiling timestamp (OpProfile::close_wall_ms), not feedback.
   // NOLINTNEXTLINE(dpcf-ast-nondeterminism)
   const auto t0 = SteadyClock::now();
@@ -104,6 +112,9 @@ Status Operator::Close(ExecContext* ctx) {
   CpuStats cpu_delta = ctx->cpu_stats();
   cpu_delta -= cpu_before;
   profile_.cpu += cpu_delta;
+  StallStats stall_delta = ctx->stall_stats();
+  stall_delta -= stall_before;
+  profile_.stall += stall_delta;
   return st;
 }
 

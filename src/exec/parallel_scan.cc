@@ -10,7 +10,9 @@
 #include "exec/executor.h"
 #include "exec/predicate_kernel.h"
 #include "exec/readahead.h"
+#include "obs/event_journal.h"
 #include "obs/metrics_registry.h"
+#include "obs/stall_tracker.h"
 #include "obs/trace_collector.h"
 
 namespace dpcf {
@@ -95,6 +97,11 @@ Status ParallelTableScanOp::OpenImpl(ExecContext* ctx) {
   // inside this region; cpu_stats() asserts no region is live.
   ExecContext::WorkerRegion worker_region(ctx);
   TraceCollector* const tc = ctx->trace();
+  EventJournal* const journal = ctx->journal();
+  if (journal != nullptr && monitors_ != nullptr) {
+    journal->Record(JournalEvent::kMonitorBuild,
+                    static_cast<uint64_t>(num_workers));
+  }
 
   ReadaheadState ra;
   std::thread ra_thread;
@@ -104,20 +111,27 @@ Status ParallelTableScanOp::OpenImpl(ExecContext* ctx) {
   int64_t window = static_cast<int64_t>(options_.prefetch_pages);
   const int64_t half_pool = static_cast<int64_t>(ctx->pool()->capacity() / 2);
   if (window > half_pool) window = half_pool;
+  // Resolved unconditionally so the series exists (and reads 0) even for
+  // scans with readahead off or a static window — dashboards never see a
+  // dead series just because adaptive_readahead is false.
+  Gauge* const window_gauge =
+      ctx->metrics() != nullptr
+          ? ctx->metrics()->GetGauge(
+                "scan_readahead_window_pages",
+                "Current readahead window of the last scan (static or "
+                "adaptive)")
+          : nullptr;
+  if (window_gauge != nullptr && (window <= 0 || total_pages == 0)) {
+    window_gauge->Set(0);
+  }
   if (window > 0 && total_pages > 0) {
     BufferPool* pool = ctx->pool();
     AdaptiveReadaheadConfig ra_cfg;
     ra_cfg.initial_window = window;
     ra_cfg.max_window = half_pool;
     ra_cfg.adaptive = options_.adaptive_readahead;
-    Gauge* window_gauge =
-        ctx->metrics() != nullptr
-            ? ctx->metrics()->GetGauge(
-                  "scan_readahead_window_pages",
-                  "Current (adaptive) readahead window of the last scan")
-            : nullptr;
     ra_controller = std::make_unique<AdaptiveReadaheadController>(
-        ra_cfg, pool->disk()->io_stats(), window_gauge);
+        ra_cfg, pool->disk()->io_stats(), window_gauge, journal);
     // Prime the initial window before any worker starts, so the
     // prefetch-vs-demand split of the scan's first pages does not depend
     // on how quickly the first worker gets going: those pages are always
@@ -141,40 +155,47 @@ Status ParallelTableScanOp::OpenImpl(ExecContext* ctx) {
     AdaptiveReadaheadController* const controller = ra_controller.get();
     const int64_t batch_pages =
         static_cast<int64_t>(options_.morsel_pages);
-    ra_thread = std::thread([&ra, pool, controller, segment, total_pages,
-                             primed, query_id, batch_pages] {
+    ra_thread = std::thread([&ra, ctx, pool, controller, segment,
+                             total_pages, primed, query_id, batch_pages] {
       TraceCollector::QueryIdScope qid_scope(query_id);
-      PageNo next = primed;
-      std::vector<PageId> batch;
-      while (next < total_pages) {
-        ra.mu.lock();
-        while (!ra.stop && static_cast<int64_t>(next) >=
-                               ra.pages_consumed + controller->window()) {
-          ra.cv.wait(ra.mu);
+      // Backpressure inside PrefetchBatch (submission ring full) is blocked
+      // time of this thread; fold it into the context like a worker's.
+      StallStats stall;
+      {
+        StallScope stall_scope(&stall);
+        PageNo next = primed;
+        std::vector<PageId> batch;
+        while (next < total_pages) {
+          ra.mu.lock();
+          while (!ra.stop && static_cast<int64_t>(next) >=
+                                 ra.pages_consumed + controller->window()) {
+            ra.cv.wait(ra.mu);
+          }
+          const bool stop_requested = ra.stop;
+          const int64_t consumed = ra.pages_consumed;
+          ra.mu.unlock();
+          if (stop_requested) break;
+          // Submit up to one morsel's worth in a single batch, staying
+          // inside the (possibly just-narrowed) window.
+          int64_t limit = consumed + controller->window();
+          if (limit > static_cast<int64_t>(total_pages)) {
+            limit = static_cast<int64_t>(total_pages);
+          }
+          int64_t end = static_cast<int64_t>(next) + batch_pages;
+          if (end > limit) end = limit;
+          if (end <= static_cast<int64_t>(next)) continue;
+          batch.clear();
+          for (PageNo p = next; p < static_cast<PageNo>(end); ++p) {
+            batch.push_back(PageId{segment, p});
+          }
+          Status st = pool->PrefetchBatch(batch);
+          if (!st.ok()) break;  // demand fetches will surface disk errors
+          next = static_cast<PageNo>(end);
+          // Feedback: react to the hit/rejection deltas this batch exposed.
+          controller->Update();
         }
-        const bool stop_requested = ra.stop;
-        const int64_t consumed = ra.pages_consumed;
-        ra.mu.unlock();
-        if (stop_requested) return;
-        // Submit up to one morsel's worth in a single batch, staying
-        // inside the (possibly just-narrowed) window.
-        int64_t limit = consumed + controller->window();
-        if (limit > static_cast<int64_t>(total_pages)) {
-          limit = static_cast<int64_t>(total_pages);
-        }
-        int64_t end = static_cast<int64_t>(next) + batch_pages;
-        if (end > limit) end = limit;
-        if (end <= static_cast<int64_t>(next)) continue;
-        batch.clear();
-        for (PageNo p = next; p < static_cast<PageNo>(end); ++p) {
-          batch.push_back(PageId{segment, p});
-        }
-        Status st = pool->PrefetchBatch(batch);
-        if (!st.ok()) return;  // demand fetches will surface disk errors
-        next = static_cast<PageNo>(end);
-        // Feedback: react to the hit/rejection deltas this batch exposed.
-        controller->Update();
       }
+      ctx->MergeStall(stall);
     });
   }
   ReadaheadState* ra_ptr = ra_thread.joinable() ? &ra : nullptr;
@@ -186,6 +207,12 @@ Status ParallelTableScanOp::OpenImpl(ExecContext* ctx) {
     // the same qid as the driver's.
     TraceCollector::QueryIdScope qid_scope(ctx->query_id());
     ParallelWorkerStats& ws = worker_stats_[static_cast<size_t>(w)];
+    // Blocked time in the storage layer (miss waits, ring backpressure,
+    // kLoading waits) lands in this worker's tally; folded in below next
+    // to the CPU tally. On the 1-thread path this shadows the driver's
+    // executor-installed scope for the duration of the scan, which is
+    // exactly right: the time still reaches the context via MergeStall.
+    StallScope stall_scope(&ws.stall);
     CpuStats* cpu = &ws.cpu;
     ScanMonitorBundle* bundle =
         monitors_ == nullptr
@@ -275,6 +302,7 @@ Status ParallelTableScanOp::OpenImpl(ExecContext* ctx) {
     // corrupt the totals. (The per-worker copy stays in worker_stats_ for
     // load-balance reporting.)
     ctx->MergeCpu(ws.cpu);
+    ctx->MergeStall(ws.stall);
     return Status::OK();
   });
   // Retire the prefetcher before error propagation: a joinable thread must
@@ -296,6 +324,10 @@ Status ParallelTableScanOp::OpenImpl(ExecContext* ctx) {
     for (int w = 1; w < num_workers; ++w) {
       DPCF_RETURN_IF_ERROR(
           monitors_->MergeFrom(*worker_bundles[static_cast<size_t>(w)]));
+    }
+    if (journal != nullptr) {
+      journal->Record(JournalEvent::kMonitorMerge,
+                      static_cast<uint64_t>(num_workers - 1));
     }
   }
   return Status::OK();

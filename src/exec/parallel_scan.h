@@ -20,6 +20,7 @@
 
 #include "core/dpsample.h"
 #include "exec/operator.h"
+#include "obs/stall_tracker.h"
 #include "table/catalog.h"
 
 namespace dpcf {
@@ -57,6 +58,10 @@ struct ParallelScanOptions {
 /// and simulated-time critical-path accounting in benchmarks.
 struct ParallelWorkerStats {
   CpuStats cpu;
+  /// Blocked time this worker spent in the storage layer (demand-miss I/O
+  /// wait, submission-ring backpressure, waiting behind another thread's
+  /// kLoading frame), charged through the worker's StallScope.
+  StallStats stall;
   int64_t pages_scanned = 0;
   int64_t morsels = 0;
   int64_t tuples = 0;

@@ -1,15 +1,17 @@
 #include "exec/readahead.h"
 
+#include "obs/event_journal.h"
 #include "obs/metrics_registry.h"
 
 namespace dpcf {
 
 AdaptiveReadaheadController::AdaptiveReadaheadController(
     const AdaptiveReadaheadConfig& config, const IoStats* io,
-    Gauge* window_gauge)
+    Gauge* window_gauge, EventJournal* journal)
     : config_(config),
       io_(io),
       window_gauge_(window_gauge),
+      journal_(journal),
       window_(config.initial_window),
       seen_reads_(io->prefetch_reads),
       seen_hits_(io->prefetch_hits),
@@ -25,9 +27,14 @@ AdaptiveReadaheadController::AdaptiveReadaheadController(
 }
 
 void AdaptiveReadaheadController::Publish(int64_t w) {
+  const int64_t old = window_.load(std::memory_order_relaxed);
   window_.store(w, std::memory_order_relaxed);
   if (window_gauge_ != nullptr) {
     window_gauge_->Set(static_cast<double>(w));
+  }
+  if (journal_ != nullptr && w != old) {
+    journal_->Record(JournalEvent::kReadaheadResize,
+                     static_cast<uint64_t>(w), static_cast<uint64_t>(old));
   }
 }
 

@@ -37,7 +37,8 @@
 
 namespace dpcf {
 
-class Gauge;  // obs/metrics_registry.h
+class Gauge;         // obs/metrics_registry.h
+class EventJournal;  // obs/event_journal.h
 
 struct AdaptiveReadaheadConfig {
   /// Starting window, pages (the plumbed prefetch_pages knob, already
@@ -59,8 +60,11 @@ class AdaptiveReadaheadController {
  public:
   /// `io` must outlive the controller (it is the disk's IoStats block).
   /// `window_gauge` may be null; when set it mirrors the current window.
+  /// `journal` may be null; when set every window *change* (not the
+  /// initial publish) records a kReadaheadResize event.
   AdaptiveReadaheadController(const AdaptiveReadaheadConfig& config,
-                              const IoStats* io, Gauge* window_gauge);
+                              const IoStats* io, Gauge* window_gauge,
+                              EventJournal* journal = nullptr);
 
   int64_t window() const {
     return window_.load(std::memory_order_relaxed);
@@ -80,6 +84,7 @@ class AdaptiveReadaheadController {
   AdaptiveReadaheadConfig config_;
   const IoStats* io_;
   Gauge* window_gauge_;
+  EventJournal* journal_;
   std::atomic<int64_t> window_;
   // Counter snapshots at the previous Update; readahead-thread only.
   int64_t seen_reads_ = 0;

@@ -1,0 +1,90 @@
+#include "obs/drift_monitor.h"
+
+#include "obs/event_journal.h"
+#include "obs/metrics_registry.h"
+
+namespace dpcf {
+
+DriftMonitor::DriftMonitor(DriftMonitorOptions options)
+    : options_(options) {
+  if (options_.alpha <= 0 || options_.alpha > 1) options_.alpha = 0.3;
+  if (options_.threshold_factor < 1) options_.threshold_factor = 1;
+  if (options_.consecutive_k < 1) options_.consecutive_k = 1;
+}
+
+void DriftMonitor::AttachObservability(MetricsRegistry* metrics,
+                                       EventJournal* journal) {
+  MutexLock lock(&mu_);
+  metrics_ = metrics;
+  journal_ = journal;
+  m_alerts_ = metrics == nullptr
+                  ? nullptr
+                  : metrics->GetCounter(
+                        "estimation_drift_alerts_total",
+                        "Drift alerts raised (K consecutive q-errors "
+                        "above the threshold factor)");
+}
+
+bool DriftMonitor::Observe(const MonitorRecord& rec) {
+  const double q = rec.DpcErrorFactor();
+  if (q <= 0) return false;  // no estimate attached: nothing diagnosed
+
+  MutexLock lock(&mu_);
+  Series& s = series_[{rec.table, rec.label}];
+  s.ewma = s.observations == 0
+               ? q
+               : options_.alpha * q + (1 - options_.alpha) * s.ewma;
+  ++s.observations;
+  if (s.gauge == nullptr && metrics_ != nullptr) {
+    s.gauge = metrics_->GetGauge(
+        "estimation_drift_q_error_factor",
+        "EWMA q-error of the DPC estimate per (table, expression)",
+        {{"table", rec.table}, {"expr", rec.label}});
+  }
+  if (s.gauge != nullptr) s.gauge->Set(s.ewma);
+
+  if (q > options_.threshold_factor) {
+    ++s.consecutive_high;
+    if (!s.alert && s.consecutive_high >= options_.consecutive_k) {
+      s.alert = true;
+      ++alerts_raised_;
+      if (m_alerts_ != nullptr) m_alerts_->Increment();
+      if (journal_ != nullptr) {
+        journal_->Record(JournalEvent::kDriftAlert,
+                         static_cast<uint64_t>(s.ewma * 1000),
+                         static_cast<uint64_t>(s.observations));
+      }
+    }
+  } else {
+    // One healthy observation clears the streak AND the alert: the
+    // estimate (or the plan built from it) has been corrected.
+    s.consecutive_high = 0;
+    s.alert = false;
+  }
+  return s.alert;
+}
+
+bool DriftMonitor::ObserveAll(const std::vector<MonitorRecord>& records) {
+  bool any = false;
+  for (const MonitorRecord& rec : records) {
+    any = Observe(rec) || any;
+  }
+  return any;
+}
+
+std::vector<DriftAlert> DriftMonitor::ActiveAlerts() const {
+  MutexLock lock(&mu_);
+  std::vector<DriftAlert> out;
+  for (const auto& [key, s] : series_) {
+    if (!s.alert) continue;
+    out.push_back({key.first, key.second, s.ewma, s.observations});
+  }
+  return out;
+}
+
+int64_t DriftMonitor::alerts_raised() const {
+  MutexLock lock(&mu_);
+  return alerts_raised_;
+}
+
+}  // namespace dpcf

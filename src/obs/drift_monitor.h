@@ -1,0 +1,100 @@
+// Estimation-drift monitor: turns the per-run diagnosis reports into a
+// standing alarm.
+//
+// The EstimationErrorTracker aggregates q-errors for an end-of-run report;
+// this class watches the same MonitorRecord stream *online*. Each diagnosed
+// record (one with an optimizer estimate attached) folds into a
+// per-(table, expression) EWMA q-error series, and when the observed error
+// stays above a configurable factor for K consecutive observations the
+// series raises a structured DriftAlert — the trigger condition re-
+// optimization loops (Wu et al., VLDB 2016) are built around. Alerts clear
+// as soon as an observation comes back under the threshold (hysteresis is
+// on the raise side only). Exposition is free: the EWMA per series is a
+// labeled gauge and the raise count a counter in the MetricsRegistry, and
+// each raise also lands in the flight-recorder journal.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "core/run_statistics.h"
+
+namespace dpcf {
+
+class MetricsRegistry;
+class Counter;
+class Gauge;
+class EventJournal;
+
+struct DriftMonitorOptions {
+  /// EWMA smoothing: weight of the newest observation.
+  double alpha = 0.3;
+  /// A q-error above this factor counts as a drifted observation.
+  double threshold_factor = 4.0;
+  /// Observations that must exceed the threshold back-to-back before the
+  /// series alerts — one bad estimate is a diagnosis, K in a row is drift.
+  int consecutive_k = 3;
+};
+
+/// A series whose estimate has drifted past the threshold for K
+/// consecutive observations.
+struct DriftAlert {
+  std::string table;
+  std::string expression;  // MonitorRecord::label
+  double ewma_q_error = 0;
+  int64_t observations = 0;
+};
+
+class DriftMonitor {
+ public:
+  explicit DriftMonitor(DriftMonitorOptions options = {});
+
+  /// Wires metric export (per-series EWMA gauge + alert counter) and the
+  /// journal for kDriftAlert events. Either may be null.
+  void AttachObservability(MetricsRegistry* metrics, EventJournal* journal)
+      EXCLUDES(mu_);
+
+  /// Folds one record; records without an estimate are ignored. Returns
+  /// whether the record's series is alerting after the fold.
+  bool Observe(const MonitorRecord& rec) EXCLUDES(mu_);
+
+  /// Folds a whole feedback report; returns whether ANY touched series is
+  /// alerting afterwards (the FeedbackOutcome::reoptimization_advised
+  /// signal).
+  bool ObserveAll(const std::vector<MonitorRecord>& records);
+
+  std::vector<DriftAlert> ActiveAlerts() const EXCLUDES(mu_);
+
+  /// Cumulative raise count (a cleared-and-re-raised series counts twice).
+  int64_t alerts_raised() const EXCLUDES(mu_);
+
+  const DriftMonitorOptions& options() const { return options_; }
+
+ private:
+  struct Series {
+    double ewma = 0;
+    int consecutive_high = 0;
+    bool alert = false;
+    int64_t observations = 0;
+    Gauge* gauge = nullptr;  // per-series EWMA export, or null
+  };
+
+  DriftMonitorOptions options_;
+  MetricsRegistry* metrics_ = nullptr;
+  EventJournal* journal_ = nullptr;
+  Counter* m_alerts_ = nullptr;
+
+  // Ranked below kMetricsRegistry: Observe registers the per-series gauge
+  // on first sight while holding mu_.
+  mutable Mutex mu_{lock_rank::kDriftMonitor};
+  std::map<std::pair<std::string, std::string>, Series> series_
+      GUARDED_BY(mu_);
+  int64_t alerts_raised_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace dpcf

@@ -19,12 +19,36 @@ void AtomicAddDouble(std::atomic<double>* a, double d) {
   }
 }
 
+// Prometheus text exposition: inside a quoted label value, backslash,
+// double-quote and newline must be escaped (\\, \", \n) or the line is
+// unparseable and silently corrupts every sample after it.
+std::string PromEscape(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
 std::string RenderLabels(const MetricLabels& labels) {
   if (labels.empty()) return "";
   std::string out = "{";
   for (size_t i = 0; i < labels.size(); ++i) {
     if (i) out += ",";
-    out += labels[i].first + "=\"" + labels[i].second + "\"";
+    out += labels[i].first + "=\"" + PromEscape(labels[i].second) + "\"";
   }
   out += "}";
   return out;

@@ -37,6 +37,18 @@ void RenderRec(const OpProfileNode& node,
       static_cast<long long>(p.io.buffer_hits),
       static_cast<long long>(p.io.physical_seq_reads),
       static_cast<long long>(p.io.physical_rand_reads)));
+  if (!p.stall.empty()) {
+    out->append(indent);
+    out->append(StrFormat(
+        "    (stall: io_wait=%lldus/%lld backpressure=%lldus/%lld "
+        "loading=%lldus/%lld)\n",
+        static_cast<long long>(p.stall.io_wait_us),
+        static_cast<long long>(p.stall.io_waits),
+        static_cast<long long>(p.stall.backpressure_wait_us),
+        static_cast<long long>(p.stall.backpressure_waits),
+        static_cast<long long>(p.stall.loading_wait_us),
+        static_cast<long long>(p.stall.loading_waits)));
+  }
   for (const MonitorRecord& rec : node.records) {
     // Prefer a record from `estimated` (the feedback driver attaches
     // optimizer estimates after the run, outside this snapshot).

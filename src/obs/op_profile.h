@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/run_statistics.h"
+#include "obs/stall_tracker.h"
 #include "storage/io_stats.h"
 
 namespace dpcf {
@@ -34,6 +35,10 @@ struct OpProfile {
   double close_wall_ms = 0;
   IoStats io;    // inclusive delta across open + drain + close
   CpuStats cpu;  // inclusive delta (driver + merged workers)
+  /// Inclusive blocked-time delta (I/O wait vs submission-ring
+  /// backpressure vs waits behind another thread's load), charged through
+  /// the thread-local StallScope sinks and merged like cpu.
+  StallStats stall;
 
   double wall_ms() const {
     return open_wall_ms + next_wall_ms + close_wall_ms;

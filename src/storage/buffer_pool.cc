@@ -5,7 +5,9 @@
 #include <cstring>
 
 #include "common/string_util.h"
+#include "obs/event_journal.h"
 #include "obs/metrics_registry.h"
+#include "obs/stall_tracker.h"
 #include "obs/trace_collector.h"
 
 namespace dpcf {
@@ -106,8 +108,10 @@ BufferPool::~BufferPool() {
 }
 
 void BufferPool::AttachObservability(MetricsRegistry* registry,
-                                     TraceCollector* trace) {
+                                     TraceCollector* trace,
+                                     EventJournal* journal) {
   trace_ = trace;
+  journal_ = journal;
   if (registry == nullptr) return;
   m_logical_reads_ = registry->GetCounter(
       "buffer_pool_logical_reads_total",
@@ -154,6 +158,10 @@ int32_t BufferPool::AcquireFrameLocked(Shard* s, Status* status) {
   Frame& fr = s->frames[static_cast<size_t>(victim)];
   fr.in_lru = false;
   s->table.erase(fr.pid);
+  if (journal_ != nullptr) {
+    journal_->Record(JournalEvent::kEviction, fr.pid.page_no,
+                     fr.dirty ? 1 : 0);
+  }
   if (fr.dirty) {
     // Writeback stays under the shard latch: a concurrent miss of fr.pid
     // must not read the page from disk until these bytes have landed.
@@ -186,7 +194,22 @@ Result<PageGuard> BufferPool::Fetch(PageId pid) {
         // wake-up with the entry gone means the load failed or the frame
         // was evicted, in which case this fetch becomes the loader.
         if (s.m_loading_waits != nullptr) s.m_loading_waits->Increment();
+        const bool wait_timed =
+            journal_ != nullptr || CurrentStallSink() != nullptr;
+        std::chrono::steady_clock::time_point wait_t0;
+        if (wait_timed) wait_t0 = std::chrono::steady_clock::now();
         s.cv.wait(s.mu);
+        if (wait_timed) {
+          const int64_t waited_us = static_cast<int64_t>(
+              std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - wait_t0)
+                  .count());
+          ChargeStall(StallKind::kLoadingWait, waited_us);
+          if (journal_ != nullptr) {
+            journal_->Record(JournalEvent::kLoadingWait, pid.page_no,
+                             static_cast<uint64_t>(waited_us));
+          }
+        }
         continue;
       }
       if (fr.in_lru) {
@@ -228,7 +251,8 @@ Result<PageGuard> BufferPool::Fetch(PageId pid) {
     char* dst = fr.data.get();
     if (s.m_misses != nullptr) s.m_misses->Increment();
     const bool traced = trace_ != nullptr && trace_->enabled();
-    const bool timed = traced || m_miss_read_us_ != nullptr;
+    const bool timed = traced || m_miss_read_us_ != nullptr ||
+                       CurrentStallSink() != nullptr;
     std::chrono::steady_clock::time_point read_t0;
     int64_t span_begin = 0;
     if (timed) {
@@ -268,11 +292,15 @@ Result<PageGuard> BufferPool::Fetch(PageId pid) {
       s.mu.lock();
     }
     if (timed && st.ok()) {
+      const double read_us = std::chrono::duration<double, std::micro>(
+                                 std::chrono::steady_clock::now() - read_t0)
+                                 .count();
+      // The fetching thread was blocked for the whole read (sync) or from
+      // submit to completion wake-up (async); either way it is this
+      // query's I/O wait.
+      ChargeStall(StallKind::kIoWait, static_cast<int64_t>(read_us));
       if (m_miss_read_us_ != nullptr) {
-        m_miss_read_us_->Observe(
-            std::chrono::duration<double, std::micro>(
-                std::chrono::steady_clock::now() - read_t0)
-                .count());
+        m_miss_read_us_->Observe(read_us);
       }
       if (traced) {
         trace_->AddSpan("io", StrFormat("miss read %s",

@@ -75,6 +75,7 @@ class Counter;          // obs/metrics_registry.h
 class LogHistogram;     // obs/metrics_registry.h
 class MetricsRegistry;  // obs/metrics_registry.h
 class TraceCollector;   // obs/trace_collector.h
+class EventJournal;     // obs/event_journal.h
 
 /// RAII pin on a buffer-pool frame. Movable, not copyable; unpins on
 /// destruction. data() is valid while the guard is alive.
@@ -197,11 +198,13 @@ class BufferPool {
 
   /// Resolves this pool's metric handles (per-shard hits / misses /
   /// loading-waits, pool-wide logical reads / prefetch hits, miss-read
-  /// latency histogram) from `registry` and/or wires `trace` for miss and
-  /// prefetch spans. Either argument may be null. Call once, at a quiescent
-  /// point (Database's constructor does); publishing afterwards is
-  /// relaxed-atomic only and adds nothing to the unattached hot path.
-  void AttachObservability(MetricsRegistry* registry, TraceCollector* trace);
+  /// latency histogram) from `registry`, wires `trace` for miss and
+  /// prefetch spans and `journal` for loading-wait / eviction events. Any
+  /// argument may be null. Call once, at a quiescent point (Database's
+  /// constructor does); publishing afterwards is relaxed-atomic or
+  /// lock-free only and adds nothing to the unattached hot path.
+  void AttachObservability(MetricsRegistry* registry, TraceCollector* trace,
+                           EventJournal* journal = nullptr);
 
   /// The disk latch as this pool's annotations spell it. TSA matches
   /// capability *expressions*, so code that locks `disk()->latch()` under
@@ -289,6 +292,7 @@ class BufferPool {
   Counter* m_prefetch_hits_ = nullptr;
   LogHistogram* m_miss_read_us_ = nullptr;
   TraceCollector* trace_ = nullptr;
+  EventJournal* journal_ = nullptr;
   // Immutable after the ctor (the Shard contents are latched, the vector
   // itself never changes).
   std::vector<std::unique_ptr<Shard>> shards_;

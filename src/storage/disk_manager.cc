@@ -5,7 +5,9 @@
 #include <utility>
 
 #include "common/string_util.h"
+#include "obs/event_journal.h"
 #include "obs/metrics_registry.h"
+#include "obs/stall_tracker.h"
 #include "obs/trace_collector.h"
 
 namespace dpcf {
@@ -33,6 +35,9 @@ class CompletionScope {
     {
       MutexLock lock(&disk_->submit_mu_);
       --disk_->in_flight_;
+      if (disk_->m_in_flight_ != nullptr) {
+        disk_->m_in_flight_->Set(static_cast<double>(disk_->in_flight_));
+      }
     }
     disk_->submit_cv_.notify_all();
   }
@@ -69,8 +74,11 @@ DiskManager::~DiskManager() {
 }
 
 void DiskManager::AttachMetrics(MetricsRegistry* registry,
-                                TraceCollector* trace) {
+                                TraceCollector* trace,
+                                EventJournal* journal) {
   trace_ = trace;
+  journal_ = journal;
+  ring_latency_observed_ = registry != nullptr || journal != nullptr;
   if (registry == nullptr) return;
   m_reads_seq_ = registry->GetCounter(
       "disk_reads_total", "Physical page reads by class",
@@ -100,6 +108,24 @@ void DiskManager::AttachMetrics(MetricsRegistry* registry,
       "disk_submit_to_complete_us",
       "Wall time from ring submission to completion-callback return",
       1.0, 2.0, 20);
+  m_backpressure_stalls_ = registry->GetCounter(
+      "disk_backpressure_stalls_total",
+      "Producer waits on a full submission ring");
+  m_in_flight_ = registry->GetGauge(
+      "disk_in_flight_pages",
+      "Claimed submissions a completion worker is currently servicing");
+  const char* cls_names[2] = {"demand", "prefetch"};
+  for (int c = 0; c < 2; ++c) {
+    m_queue_wait_us_[c] = registry->GetHistogram(
+        "disk_queue_wait_us",
+        "Wall time a submission waited unclaimed on the ring, by class",
+        1.0, 2.0, 20, {{"class", cls_names[c]}});
+    m_service_time_us_[c] = registry->GetHistogram(
+        "disk_service_time_us",
+        "Wall time from worker claim to completion-callback return, "
+        "by class",
+        1.0, 2.0, 20, {{"class", cls_names[c]}});
+  }
 }
 
 void DiskManager::set_read_latency_us(int64_t us) {
@@ -187,12 +213,39 @@ DiskManager::SubmissionGuard::SubmissionGuard(DiskManager* disk)
 void DiskManager::SubmissionGuard::Add(ReadRequest req) {
   // Producer backpressure: never grow the ring past queue_depth. The wait
   // releases submit_mu_, so workers can keep claiming entries.
-  while (disk_->queue_.size() >= disk_->queue_depth_ &&
-         !disk_->stop_workers_) {
-    disk_->submit_cv_.wait(disk_->submit_mu_);
+  if (disk_->queue_.size() >= disk_->queue_depth_ &&
+      !disk_->stop_workers_) {
+    // A timed stall: attributed to the submitting query's StallScope,
+    // counted, and bracketed in the flight recorder.
+    const bool timed = disk_->ring_latency_observed_ ||
+                       CurrentStallSink() != nullptr;
+    const int64_t wait_t0 = timed ? SteadyNowUs() : 0;
+    if (disk_->m_backpressure_stalls_ != nullptr) {
+      disk_->m_backpressure_stalls_->Increment();
+    }
+    if (disk_->journal_ != nullptr) {
+      disk_->journal_->Record(JournalEvent::kBackpressureBegin,
+                              disk_->queue_.size());
+    }
+    while (disk_->queue_.size() >= disk_->queue_depth_ &&
+           !disk_->stop_workers_) {
+      disk_->submit_cv_.wait(disk_->submit_mu_);
+    }
+    if (timed) {
+      const int64_t waited_us = SteadyNowUs() - wait_t0;
+      ChargeStall(StallKind::kBackpressureWait, waited_us);
+      if (disk_->journal_ != nullptr) {
+        disk_->journal_->Record(JournalEvent::kBackpressureEnd,
+                                static_cast<uint64_t>(waited_us));
+      }
+    }
   }
-  if (disk_->m_submit_to_complete_us_ != nullptr) {
+  if (disk_->ring_latency_observed_) {
     req.submit_us = SteadyNowUs();
+  }
+  if (disk_->journal_ != nullptr) {
+    disk_->journal_->Record(JournalEvent::kRingSubmit, req.pid.page_no,
+                            req.cls == ReadClass::kPrefetch ? 1 : 0);
   }
   disk_->queue_.push_back(std::move(req));
   if (disk_->m_submitted_ != nullptr) disk_->m_submitted_->Increment();
@@ -250,11 +303,29 @@ void DiskManager::IoWorkerLoop() {
     if (m_queue_depth_ != nullptr) {
       m_queue_depth_->Set(static_cast<double>(queue_.size()));
     }
+    if (m_in_flight_ != nullptr) {
+      m_in_flight_->Set(static_cast<double>(in_flight_));
+    }
     submit_mu_.unlock();
     // A producer may be blocked on the full ring; the claim freed a slot.
     submit_cv_.notify_all();
     {
       CompletionScope done(this);
+      const size_t cls_idx = req.cls == ReadClass::kPrefetch ? 1 : 0;
+      // Claim timestamp: splits submit→complete into queue wait
+      // (submit→dispatch) and service time (dispatch→complete).
+      const int64_t dispatch_us = req.submit_us != 0 ? SteadyNowUs() : 0;
+      if (req.submit_us != 0) {
+        const int64_t queue_wait = dispatch_us - req.submit_us;
+        if (m_queue_wait_us_[cls_idx] != nullptr) {
+          m_queue_wait_us_[cls_idx]->Observe(
+              static_cast<double>(queue_wait));
+        }
+        if (journal_ != nullptr) {
+          journal_->Record(JournalEvent::kRingDispatch, req.pid.page_no,
+                           static_cast<uint64_t>(queue_wait));
+        }
+      }
       const bool traced = trace_ != nullptr && trace_->enabled();
       const int64_t span_begin = traced ? trace_->NowUs() : 0;
       const Status st = CopyPageImage(req.pid, req.dst, req.cls);
@@ -268,9 +339,21 @@ void DiskManager::IoWorkerLoop() {
             span_begin);
       }
       if (req.on_complete) req.on_complete(st);
-      if (m_submit_to_complete_us_ != nullptr && req.submit_us != 0) {
-        m_submit_to_complete_us_->Observe(
-            static_cast<double>(SteadyNowUs() - req.submit_us));
+      if (req.submit_us != 0) {
+        const int64_t complete_us = SteadyNowUs();
+        const int64_t service = complete_us - dispatch_us;
+        if (m_service_time_us_[cls_idx] != nullptr) {
+          m_service_time_us_[cls_idx]->Observe(
+              static_cast<double>(service));
+        }
+        if (m_submit_to_complete_us_ != nullptr) {
+          m_submit_to_complete_us_->Observe(
+              static_cast<double>(complete_us - req.submit_us));
+        }
+        if (journal_ != nullptr) {
+          journal_->Record(JournalEvent::kRingComplete, req.pid.page_no,
+                           static_cast<uint64_t>(service));
+        }
       }
     }
   }

@@ -50,6 +50,7 @@ class Gauge;            // obs/metrics_registry.h
 class LogHistogram;     // obs/metrics_registry.h
 class MetricsRegistry;  // obs/metrics_registry.h
 class TraceCollector;   // obs/trace_collector.h
+class EventJournal;     // obs/event_journal.h
 class CompletionScope;  // disk_manager.cc (friend below)
 
 /// Invoked exactly once per submitted request, off every disk latch, with
@@ -67,8 +68,11 @@ struct ReadRequest {
   char* dst = nullptr;
   ReadClass cls = ReadClass::kDemand;
   ReadCompletion on_complete;
-  /// Set by the queue at enqueue time when latency observation is attached;
-  /// 0 means unobserved. Internal — leave defaulted.
+  /// Set by the queue at enqueue time when latency observation is attached
+  /// (metrics or journal); 0 means unobserved. The claiming worker stamps
+  /// dispatch/complete itself, splitting submit→complete into queue wait
+  /// (submit→dispatch) and service time (dispatch→complete). Internal —
+  /// leave defaulted.
   int64_t submit_us = 0;
 };
 
@@ -222,12 +226,15 @@ class DiskManager {
   }
 
   /// Resolves this disk's metric handles (reads by class, writes, the
-  /// latency-knob gauge, submission-ring depth and submit→complete
-  /// latency) from `registry`, and wires `trace` for async read spans.
+  /// latency-knob gauge, submission-ring depth/in-flight gauges, the
+  /// per-class queue-wait / service-time / submit→complete latency
+  /// histograms and the backpressure-stall counter) from `registry`,
+  /// wires `trace` for async read spans and `journal` for ring events.
   /// Call once at a quiescent point (Database's constructor does); null
   /// detaches nothing and is ignored.
   void AttachMetrics(MetricsRegistry* registry,
-                     TraceCollector* trace = nullptr) EXCLUDES(mu_);
+                     TraceCollector* trace = nullptr,
+                     EventJournal* journal = nullptr) EXCLUDES(mu_);
 
  private:
   friend class BufferPool;  // names mu_ in its lock-order annotations
@@ -293,9 +300,18 @@ class DiskManager {
   Gauge* m_latency_us_ = nullptr;
   Counter* m_submitted_ = nullptr;
   Counter* m_cancelled_ = nullptr;
+  Counter* m_backpressure_stalls_ = nullptr;
   Gauge* m_queue_depth_ = nullptr;
+  Gauge* m_in_flight_ = nullptr;
   LogHistogram* m_submit_to_complete_us_ = nullptr;
+  // Indexed by ReadClass (0 = demand, 1 = prefetch).
+  LogHistogram* m_queue_wait_us_[2] = {nullptr, nullptr};
+  LogHistogram* m_service_time_us_[2] = {nullptr, nullptr};
+  /// True once any ring-latency observer (histograms or journal) is
+  /// attached: gates the submit/dispatch/complete clock reads.
+  bool ring_latency_observed_ = false;
   TraceCollector* trace_ = nullptr;
+  EventJournal* journal_ = nullptr;
 };
 
 }  // namespace dpcf

@@ -57,6 +57,7 @@ std::vector<Index*> Catalog::Indexes() const {
 Database::Database(DatabaseOptions options)
     : options_(options),
       trace_(options.observability.tracing),
+      journal_(options.observability.journal_events_per_thread),
       disk_(DiskManagerOptions{options.page_size, options.io_threads,
                                /*queue_depth=*/256}),
       pool_(&disk_, options.buffer_pool_pages,
@@ -65,8 +66,8 @@ Database::Database(DatabaseOptions options)
                               options.async_io}) {
   MetricsRegistry* registry =
       options_.observability.metrics ? &metrics_ : nullptr;
-  disk_.AttachMetrics(registry, &trace_);
-  pool_.AttachObservability(registry, &trace_);
+  disk_.AttachMetrics(registry, &trace_, journal());
+  pool_.AttachObservability(registry, &trace_, journal());
 }
 
 Result<Table*> Database::CreateTable(const std::string& name, Schema schema,

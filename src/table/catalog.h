@@ -14,6 +14,7 @@
 
 #include "common/status.h"
 #include "index/secondary_index.h"
+#include "obs/event_journal.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace_collector.h"
 #include "storage/buffer_pool.h"
@@ -53,6 +54,12 @@ struct ObservabilityOptions {
   /// Start with trace-event recording enabled. Off by default — spans read
   /// a clock; flip at runtime with Database::trace()->set_enabled(true).
   bool tracing = false;
+  /// Wire the flight-recorder event journal (obs/event_journal.h) into the
+  /// storage layer. On by default: recording is a lock-free ring append,
+  /// cheap enough to leave on in production (bench_obs_overhead gates it).
+  bool journal = true;
+  /// Per-thread journal ring capacity, in events.
+  size_t journal_events_per_thread = 4096;
 };
 
 struct DatabaseOptions {
@@ -118,6 +125,12 @@ class Database {
   /// options.observability.tracing and trace()->set_enabled().
   TraceCollector* trace() { return &trace_; }
 
+  /// Flight-recorder journal, or null when options.observability.journal
+  /// is off (callers treat a null journal as "don't record").
+  EventJournal* journal() {
+    return options_.observability.journal ? &journal_ : nullptr;
+  }
+
   /// Empties the buffer pool and zeroes the I/O counters — the state in
   /// which the paper times every plan.
   Status ColdCache();
@@ -142,6 +155,9 @@ class Database {
   DatabaseOptions options_;
   MetricsRegistry metrics_;
   TraceCollector trace_;
+  // Declared before disk_/pool_ so it is destroyed after them: the disk's
+  // io workers (joined in ~DiskManager) may record events to the end.
+  EventJournal journal_;
   DiskManager disk_;
   BufferPool pool_;
   Catalog catalog_;

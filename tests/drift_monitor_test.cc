@@ -1,0 +1,208 @@
+// Estimation-drift monitor (obs/drift_monitor.h): EWMA convergence,
+// K-consecutive raise hysteresis, clear-on-healthy, and the metric /
+// journal exposition — plus the Prometheus label-escaping edge cases the
+// new per-(table, expr) labeled families make load-bearing.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/run_statistics.h"
+#include "obs/drift_monitor.h"
+#include "obs/event_journal.h"
+#include "obs/metrics_registry.h"
+#include "tests/test_util.h"
+
+namespace dpcf {
+namespace {
+
+MonitorRecord Rec(const std::string& table, const std::string& label,
+                  double actual_dpc, double estimated_dpc) {
+  MonitorRecord rec;
+  rec.table = table;
+  rec.label = label;
+  rec.expr_text = label;
+  rec.mechanism = "count";
+  rec.actual_dpc = actual_dpc;
+  rec.actual_cardinality = 100;
+  rec.estimated_dpc = estimated_dpc;
+  rec.estimated_cardinality = 100;
+  return rec;
+}
+
+TEST(DriftMonitorTest, IgnoresRecordsWithoutEstimates) {
+  DriftMonitor dm;
+  MonitorRecord rec = Rec("T", "e0", 50, /*estimated_dpc=*/-1);
+  EXPECT_FALSE(dm.Observe(rec));
+  EXPECT_TRUE(dm.ActiveAlerts().empty());
+  EXPECT_EQ(dm.alerts_raised(), 0);
+}
+
+TEST(DriftMonitorTest, EwmaConvergesToTheObservedError) {
+  DriftMonitorOptions opts;
+  opts.alpha = 0.3;
+  opts.threshold_factor = 1000;  // never alert; this test is about the EWMA
+  DriftMonitor dm(opts);
+  // Constant q-error of 8x: the first observation seeds the EWMA at 8 and
+  // every subsequent fold keeps it there.
+  for (int i = 0; i < 5; ++i) {
+    dm.Observe(Rec("T", "e0", 10, 80));
+  }
+  // Now a run of accurate observations (q = 1): the EWMA decays toward 1
+  // geometrically, by a factor (1 - alpha) per fold.
+  MetricsRegistry reg;
+  dm.AttachObservability(&reg, nullptr);
+  double expect = 8;
+  for (int i = 0; i < 20; ++i) {
+    dm.Observe(Rec("T", "e0", 10, 10));
+    expect = opts.alpha * 1 + (1 - opts.alpha) * expect;
+  }
+  Gauge* g = reg.GetGauge("estimation_drift_q_error_factor", "",
+                          {{"table", "T"}, {"expr", "e0"}});
+  EXPECT_NEAR(g->value(), expect, 1e-9);
+  EXPECT_LT(g->value(), 1.01);  // converged to accurate
+}
+
+TEST(DriftMonitorTest, AlertNeedsKConsecutiveHighObservations) {
+  DriftMonitorOptions opts;
+  opts.threshold_factor = 4.0;
+  opts.consecutive_k = 3;
+  DriftMonitor dm(opts);
+  const MonitorRecord bad = Rec("T", "e0", 10, 100);  // q = 10
+  const MonitorRecord good = Rec("T", "e0", 10, 12);  // q = 1.2
+
+  // Two bad then one good: the streak resets, no alert.
+  EXPECT_FALSE(dm.Observe(bad));
+  EXPECT_FALSE(dm.Observe(bad));
+  EXPECT_FALSE(dm.Observe(good));
+  EXPECT_EQ(dm.alerts_raised(), 0);
+
+  // Three bad in a row: raise on exactly the K-th.
+  EXPECT_FALSE(dm.Observe(bad));
+  EXPECT_FALSE(dm.Observe(bad));
+  EXPECT_TRUE(dm.Observe(bad));
+  EXPECT_EQ(dm.alerts_raised(), 1);
+  std::vector<DriftAlert> alerts = dm.ActiveAlerts();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].table, "T");
+  EXPECT_EQ(alerts[0].expression, "e0");
+  EXPECT_GT(alerts[0].ewma_q_error, opts.threshold_factor);
+
+  // Staying bad keeps the alert active but does not re-raise.
+  EXPECT_TRUE(dm.Observe(bad));
+  EXPECT_EQ(dm.alerts_raised(), 1);
+}
+
+TEST(DriftMonitorTest, OneHealthyObservationClearsTheAlert) {
+  DriftMonitorOptions opts;
+  opts.threshold_factor = 4.0;
+  opts.consecutive_k = 2;
+  DriftMonitor dm(opts);
+  const MonitorRecord bad = Rec("T", "e0", 10, 100);
+  const MonitorRecord good = Rec("T", "e0", 10, 10);
+  dm.Observe(bad);
+  EXPECT_TRUE(dm.Observe(bad));
+  ASSERT_EQ(dm.ActiveAlerts().size(), 1u);
+
+  EXPECT_FALSE(dm.Observe(good));
+  EXPECT_TRUE(dm.ActiveAlerts().empty());
+
+  // Re-raising after a clear needs a full fresh streak — and counts as a
+  // second raise.
+  EXPECT_FALSE(dm.Observe(bad));
+  EXPECT_TRUE(dm.Observe(bad));
+  EXPECT_EQ(dm.alerts_raised(), 2);
+}
+
+TEST(DriftMonitorTest, SeriesAreIndependentPerTableAndExpression) {
+  DriftMonitorOptions opts;
+  opts.consecutive_k = 2;
+  DriftMonitor dm(opts);
+  // Interleaved observations: e0 drifts, e1 stays accurate. ObserveAll
+  // reports advisement as soon as any touched series alerts.
+  std::vector<MonitorRecord> round = {Rec("T", "e0", 10, 100),
+                                      Rec("T", "e1", 10, 10)};
+  EXPECT_FALSE(dm.ObserveAll(round));
+  EXPECT_TRUE(dm.ObserveAll(round));
+  std::vector<DriftAlert> alerts = dm.ActiveAlerts();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].expression, "e0");
+}
+
+TEST(DriftMonitorTest, RaisesAreCountedAndJournaled) {
+  DriftMonitorOptions opts;
+  opts.consecutive_k = 2;
+  MetricsRegistry reg;
+  EventJournal journal(16);
+  DriftMonitor dm(opts);
+  dm.AttachObservability(&reg, &journal);
+  dm.Observe(Rec("T", "e0", 10, 100));
+  dm.Observe(Rec("T", "e0", 10, 100));
+  EXPECT_EQ(reg.GetCounter("estimation_drift_alerts_total", "")->value(), 1);
+  std::vector<EventJournal::Event> events = journal.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type, JournalEvent::kDriftAlert);
+  EXPECT_EQ(events[0].a, 10000u);  // milli q-error: EWMA stayed at 10
+  EXPECT_EQ(events[0].b, 2u);      // observations at raise time
+}
+
+TEST(DriftMonitorTest, BadOptionsAreSanitized) {
+  DriftMonitorOptions opts;
+  opts.alpha = -2;
+  opts.threshold_factor = 0;
+  opts.consecutive_k = 0;
+  DriftMonitor dm(opts);
+  EXPECT_GT(dm.options().alpha, 0);
+  EXPECT_LE(dm.options().alpha, 1);
+  EXPECT_GE(dm.options().threshold_factor, 1);
+  EXPECT_GE(dm.options().consecutive_k, 1);
+}
+
+// ------------------------------------------- Prometheus label escaping
+
+TEST(PrometheusLabelEscapingTest, QuotesBackslashesAndNewlines) {
+  // Monitored expressions land in label values verbatim — e.g.
+  // expr="B < 10" is fine, but a label value containing a double quote,
+  // backslash or newline must be escaped per the text exposition format
+  // or every sample after it is unparseable.
+  MetricsRegistry reg;
+  reg.GetGauge("estimation_drift_q_error_factor", "help",
+               {{"table", "T"}, {"expr", "name=\"x\\y\"\nrest"}})
+      ->Set(2.0);
+  const std::string text = reg.PrometheusText();
+  EXPECT_NE(text.find("expr=\"name=\\\"x\\\\y\\\"\\nrest\""),
+            std::string::npos)
+      << text;
+  // The raw (unescaped) newline must not survive inside the value.
+  EXPECT_EQ(text.find("name=\"x\\y\"\nrest"), std::string::npos);
+}
+
+TEST(PrometheusLabelEscapingTest, HistogramChildLabelsAreEscaped) {
+  MetricsRegistry reg;
+  reg.GetHistogram("disk_queue_wait_us", "help", 1.0, 2.0, 4,
+                   {{"class", "de\"mand\\"}})
+      ->Observe(3.0);
+  const std::string text = reg.PrometheusText();
+  // Every _bucket line carries the escaped child label next to le=...
+  EXPECT_NE(text.find("class=\"de\\\"mand\\\\\",le=\"1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("disk_queue_wait_us_count{class=\"de\\\"mand\\\\\"}"),
+            std::string::npos)
+      << text;
+}
+
+TEST(PrometheusLabelEscapingTest, PlainValuesPassThroughUntouched) {
+  MetricsRegistry reg;
+  reg.GetHistogram("disk_service_time_us", "help", 1.0, 2.0, 4,
+                   {{"class", "prefetch"}})
+      ->Observe(5.0);
+  const std::string text = reg.PrometheusText();
+  EXPECT_NE(text.find("disk_service_time_us_count{class=\"prefetch\"}"),
+            std::string::npos)
+      << text;
+}
+
+}  // namespace
+}  // namespace dpcf

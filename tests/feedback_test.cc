@@ -363,6 +363,43 @@ TEST_F(FeedbackDriverTest, MonitoredRunReportsEstimatesAndActuals) {
   EXPECT_NE(xml.find("PageCount"), std::string::npos);
 }
 
+TEST_F(FeedbackDriverTest, PersistentMisestimationAdvisesReoptimization) {
+  FeedbackRunOptions options;
+  // Without this the driver's self-tuning DPC histograms silently fix the
+  // estimate after one run and there is no drift left to detect.
+  options.learn_dpc_histograms = false;
+  options.drift.threshold_factor = 4.0;
+  options.drift.consecutive_k = 3;
+  FeedbackDriver driver(db_.get(), &stats_, options);
+  SingleTableQuery q;
+  q.table = t_;
+  q.count_star = true;
+  q.count_col = kPadding;
+  // C2 is the identity permutation: Yao's independence assumption
+  // overestimates its DPC by far more than the 4x threshold.
+  q.pred.Add(PredicateAtom::Int64(kC2, CmpOp::kLt, 400));
+  for (int run = 0; run < 3; ++run) {
+    // Discard the correction between runs (fig6's per-query methodology):
+    // the optimizer keeps mis-estimating the same expression, which is
+    // exactly the drift the monitor exists to flag.
+    driver.hints()->Clear();
+    driver.store()->Clear();
+    ASSERT_OK_AND_ASSIGN(FeedbackOutcome out, driver.RunSingleTable(q));
+    EXPECT_EQ(out.reoptimization_advised, run == 2) << "run " << run;
+  }
+  const std::vector<DriftAlert> alerts =
+      driver.drift_monitor()->ActiveAlerts();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].table, "T");
+  EXPECT_GT(alerts[0].ewma_q_error, 4.0);
+
+  // Keeping the feedback makes the next run's estimate accurate, which
+  // clears the alert: advice stops as soon as the correction sticks.
+  ASSERT_OK_AND_ASSIGN(FeedbackOutcome fixed, driver.RunSingleTable(q));
+  EXPECT_FALSE(fixed.reoptimization_advised);
+  EXPECT_TRUE(driver.drift_monitor()->ActiveAlerts().empty());
+}
+
 TEST_F(FeedbackDriverTest, CardinalityInjectionCanBeDisabled) {
   FeedbackRunOptions options;
   options.inject_accurate_cardinalities = false;

@@ -69,6 +69,15 @@ TEST(LockRankTest, RanksAreAssignedAndOrdered) {
   EXPECT_LT(lock_rank::kDisk, lock_rank::kEstimationTracker);
   EXPECT_LT(lock_rank::kDisk, lock_rank::kMetricsRegistry);
   EXPECT_LT(lock_rank::kDisk, lock_rank::kTraceCollector);
+  // Obs leaf band (PR 9): the drift monitor registers per-series gauges
+  // while holding its own latch, so it must rank strictly below the
+  // registry; the journal's drain latch is never held on the Record path
+  // but still ranks as an obs leaf so Snapshot/Drain may be called while
+  // holding any storage or estimation latch.
+  EXPECT_LT(lock_rank::kEstimationTracker, lock_rank::kDriftMonitor);
+  EXPECT_LT(lock_rank::kDriftMonitor, lock_rank::kMetricsRegistry);
+  EXPECT_LT(lock_rank::kTraceCollector, lock_rank::kEventJournal);
+  EXPECT_LT(lock_rank::kEventJournal, lock_rank::kScanReadahead);
 
   DiskManager disk(kPageSize);
   EXPECT_EQ(disk.latch()->rank(), lock_rank::kDisk);
@@ -156,6 +165,27 @@ TEST(LockRankDeathTest, SubmissionRingAfterLeafLatchAborts) {
   Mutex leaf_mu(lock_rank::kExecMergedCpu);
   Mutex ring_mu(lock_rank::kDiskSubmission);
   EXPECT_DEATH(AcquireInOrder(&leaf_mu, &ring_mu),
+               "dpcf lock-rank violation");
+}
+
+TEST(LockRankDeathTest, DriftMonitorAfterRegistryAborts) {
+  // The drift monitor registers its per-series EWMA gauge from inside
+  // Observe() while holding its own latch (315 -> 320 is the sanctioned
+  // direction). The reverse — touching the monitor from registry render
+  // code — is rank 315 under a held rank 320 and must die.
+  Mutex registry_mu(lock_rank::kMetricsRegistry);
+  Mutex drift_mu(lock_rank::kDriftMonitor);
+  EXPECT_DEATH(AcquireInOrder(&registry_mu, &drift_mu),
+               "dpcf lock-rank violation");
+}
+
+TEST(LockRankDeathTest, JournalDrainUnderDrainAborts) {
+  // Record() is lock-free so it may run under any latch; the drain latch
+  // itself is an obs leaf — re-entering a journal drain from code already
+  // draining (or from any same-or-higher-ranked section) must die.
+  Mutex drain_a(lock_rank::kEventJournal);
+  Mutex drain_b(lock_rank::kEventJournal);
+  EXPECT_DEATH(AcquireInOrder(&drain_a, &drain_b),
                "dpcf lock-rank violation");
 }
 

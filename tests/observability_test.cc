@@ -377,27 +377,38 @@ TEST_F(PrefetchHitTest, FirstDemandFetchAfterPrefetchChargesOneHit) {
 // ------------------------------------------------- registry-backed monitors
 
 TEST(MonitorManagerStatsTest, RegistryBackedAndSharedAcrossManagers) {
+  // The monitor_* counters live on the Database's registry, so every
+  // manager on the same Database publishes into — and any reader reads
+  // back — the same totals. (The former InstrumentationStats struct
+  // accessor was just a copy of these counters and has been removed.)
   Database db;
   MonitorManager a(&db);
-  EXPECT_EQ(a.stats().single_table_plans, 0);
-  // The counters live on the Database, so a second (transient) manager
-  // reads the same totals.
-  db.metrics()
-      ->GetCounter("monitor_single_table_plans_total", "")
-      ->Increment(3);
+  Counter* plans =
+      db.metrics()->GetCounter("monitor_single_table_plans_total", "");
+  EXPECT_EQ(plans->value(), 0);
+  plans->Increment(3);
   MonitorManager b(&db);
-  EXPECT_EQ(a.stats().single_table_plans, 3);
-  EXPECT_EQ(b.stats().single_table_plans, 3);
+  EXPECT_EQ(
+      db.metrics()->GetCounter("monitor_single_table_plans_total", "")
+          ->value(),
+      3);
 }
 
-TEST(MonitorManagerStatsTest, MetricsOffYieldsZeros) {
+TEST(MonitorManagerStatsTest, MetricsOffPublishesNothing) {
   DatabaseOptions opts;
   opts.observability.metrics = false;
   Database db(opts);
   MonitorManager mm(&db);
-  InstrumentationStats s = mm.stats();
-  EXPECT_EQ(s.single_table_plans, 0);
-  EXPECT_EQ(s.scan_expressions, 0);
+  // With publication off the managers hold no counter handles; nothing
+  // ever lands in the registry.
+  EXPECT_EQ(
+      db.metrics()->GetCounter("monitor_single_table_plans_total", "")
+          ->value(),
+      0);
+  EXPECT_EQ(
+      db.metrics()->GetCounter("monitor_scan_expressions_total", "")
+          ->value(),
+      0);
 }
 
 // ----------------------------------------------------------- worker regions

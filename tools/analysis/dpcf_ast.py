@@ -93,6 +93,7 @@ RAII_TYPES = {
     "PageGuard": "guard",
     "SubmissionGuard": "lock",
     "CompletionScope": "scope",
+    "StallScope": "stall_scope",
     "lock_guard": "lock",
     "unique_lock": "lock",
     "scoped_lock": "lock",

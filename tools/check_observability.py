@@ -2,7 +2,7 @@
 """Validates an observability dump produced by a bench run with
 DPCF_OBS_DIR set (bench/bench_util.h, MaybeDumpObservability).
 
-Checks, over the four artifacts:
+Checks, over the five artifacts:
   trace.json    parses as Chrome trace_event JSON: a traceEvents list of
                 well-formed events (complete events carry a non-negative
                 duration) in the engine's known categories
@@ -13,6 +13,12 @@ Checks, over the four artifacts:
                   sum(misses)   == disk seq + rand reads
                   prefetch_hits <= disk prefetch reads
   metrics.json  counter values agree with metrics.prom sample for sample
+  journal.json  the flight-recorder dump has the documented shape: integer
+                capacity/thread/drop fields and a ts_us-sorted event list
+                whose types are all in the engine's event taxonomy; when
+                the run submitted async reads, the journal carries ring
+                events and metrics.prom carries the per-class
+                disk_queue_wait_us / disk_service_time_us histograms
   explain.txt   the annotated EXPLAIN ANALYZE plan shows actual and
                 estimated DPC per monitored expression
 
@@ -196,6 +202,95 @@ def check_json_agreement(text, samples):
     ok(f"metrics.json: {len(counters)} counters agree with metrics.prom")
 
 
+# Event taxonomy of src/obs/event_journal.h (JournalEventName). "none"
+# never appears in a dump but is legal in the enum.
+KNOWN_JOURNAL_EVENTS = {
+    "none", "ring_submit", "ring_dispatch", "ring_complete",
+    "backpressure_begin", "backpressure_end", "loading_wait",
+    "readahead_resize", "monitor_build", "monitor_merge", "eviction",
+    "drift_alert",
+}
+
+
+def check_journal(text):
+    """Validates journal.json; returns its parsed document (or None)."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as e:
+        fail(f"journal.json does not parse: {e}")
+        return None
+    for field in ("capacity_per_thread", "threads", "dropped_torn",
+                  "dropped_overwritten"):
+        if not isinstance(doc.get(field), int) or doc[field] < 0:
+            fail(f"journal.json '{field}' is not a non-negative int: "
+                 f"{doc.get(field)!r}")
+            return None
+    events = doc.get("events")
+    if not isinstance(events, list):
+        fail("journal.json 'events' is not a list")
+        return None
+    last_ts = 0
+    for i, e in enumerate(events):
+        for field in ("ts_us", "thread", "a", "b"):
+            if not isinstance(e.get(field), int) or e[field] < 0:
+                fail(f"journal event {i} '{field}' is not a "
+                     f"non-negative int: {e}")
+                return None
+        if e.get("type") not in KNOWN_JOURNAL_EVENTS:
+            fail(f"journal event {i} has unknown type {e.get('type')!r}")
+            return None
+        if e["ts_us"] < last_ts:
+            fail(f"journal event {i} breaks the ts_us sort order")
+            return None
+        last_ts = e["ts_us"]
+        if e["thread"] >= doc["threads"]:
+            fail(f"journal event {i} thread {e['thread']} out of range "
+                 f"(threads={doc['threads']})")
+            return None
+    if doc["threads"] > 0 and len(events) > \
+            doc["capacity_per_thread"] * doc["threads"]:
+        fail(f"journal.json holds {len(events)} events, more than "
+             f"capacity {doc['capacity_per_thread']} x {doc['threads']} "
+             "threads")
+        return None
+    ok(f"journal.json: {len(events)} events across {doc['threads']} "
+       f"thread ring(s), sorted and well-typed")
+    return doc
+
+
+def check_async_ring(samples, journal):
+    """When the run submitted async reads, the ring must have left both
+    its latency histograms and its flight-recorder events behind."""
+    submitted = family_sum(samples, "disk_async_submitted_total")
+    if submitted <= 0:
+        ok("no async submissions — ring attribution checks skipped")
+        return
+    for family in ("disk_queue_wait_us", "disk_service_time_us"):
+        classes = {
+            dict(ls).get("class")
+            for (n, ls), _ in samples.items()
+            if n == family + "_count"
+        }
+        classes.discard(None)
+        if not classes:
+            fail(f"{submitted:.0f} async submissions but metrics.prom "
+                 f"has no {family} samples")
+        elif not classes <= {"demand", "prefetch"}:
+            fail(f"{family} has unexpected class labels "
+                 f"{sorted(classes)}")
+        else:
+            ok(f"{family} present with classes {sorted(classes)}")
+    if journal is None:
+        return
+    types = {e["type"] for e in journal["events"]}
+    missing = {"ring_submit", "ring_complete"} - types
+    if journal["events"] and missing:
+        fail(f"{submitted:.0f} async submissions but journal.json lacks "
+             f"{sorted(missing)} events")
+    elif journal["events"]:
+        ok("journal.json carries ring submit/complete events")
+
+
 def check_explain(text):
     for needle in ("actual rows=", "actualDpc=", "estDpc="):
         if needle not in text:
@@ -213,6 +308,7 @@ def main():
     trace = load(args.dir, "trace.json")
     prom = load(args.dir, "metrics.prom")
     mjson = load(args.dir, "metrics.json")
+    journal = load(args.dir, "journal.json")
     explain = load(args.dir, "explain.txt")
     if errors:
         return 1
@@ -222,6 +318,8 @@ def main():
     check_naming(types)
     check_reconciliation(samples)
     check_json_agreement(mjson, samples)
+    journal_doc = check_journal(journal)
+    check_async_ring(samples, journal_doc)
     check_explain(explain)
 
     if errors:
