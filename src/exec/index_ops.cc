@@ -13,6 +13,8 @@ IndexSeekSource::IndexSeekSource(Index* index, BtreeKey lo, BtreeKey hi)
 Status IndexSeekSource::Open(ExecContext* ctx) {
   (void)ctx;
   done_ = false;
+  run_.clear();
+  run_pos_ = 0;
   DPCF_ASSIGN_OR_RETURN(it_, index_->tree()->SeekFirst(lo_));
   return Status::OK();
 }
@@ -20,18 +22,29 @@ Status IndexSeekSource::Open(ExecContext* ctx) {
 Result<bool> IndexSeekSource::Next(ExecContext* ctx, Rid* rid) {
   (void)ctx;
   if (done_) return false;
-  if (!it_.Valid() || hi_ < it_.key()) {
-    done_ = true;
-    return false;
+  if (run_pos_ >= run_.size()) {
+    if (!it_.Valid()) {
+      done_ = true;
+      return false;
+    }
+    DPCF_RETURN_IF_ERROR(it_.NextRun(hi_, &run_));
+    run_pos_ = 0;
+    if (run_.empty()) {
+      // The iterator stands on an entry past hi: range exhausted.
+      done_ = true;
+      return false;
+    }
   }
-  *rid = Rid::Unpack(it_.aux());
-  DPCF_RETURN_IF_ERROR(it_.Next());
+  *rid = Rid::Unpack(run_[run_pos_].aux);
+  ++run_pos_;
   return true;
 }
 
 Status IndexSeekSource::Close(ExecContext* ctx) {
   (void)ctx;
   it_ = BtreeIterator();
+  run_.clear();
+  run_pos_ = 0;
   return Status::OK();
 }
 

@@ -9,6 +9,7 @@
 
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "core/pid_monitor.h"
 #include "exec/operator.h"
@@ -30,7 +31,10 @@ class RidSource {
   virtual std::string Describe() const = 0;
 };
 
-/// B+-tree range lookup [lo, hi] emitting rids in key order.
+/// B+-tree range lookup [lo, hi] emitting rids in key order. Entries are
+/// pulled a leaf run at a time (BtreeIterator::NextRun) instead of one
+/// Next() per rid — same entries, same order, same page fetches, but the
+/// leaf is decoded in one tight loop rather than once per emitted rid.
 class IndexSeekSource : public RidSource {
  public:
   IndexSeekSource(Index* index, BtreeKey lo, BtreeKey hi);
@@ -47,6 +51,8 @@ class IndexSeekSource : public RidSource {
   BtreeKey lo_;
   BtreeKey hi_;
   BtreeIterator it_;
+  std::vector<BtreeEntry> run_;  // buffered current leaf run (<= one leaf)
+  size_t run_pos_ = 0;
   bool done_ = false;
 };
 

@@ -5,12 +5,19 @@
 #include <type_traits>
 #include <utility>
 
+#include "exec/simd.h"
+
 namespace dpcf {
 
 namespace {
 
-template <CmpOp Op, typename T>
-inline bool ApplyOp(const T& lhs, const T& rhs) {
+// INT64 atoms run on the dispatched SIMD table (exec/simd.h) — scalar,
+// AVX2 or NEON, all bit-for-bit identical. CHAR atoms stay on the scalar
+// memcmp loops below: fixed-width byte compares don't gather and the
+// workloads' string atoms are rare, so there is nothing to win.
+
+template <CmpOp Op>
+inline bool ApplyCmp(int lhs, int rhs) {
   if constexpr (Op == CmpOp::kEq) {
     return lhs == rhs;
   } else if constexpr (Op == CmpOp::kNe) {
@@ -47,55 +54,6 @@ inline auto DispatchOp(CmpOp op, F&& f) {
   return f(std::integral_constant<CmpOp, CmpOp::kEq>{});  // unreachable
 }
 
-/// Unaligned strided INT64 load straight from the page bytes (rows are not
-/// 8-byte multiples, so column values have no alignment guarantee).
-inline int64_t LoadInt64(const char* p) {
-  int64_t v;
-  std::memcpy(&v, p, sizeof(v));
-  return v;
-}
-
-// The comparators read column values directly from the page at
-// (row base + offset) instead of gathering them into a temporary array
-// first: every value is used exactly once per atom, so a gather pass only
-// adds a store+reload per row — and for later atoms it would touch all n
-// rows when only the |sel| survivors matter.
-
-// First atom: runs over the full batch, seeding the selection vector and
-// the leading counts (no separate init pass). Compaction is branch-light —
-// the candidate row index is written unconditionally and the write cursor
-// advances only on a hit. `WithLeading` is false on unmonitored scans: no
-// one reads leading[], so the kernel skips the per-row store entirely.
-template <CmpOp Op, bool WithLeading>
-uint32_t FilterInt64First(const RowBlock& block, size_t offset,
-                          int64_t operand, uint32_t n, uint32_t* sel,
-                          uint32_t* leading) {
-  uint32_t out = 0;
-  for (uint32_t r = 0; r < n; ++r) {
-    const bool hit = ApplyOp<Op>(LoadInt64(block.row(r) + offset), operand);
-    sel[out] = r;
-    if constexpr (WithLeading) leading[r] = hit;
-    out += hit;
-  }
-  return out;
-}
-
-// Later atoms: run only over the current selection vector.
-template <CmpOp Op, bool WithLeading>
-uint32_t FilterInt64Next(const RowBlock& block, size_t offset,
-                         int64_t operand, uint32_t* sel, uint32_t m,
-                         uint32_t* leading) {
-  uint32_t out = 0;
-  for (uint32_t i = 0; i < m; ++i) {
-    const uint32_t r = sel[i];
-    sel[out] = r;
-    const bool hit = ApplyOp<Op>(LoadInt64(block.row(r) + offset), operand);
-    if constexpr (WithLeading) leading[r] += hit;
-    out += hit;
-  }
-  return out;
-}
-
 // CHAR atoms: fixed-width memcmp against the page bytes in place (both
 // sides are space-padded to `width`, so lexicographic order on the padded
 // bytes equals the string_view comparison the row path does).
@@ -106,7 +64,7 @@ uint32_t FilterStringFirst(const RowBlock& block, size_t offset,
   uint32_t out = 0;
   for (uint32_t r = 0; r < n; ++r) {
     const int c = std::memcmp(block.row(r) + offset, operand, width);
-    const bool hit = ApplyOp<Op>(c, 0);
+    const bool hit = ApplyCmp<Op>(c, 0);
     sel[out] = r;
     if constexpr (WithLeading) leading[r] = hit;
     out += hit;
@@ -123,23 +81,11 @@ uint32_t FilterStringNext(const RowBlock& block, size_t offset,
     const uint32_t r = sel[i];
     sel[out] = r;
     const int c = std::memcmp(block.row(r) + offset, operand, width);
-    const bool hit = ApplyOp<Op>(c, 0);
+    const bool hit = ApplyCmp<Op>(c, 0);
     if constexpr (WithLeading) leading[r] += hit;
     out += hit;
   }
   return out;
-}
-
-// Dense (no-short-circuit) passes: the first atom writes the pass bitmap
-// outright (no memset), later atoms AND into it.
-template <CmpOp Op>
-void DenseInt64(const RowBlock& block, size_t offset, int64_t operand,
-                uint32_t n, uint8_t* pass, bool first) {
-  for (uint32_t r = 0; r < n; ++r) {
-    const uint8_t hit = static_cast<uint8_t>(
-        ApplyOp<Op>(LoadInt64(block.row(r) + offset), operand));
-    pass[r] = first ? hit : (pass[r] & hit);
-  }
 }
 
 template <CmpOp Op>
@@ -148,7 +94,7 @@ void DenseString(const RowBlock& block, size_t offset, uint32_t width,
                  bool first) {
   for (uint32_t r = 0; r < n; ++r) {
     const int c = std::memcmp(block.row(r) + offset, operand, width);
-    const uint8_t hit = static_cast<uint8_t>(ApplyOp<Op>(c, 0));
+    const uint8_t hit = static_cast<uint8_t>(ApplyCmp<Op>(c, 0));
     pass[r] = first ? hit : (pass[r] & hit);
   }
 }
@@ -185,44 +131,42 @@ uint32_t PredicateKernel::EvalBatch(RowBlock* block, CpuStats* cpu,
     }
     return n;
   }
+  const char* rows = block->rows_base();
+  const uint32_t stride = block->row_stride();
+  const size_t wl = leading != nullptr ? 1 : 0;
   uint32_t m = n;
   bool first = true;
   for (const Atom& a : atoms_) {
     if (m == 0) break;  // selection vector emptied: short-circuit
     cpu->predicate_atom_evals += m;
-    m = DispatchOp(a.op, [&](auto op_tag) -> uint32_t {
-      constexpr CmpOp Op = decltype(op_tag)::value;
-      if (leading != nullptr) {
-        if (!a.is_string) {
-          return first ? FilterInt64First<Op, true>(*block, a.offset,
+    if (!a.is_string) {
+      const size_t op = static_cast<size_t>(a.op);
+      m = first ? simd_->int64_filter_first[op][wl](rows, stride, a.offset,
                                                     a.int_operand, n, sel,
                                                     leading)
-                       : FilterInt64Next<Op, true>(*block, a.offset,
+                : simd_->int64_filter_next[op][wl](rows, stride, a.offset,
                                                    a.int_operand, sel, m,
                                                    leading);
+    } else {
+      m = DispatchOp(a.op, [&](auto op_tag) -> uint32_t {
+        constexpr CmpOp Op = decltype(op_tag)::value;
+        if (leading != nullptr) {
+          return first ? FilterStringFirst<Op, true>(*block, a.offset,
+                                                     a.width,
+                                                     a.str_operand.data(), n,
+                                                     sel, leading)
+                       : FilterStringNext<Op, true>(*block, a.offset, a.width,
+                                                    a.str_operand.data(), sel,
+                                                    m, leading);
         }
-        return first ? FilterStringFirst<Op, true>(*block, a.offset, a.width,
-                                                   a.str_operand.data(), n,
-                                                   sel, leading)
-                     : FilterStringNext<Op, true>(*block, a.offset, a.width,
-                                                  a.str_operand.data(), sel,
-                                                  m, leading);
-      }
-      if (!a.is_string) {
-        return first ? FilterInt64First<Op, false>(*block, a.offset,
-                                                   a.int_operand, n, sel,
-                                                   nullptr)
-                     : FilterInt64Next<Op, false>(*block, a.offset,
-                                                  a.int_operand, sel, m,
-                                                  nullptr);
-      }
-      return first ? FilterStringFirst<Op, false>(*block, a.offset, a.width,
-                                                  a.str_operand.data(), n,
-                                                  sel, nullptr)
-                   : FilterStringNext<Op, false>(*block, a.offset, a.width,
-                                                 a.str_operand.data(), sel,
-                                                 m, nullptr);
-    });
+        return first ? FilterStringFirst<Op, false>(*block, a.offset, a.width,
+                                                    a.str_operand.data(), n,
+                                                    sel, nullptr)
+                     : FilterStringNext<Op, false>(*block, a.offset, a.width,
+                                                   a.str_operand.data(), sel,
+                                                   m, nullptr);
+      });
+    }
     first = false;
   }
   return m;
@@ -235,18 +179,23 @@ void PredicateKernel::EvalBatchDense(RowBlock* block, CpuStats* cpu,
     std::memset(pass, 1, n);
     return;
   }
+  if (n == 0) return;  // keep null rows_base out of the kernels
+  const char* rows = block->rows_base();
+  const uint32_t stride = block->row_stride();
   bool first = true;
   for (const Atom& a : atoms_) {
     cpu->predicate_atom_evals += n;
-    DispatchOp(a.op, [&](auto op_tag) {
-      constexpr CmpOp Op = decltype(op_tag)::value;
-      if (!a.is_string) {
-        DenseInt64<Op>(*block, a.offset, a.int_operand, n, pass, first);
-      } else {
+    if (!a.is_string) {
+      simd_->int64_dense[static_cast<size_t>(a.op)](rows, stride, a.offset,
+                                                    a.int_operand, n, pass,
+                                                    first);
+    } else {
+      DispatchOp(a.op, [&](auto op_tag) {
+        constexpr CmpOp Op = decltype(op_tag)::value;
         DenseString<Op>(*block, a.offset, a.width, a.str_operand.data(), n,
                         pass, first);
-      }
-    });
+      });
+    }
     first = false;
   }
 }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "exec/predicate.h"
+#include "exec/simd.h"
 #include "storage/io_stats.h"
 #include "table/row_codec.h"
 
@@ -33,6 +34,11 @@ class PredicateKernel {
   /// An empty kernel evaluates TRUE for every row (zero atoms).
   PredicateKernel() = default;
   PredicateKernel(const Predicate& pred, const Schema* schema);
+
+  /// The SIMD table this kernel's INT64 comparators run on — snapshotted
+  /// from ActiveSimdOps() at construction, so a process-wide ISA override
+  /// (SetActiveSimd / DPCF_SIMD) applies to kernels built afterwards.
+  SimdIsa simd_isa() const { return simd_->isa; }
 
   size_t num_atoms() const { return atoms_.size(); }
 
@@ -68,6 +74,8 @@ class PredicateKernel {
     std::string str_operand;  // padded to `width`, like PredicateAtom
   };
   std::vector<Atom> atoms_;
+  // Never null; the default is whatever dispatch resolved for the process.
+  const SimdOps* simd_ = &ActiveSimdOps();
 };
 
 }  // namespace dpcf

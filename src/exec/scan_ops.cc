@@ -190,7 +190,7 @@ void TableScanOp::CollectOwnMonitorRecords(
 ClusteredRangeScanOp::ClusteredRangeScanOp(
     Table* table, Index* cluster_index, int64_t lo, int64_t hi,
     Predicate pushed, std::vector<int> projection,
-    std::unique_ptr<ScanMonitorBundle> monitors)
+    std::unique_ptr<ScanMonitorBundle> monitors, bool vectorized)
     : table_(table),
       cluster_index_(cluster_index),
       lo_(lo),
@@ -198,16 +198,29 @@ ClusteredRangeScanOp::ClusteredRangeScanOp(
       cluster_col_(table->cluster_key_col()),
       pushed_(std::move(pushed)),
       projection_(std::move(projection)),
-      monitors_(std::move(monitors)) {
+      monitors_(std::move(monitors)),
+      vectorized_(vectorized),
+      kernel_(pushed_, &table->schema()),
+      simd_(&ActiveSimdOps()),
+      block_(&table->schema()) {
   assert(cluster_col_ >= 0 && "range scan requires a clustered table");
 }
 
 Status ClusteredRangeScanOp::OpenImpl(ExecContext* ctx) {
-  (void)ctx;
   row_idx_ = 0;
   rows_in_page_ = 0;
   page_open_ = false;
   done_ = false;
+  sel_pos_ = 0;
+  sel_count_ = 0;
+  truncated_ = false;
+  batch_rows_hist_ =
+      vectorized_ && ctx->metrics() != nullptr
+          ? ctx->metrics()->GetHistogram(
+                "dpcf_scan_batch_rows",
+                "rows per vectorized predicate batch (one batch per page)",
+                1.0, 2.0, 12)
+          : nullptr;
   // Locate the first data page holding a key >= lo via the clustered-key
   // index (charges the descent I/O, like a real clustered seek).
   DPCF_ASSIGN_OR_RETURN(BtreeIterator it,
@@ -221,6 +234,11 @@ Status ClusteredRangeScanOp::OpenImpl(ExecContext* ctx) {
 }
 
 Result<bool> ClusteredRangeScanOp::NextImpl(ExecContext* ctx, Tuple* out) {
+  return vectorized_ ? NextVectorized(ctx, out) : NextRowAtATime(ctx, out);
+}
+
+Result<bool> ClusteredRangeScanOp::NextRowAtATime(ExecContext* ctx,
+                                                  Tuple* out) {
   if (done_) return false;
   const HeapFile* file = table_->file();
   const Schema* schema = &table_->schema();
@@ -269,6 +287,72 @@ Result<bool> ClusteredRangeScanOp::NextImpl(ExecContext* ctx, Tuple* out) {
     if (monitors_ != nullptr) monitors_->EndPage();
     guard_.Release();
     page_open_ = false;
+    ++page_idx_;
+  }
+}
+
+Result<bool> ClusteredRangeScanOp::NextVectorized(ExecContext* ctx,
+                                                  Tuple* out) {
+  if (done_) return false;
+  const HeapFile* file = table_->file();
+  const Schema* schema = &table_->schema();
+  CpuStats* cpu = ctx->cpu();
+  const size_t key_offset = schema->offset(static_cast<size_t>(cluster_col_));
+  while (true) {
+    if (!page_open_) {
+      if (page_idx_ >= file->page_count()) {
+        done_ = true;
+        return false;
+      }
+      auto guard = ctx->pool()->Fetch(PageId{file->segment(), page_idx_});
+      if (!guard.ok()) return guard.status();
+      guard_ = std::move(guard).value();
+      rows_in_page_ = HeapFile::PageRowCount(guard_.data());
+      page_open_ = true;
+      if (monitors_ != nullptr) monitors_->BeginPage(cpu, page_idx_);
+      // Leaf-run adapter: a clustered data page *is* a key-ordered run of
+      // the clustering leaf level, so binding the RowBlock truncated at
+      // the first key past hi turns the sorted-key early exit into a
+      // batch-size decision. The cutoff probe is uncharged, exactly like
+      // the row path's key peek, and rows at/after the cutoff are never
+      // evaluated or observed — same as the serial semantics.
+      const char* rows = HeapFile::PageRows(guard_.data());
+      const uint32_t run = simd_->int64_leading_le(
+          rows, block_.row_stride(), key_offset, hi_, rows_in_page_);
+      truncated_ = run < rows_in_page_;
+      block_.Reset(rows, run);
+      sel_.resize(run);
+      cpu->rows_processed += run;
+      uint32_t* leading_out = nullptr;
+      if (monitors_ != nullptr) {
+        leading_.resize(run);
+        leading_out = leading_.data();
+      }
+      sel_count_ = kernel_.EvalBatch(&block_, cpu, sel_.data(), leading_out);
+      sel_pos_ = 0;
+      if (monitors_ != nullptr) {
+        monitors_->ObserveBatch(&block_, leading_out, cpu,
+                                ctx->filter_slots());
+      }
+      if (batch_rows_hist_ != nullptr) {
+        batch_rows_hist_->Observe(static_cast<double>(run));
+      }
+    }
+    if (sel_pos_ < sel_count_) {
+      RowView row(block_.row(sel_[sel_pos_]), schema);
+      ++sel_pos_;
+      MaterializeProjection(row, projection_, out);
+      return true;
+    }
+    if (monitors_ != nullptr) monitors_->EndPage();
+    guard_.Release();
+    page_open_ = false;
+    if (truncated_) {
+      // The run stopped at an out-of-range key: sorted order says no later
+      // page can hold in-range rows.
+      done_ = true;
+      return false;
+    }
     ++page_idx_;
   }
 }

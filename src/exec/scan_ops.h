@@ -10,6 +10,7 @@
 #include "core/dpsample.h"
 #include "exec/operator.h"
 #include "exec/predicate_kernel.h"
+#include "exec/simd.h"
 #include "index/secondary_index.h"
 #include "table/catalog.h"
 
@@ -77,16 +78,28 @@ class TableScanOp : public Operator {
 /// first data page of [lo, hi] on the clustering column and scans data pages
 /// sequentially until the key range is exhausted. The pushed conjunction
 /// must include the range atoms (boundary pages carry out-of-range rows).
+///
+/// Like TableScanOp it has two equivalent paths. The vectorized one treats
+/// each data page as a key-ordered clustering-leaf run: the page's rows are
+/// bound to a RowBlock *truncated at the first out-of-range key* (found by
+/// the SIMD run-cutoff primitive, uncharged — the row path's key peek is
+/// uncharged too), then evaluated/observed as one batch. The sorted-key
+/// early exit therefore fires at the same row, and monitored feedback,
+/// DPSample draws, charges and tuples are bit-for-bit identical to the
+/// row-at-a-time oracle (tests/simd_dispatch_test.cc proves it).
 class ClusteredRangeScanOp : public Operator {
  public:
   ClusteredRangeScanOp(Table* table, Index* cluster_index, int64_t lo,
                        int64_t hi, Predicate pushed,
                        std::vector<int> projection,
-                       std::unique_ptr<ScanMonitorBundle> monitors = nullptr);
+                       std::unique_ptr<ScanMonitorBundle> monitors = nullptr,
+                       bool vectorized = true);
 
   std::string Describe() const override;
   void CollectOwnMonitorRecords(
       std::vector<MonitorRecord>* out) const override;
+
+  bool vectorized() const { return vectorized_; }
 
  protected:
   Status OpenImpl(ExecContext* ctx) override;
@@ -94,6 +107,9 @@ class ClusteredRangeScanOp : public Operator {
   Status CloseImpl(ExecContext* ctx) override;
 
  private:
+  Result<bool> NextRowAtATime(ExecContext* ctx, Tuple* out);
+  Result<bool> NextVectorized(ExecContext* ctx, Tuple* out);
+
   Table* table_;
   Index* cluster_index_;
   int64_t lo_;
@@ -102,6 +118,7 @@ class ClusteredRangeScanOp : public Operator {
   Predicate pushed_;
   std::vector<int> projection_;
   std::unique_ptr<ScanMonitorBundle> monitors_;
+  bool vectorized_;
 
   PageGuard guard_;
   PageNo page_idx_ = 0;
@@ -109,6 +126,19 @@ class ClusteredRangeScanOp : public Operator {
   uint32_t rows_in_page_ = 0;
   bool page_open_ = false;
   bool done_ = false;
+
+  // Vectorized-path state (see TableScanOp): current page's leaf run bound
+  // to block_, survivors in sel_[sel_pos_..sel_count_). truncated_ means
+  // the run hit the range's upper bound and the scan ends with this page.
+  PredicateKernel kernel_;
+  const SimdOps* simd_;
+  RowBlock block_;
+  std::vector<uint32_t> sel_;
+  std::vector<uint32_t> leading_;
+  uint32_t sel_pos_ = 0;
+  uint32_t sel_count_ = 0;
+  bool truncated_ = false;
+  LogHistogram* batch_rows_hist_ = nullptr;  // resolved at Open, may be null
 };
 
 /// Scan of index leaf pages for queries whose referenced columns are all

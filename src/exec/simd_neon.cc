@@ -1,0 +1,194 @@
+// NEON kernels for the SIMD layer (aarch64 builds only). Same contract as
+// simd_avx2.cc: outputs bit-for-bit identical to the scalar kernels, raw
+// intrinsics confined to this TU. NEON has no gather, so the two int64
+// lanes are assembled with unaligned scalar loads — the win comes from the
+// paired compare + mask extraction, which is enough to keep the dispatch
+// story uniform across ISAs rather than a large speedup.
+
+#include "exec/simd.h"
+
+#include <cstdint>
+
+#include "exec/simd_scalar.h"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <type_traits>
+
+namespace dpcf {
+namespace simd_internal {
+namespace {
+
+/// Loads rows r and r+1 of the strided column into a 2-lane vector.
+inline int64x2_t Load2(const char* rows, uint32_t stride, size_t offset,
+                       uint32_t r) {
+  int64x2_t v = vdupq_n_s64(LoadInt64(RowPtr(rows, stride, r) + offset));
+  return vsetq_lane_s64(LoadInt64(RowPtr(rows, stride, r + 1) + offset), v, 1);
+}
+
+/// 2-bit lane mask for the comparison (bit j set iff lane j satisfies Op).
+template <CmpOp Op>
+inline uint32_t Mask2(int64x2_t v, int64x2_t operand) {
+  uint64x2_t m;
+  bool invert = false;
+  if constexpr (Op == CmpOp::kEq) {
+    m = vceqq_s64(v, operand);
+  } else if constexpr (Op == CmpOp::kNe) {
+    m = vceqq_s64(v, operand);
+    invert = true;
+  } else if constexpr (Op == CmpOp::kGt) {
+    m = vcgtq_s64(v, operand);
+  } else if constexpr (Op == CmpOp::kLe) {
+    m = vcgtq_s64(v, operand);
+    invert = true;
+  } else if constexpr (Op == CmpOp::kLt) {
+    m = vcgtq_s64(operand, v);
+  } else {  // kGe
+    m = vcgtq_s64(operand, v);
+    invert = true;
+  }
+  const uint32_t bits =
+      static_cast<uint32_t>(vgetq_lane_u64(m, 0) & 1u) |
+      (static_cast<uint32_t>(vgetq_lane_u64(m, 1) & 1u) << 1);
+  return invert ? (bits ^ 0x3u) : bits;
+}
+
+template <CmpOp Op, bool WithLeading>
+uint32_t NeonFilterFirst(const char* rows, uint32_t stride, size_t offset,
+                         int64_t operand, uint32_t n, uint32_t* sel,
+                         uint32_t* leading) {
+  const int64x2_t opv = vdupq_n_s64(operand);
+  uint32_t out = 0;
+  uint32_t r = 0;
+  for (; r + 2 <= n; r += 2) {
+    const uint32_t bits = Mask2<Op>(Load2(rows, stride, offset, r), opv);
+    sel[out] = r;
+    out += bits & 1u;
+    sel[out] = r + 1;
+    out += (bits >> 1) & 1u;
+    if constexpr (WithLeading) {
+      leading[r] = bits & 1u;
+      leading[r + 1] = (bits >> 1) & 1u;
+    }
+  }
+  for (; r < n; ++r) {
+    const bool hit =
+        ApplyOpInt64<Op>(LoadInt64(RowPtr(rows, stride, r) + offset), operand);
+    sel[out] = r;
+    if constexpr (WithLeading) leading[r] = hit;
+    out += hit;
+  }
+  return out;
+}
+
+template <CmpOp Op, bool WithLeading>
+uint32_t NeonFilterNext(const char* rows, uint32_t stride, size_t offset,
+                        int64_t operand, uint32_t* sel, uint32_t m,
+                        uint32_t* leading) {
+  const int64x2_t opv = vdupq_n_s64(operand);
+  uint32_t out = 0;
+  uint32_t i = 0;
+  for (; i + 2 <= m; i += 2) {
+    const uint32_t r0 = sel[i];
+    const uint32_t r1 = sel[i + 1];
+    int64x2_t v = vdupq_n_s64(LoadInt64(RowPtr(rows, stride, r0) + offset));
+    v = vsetq_lane_s64(LoadInt64(RowPtr(rows, stride, r1) + offset), v, 1);
+    const uint32_t bits = Mask2<Op>(v, opv);
+    if constexpr (WithLeading) {
+      leading[r0] += bits & 1u;
+      leading[r1] += (bits >> 1) & 1u;
+    }
+    sel[out] = r0;
+    out += bits & 1u;
+    sel[out] = r1;
+    out += (bits >> 1) & 1u;
+  }
+  for (; i < m; ++i) {
+    const uint32_t r = sel[i];
+    sel[out] = r;
+    const bool hit =
+        ApplyOpInt64<Op>(LoadInt64(RowPtr(rows, stride, r) + offset), operand);
+    if constexpr (WithLeading) leading[r] += hit;
+    out += hit;
+  }
+  return out;
+}
+
+template <CmpOp Op>
+void NeonDense(const char* rows, uint32_t stride, size_t offset,
+               int64_t operand, uint32_t n, uint8_t* pass, bool first) {
+  const int64x2_t opv = vdupq_n_s64(operand);
+  uint32_t r = 0;
+  for (; r + 2 <= n; r += 2) {
+    const uint32_t bits = Mask2<Op>(Load2(rows, stride, offset, r), opv);
+    const uint8_t h0 = static_cast<uint8_t>(bits & 1u);
+    const uint8_t h1 = static_cast<uint8_t>((bits >> 1) & 1u);
+    pass[r] = first ? h0 : (pass[r] & h0);
+    pass[r + 1] = first ? h1 : (pass[r + 1] & h1);
+  }
+  for (; r < n; ++r) {
+    const uint8_t hit = static_cast<uint8_t>(
+        ApplyOpInt64<Op>(LoadInt64(RowPtr(rows, stride, r) + offset), operand));
+    pass[r] = first ? hit : (pass[r] & hit);
+  }
+}
+
+uint32_t NeonLeadingLe(const char* rows, uint32_t stride, size_t offset,
+                       int64_t bound, uint32_t n) {
+  const int64x2_t boundv = vdupq_n_s64(bound);
+  uint32_t r = 0;
+  for (; r + 2 <= n; r += 2) {
+    const uint32_t le = Mask2<CmpOp::kLe>(Load2(rows, stride, offset, r),
+                                          boundv);
+    if (le != 0x3u) return r + (le & 1u);
+  }
+  return r + ScalarLeadingLe(RowPtr(rows, stride, r), stride, offset, bound,
+                             n - r);
+}
+
+SimdOps BuildNeonOps() {
+  SimdOps t;
+  FillScalarOps(&t);
+  auto fill = [&t](auto op_tag) {
+    constexpr CmpOp Op = decltype(op_tag)::value;
+    constexpr size_t kOp = static_cast<size_t>(Op);
+    t.int64_filter_first[kOp][0] = &NeonFilterFirst<Op, false>;
+    t.int64_filter_first[kOp][1] = &NeonFilterFirst<Op, true>;
+    t.int64_filter_next[kOp][0] = &NeonFilterNext<Op, false>;
+    t.int64_filter_next[kOp][1] = &NeonFilterNext<Op, true>;
+    t.int64_dense[kOp] = &NeonDense<Op>;
+  };
+  fill(std::integral_constant<CmpOp, CmpOp::kEq>{});
+  fill(std::integral_constant<CmpOp, CmpOp::kNe>{});
+  fill(std::integral_constant<CmpOp, CmpOp::kLt>{});
+  fill(std::integral_constant<CmpOp, CmpOp::kLe>{});
+  fill(std::integral_constant<CmpOp, CmpOp::kGt>{});
+  fill(std::integral_constant<CmpOp, CmpOp::kGe>{});
+  t.int64_leading_le = &NeonLeadingLe;
+  t.isa = SimdIsa::kNeon;
+  return t;
+}
+
+}  // namespace
+
+const SimdOps* GetNeonSimdOps() {
+  static const SimdOps table = BuildNeonOps();
+  return &table;
+}
+
+}  // namespace simd_internal
+}  // namespace dpcf
+
+#else  // not an aarch64 build
+
+namespace dpcf {
+namespace simd_internal {
+
+const SimdOps* GetNeonSimdOps() { return nullptr; }
+
+}  // namespace simd_internal
+}  // namespace dpcf
+
+#endif

@@ -1,0 +1,139 @@
+// Scalar reference kernels for the SIMD layer — internal to the
+// src/exec/simd* translation units.
+//
+// These templates are the semantic oracle: every vector implementation
+// must match their outputs exactly, and they double as the tail loops the
+// vector TUs fall back to for the last (width-1) rows of a batch. They are
+// header-only so each ISA TU instantiates its own copies under its own
+// compile flags (the AVX2 TU's tails get compiled with -mavx2, which is
+// fine — these loops carry no intrinsics).
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "exec/predicate.h"
+#include "exec/simd.h"
+
+namespace dpcf {
+namespace simd_internal {
+
+template <CmpOp Op>
+inline bool ApplyOpInt64(int64_t lhs, int64_t rhs) {
+  if constexpr (Op == CmpOp::kEq) {
+    return lhs == rhs;
+  } else if constexpr (Op == CmpOp::kNe) {
+    return lhs != rhs;
+  } else if constexpr (Op == CmpOp::kLt) {
+    return lhs < rhs;
+  } else if constexpr (Op == CmpOp::kLe) {
+    return lhs <= rhs;
+  } else if constexpr (Op == CmpOp::kGt) {
+    return lhs > rhs;
+  } else {
+    return lhs >= rhs;
+  }
+}
+
+/// Unaligned strided INT64 load straight from the page bytes (rows are
+/// not 8-byte multiples, so column values have no alignment guarantee).
+inline int64_t LoadInt64(const char* p) {
+  int64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline const char* RowPtr(const char* rows, uint32_t stride, uint32_t r) {
+  return rows + static_cast<size_t>(r) * stride;
+}
+
+// The comparators read column values directly from the page at
+// (row base + offset) instead of gathering them into a temporary array
+// first: every value is used exactly once per atom, so a gather pass only
+// adds a store+reload per row — and for later atoms it would touch all n
+// rows when only the |sel| survivors matter.
+
+// First atom: runs over the full batch, seeding the selection vector and
+// the leading counts (no separate init pass). Compaction is branch-light —
+// the candidate row index is written unconditionally and the write cursor
+// advances only on a hit. `WithLeading` is false on unmonitored scans: no
+// one reads leading[], so the kernel skips the per-row store entirely.
+template <CmpOp Op, bool WithLeading>
+uint32_t ScalarFilterFirst(const char* rows, uint32_t stride, size_t offset,
+                           int64_t operand, uint32_t n, uint32_t* sel,
+                           uint32_t* leading) {
+  uint32_t out = 0;
+  for (uint32_t r = 0; r < n; ++r) {
+    const bool hit =
+        ApplyOpInt64<Op>(LoadInt64(RowPtr(rows, stride, r) + offset), operand);
+    sel[out] = r;
+    if constexpr (WithLeading) leading[r] = hit;
+    out += hit;
+  }
+  return out;
+}
+
+// Later atoms: run only over the current selection vector.
+template <CmpOp Op, bool WithLeading>
+uint32_t ScalarFilterNext(const char* rows, uint32_t stride, size_t offset,
+                          int64_t operand, uint32_t* sel, uint32_t m,
+                          uint32_t* leading) {
+  uint32_t out = 0;
+  for (uint32_t i = 0; i < m; ++i) {
+    const uint32_t r = sel[i];
+    sel[out] = r;
+    const bool hit =
+        ApplyOpInt64<Op>(LoadInt64(RowPtr(rows, stride, r) + offset), operand);
+    if constexpr (WithLeading) leading[r] += hit;
+    out += hit;
+  }
+  return out;
+}
+
+// Dense (no-short-circuit) pass: the first atom writes the pass bitmap
+// outright (no memset), later atoms AND into it.
+template <CmpOp Op>
+void ScalarDense(const char* rows, uint32_t stride, size_t offset,
+                 int64_t operand, uint32_t n, uint8_t* pass, bool first) {
+  for (uint32_t r = 0; r < n; ++r) {
+    const uint8_t hit = static_cast<uint8_t>(
+        ApplyOpInt64<Op>(LoadInt64(RowPtr(rows, stride, r) + offset), operand));
+    pass[r] = first ? hit : (pass[r] & hit);
+  }
+}
+
+/// First index whose value exceeds `bound` (rows sorted ascending).
+inline uint32_t ScalarLeadingLe(const char* rows, uint32_t stride,
+                                size_t offset, int64_t bound, uint32_t n) {
+  for (uint32_t r = 0; r < n; ++r) {
+    if (LoadInt64(RowPtr(rows, stride, r) + offset) > bound) return r;
+  }
+  return n;
+}
+
+/// Fills every table slot with the scalar kernels. Vector TUs call this
+/// first, then overwrite the entries they accelerate — any op they skip
+/// keeps the (already correct) scalar loop.
+inline void FillScalarOps(SimdOps* t) {
+  auto fill = [t](auto op_tag) {
+    constexpr CmpOp Op = decltype(op_tag)::value;
+    constexpr size_t kOp = static_cast<size_t>(Op);
+    t->int64_filter_first[kOp][0] = &ScalarFilterFirst<Op, false>;
+    t->int64_filter_first[kOp][1] = &ScalarFilterFirst<Op, true>;
+    t->int64_filter_next[kOp][0] = &ScalarFilterNext<Op, false>;
+    t->int64_filter_next[kOp][1] = &ScalarFilterNext<Op, true>;
+    t->int64_dense[kOp] = &ScalarDense<Op>;
+  };
+  fill(std::integral_constant<CmpOp, CmpOp::kEq>{});
+  fill(std::integral_constant<CmpOp, CmpOp::kNe>{});
+  fill(std::integral_constant<CmpOp, CmpOp::kLt>{});
+  fill(std::integral_constant<CmpOp, CmpOp::kLe>{});
+  fill(std::integral_constant<CmpOp, CmpOp::kGt>{});
+  fill(std::integral_constant<CmpOp, CmpOp::kGe>{});
+  t->int64_leading_le = &ScalarLeadingLe;
+}
+
+}  // namespace simd_internal
+}  // namespace dpcf

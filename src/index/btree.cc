@@ -191,6 +191,27 @@ Status BtreeIterator::Next() {
   return LoadCurrent();
 }
 
+Status BtreeIterator::NextRun(const BtreeKey& hi,
+                              std::vector<BtreeEntry>* out) {
+  out->clear();
+  if (!valid_) return Status::OK();
+  const LeafEntry* es = LeafEntries(guard_.data());
+  while (idx_ < leaf_count_) {
+    BtreeEntry e = ToEntry(es[idx_]);
+    if (hi < e.key) {
+      // Bound hit mid-leaf: stay on this entry so a later NextRun with a
+      // wider bound (or Next()) resumes here.
+      entry_ = e;
+      return Status::OK();
+    }
+    out->push_back(e);
+    ++idx_;
+  }
+  // Leaf drained: step to the next leaf (fetching it, exactly like the
+  // per-entry path, which must load a leaf to learn its first key).
+  return LoadCurrent();
+}
+
 Status Btree::Insert(const BtreeEntry& entry) {
   std::optional<SplitResult> split;
   DPCF_RETURN_IF_ERROR(InsertRec(root_, height_ - 1, entry, &split));

@@ -71,6 +71,18 @@ class BtreeIterator {
   /// Advances to the next entry; clears Valid() at the end of the index.
   Status Next();
 
+  /// Leaf-run iteration: appends to `out` (cleared first) every entry from
+  /// the current position with key <= hi, stopping at the end of the
+  /// current leaf — so one call drains at most one leaf and the caller
+  /// never buffers more than a leaf's worth of entries. On return the
+  /// iterator stands on the first unconsumed entry: the in-leaf entry that
+  /// exceeded hi, or the head of the next leaf (invalid at index end).
+  /// Performs exactly the page fetches the equivalent per-entry Next()
+  /// sequence would, in the same order, so I/O charging is identical. An
+  /// empty `out` with Valid() still set means the bound was hit — the
+  /// range is exhausted.
+  Status NextRun(const BtreeKey& hi, std::vector<BtreeEntry>* out);
+
  private:
   friend class Btree;
 

@@ -12,7 +12,9 @@
 //
 // Naming convention (machine-checked by the dpcf-metric-naming lint rule):
 // snake_case with a unit suffix — counters end in `_total`, gauges and
-// histograms in a unit such as `_us`, `_bytes`, `_pages`, `_rows`.
+// histograms in a unit such as `_us`, `_bytes`, `_pages`, `_rows`. A
+// constant gauge whose payload is a label value (the Prometheus info-metric
+// idiom, e.g. dpcf_simd_dispatch_info{isa="avx2"} 1) ends in `_info`.
 
 #pragma once
 

@@ -214,7 +214,8 @@ Result<OperatorPtr> BuildAccessPathOp(
       DPCF_RETURN_IF_ERROR(st);
       return OperatorPtr(std::make_unique<ClusteredRangeScanOp>(
           path.table, path.ranges[0].index, path.cluster_lo, path.cluster_hi,
-          path.full_pred, projection, std::move(bundle)));
+          path.full_pred, projection, std::move(bundle),
+          parallel.vectorized));
     }
     case AccessKind::kIndexSeek: {
       const IndexRange& r = path.ranges[0];

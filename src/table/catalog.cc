@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/string_util.h"
+#include "exec/simd.h"
 
 namespace dpcf {
 
@@ -68,6 +69,16 @@ Database::Database(DatabaseOptions options)
       options_.observability.metrics ? &metrics_ : nullptr;
   disk_.AttachMetrics(registry, &trace_, journal());
   pool_.AttachObservability(registry, &trace_, journal());
+  if (registry != nullptr) {
+    // Info gauge: constant 1, the label names the SIMD ISA the predicate
+    // kernels dispatched to (exec/simd.h) — so a metrics scrape can tell
+    // whether a perf regression line ran scalar or vectorized.
+    registry
+        ->GetGauge("dpcf_simd_dispatch_info",
+                   "active SIMD ISA for predicate kernels (label isa)",
+                   {{"isa", SimdIsaName(ActiveSimdIsa())}})
+        ->Set(1.0);
+  }
 }
 
 Result<Table*> Database::CreateTable(const std::string& name, Schema schema,

@@ -82,6 +82,12 @@ class RowBlock {
     return rows_ + static_cast<size_t>(r) * row_size_;
   }
 
+  /// Base pointer + stride of the bound page image, the form the SIMD
+  /// comparators consume (see exec/simd.h): row r lives at
+  /// rows_base() + r * row_stride().
+  const char* rows_base() const { return rows_; }
+  uint32_t row_stride() const { return row_size_; }
+
  private:
   const Schema* schema_;
   uint32_t row_size_;

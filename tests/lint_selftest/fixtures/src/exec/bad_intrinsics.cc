@@ -1,0 +1,17 @@
+// Fixture: violates dpcf-simd-intrinsics — raw vector intrinsics in an
+// exec TU that is not part of the src/exec/simd* layer.
+#include "exec/bad_intrinsics.h"
+
+namespace dpcf {
+
+uint32_t HandRolledAvx2(const char* rows, int64_t operand) {
+  __m256i v = _mm256_loadu_si256(rows);  // finding: raw x86 intrinsic
+  return CountMatches(v, operand);
+}
+
+uint64_t HandRolledNeon(const char* rows) {
+  int64x2_t v = vld1q_s64(rows);  // finding: raw NEON intrinsic
+  return Reduce(v);
+}
+
+}  // namespace dpcf

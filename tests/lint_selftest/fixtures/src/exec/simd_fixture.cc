@@ -1,0 +1,13 @@
+// Fixture: clean for dpcf-simd-intrinsics — intrinsics are fine in files
+// under the src/exec/simd* prefix (this mirrors simd_avx2.cc).
+#include "exec/simd.h"
+
+namespace dpcf {
+
+uint32_t KernelTableAvx2(const char* rows, int64_t operand) {
+  __m256i v = _mm256_loadu_si256(rows);  // allowed: inside the SIMD layer
+  int64x2_t w = vld1q_s64(rows);         // allowed: inside the SIMD layer
+  return Combine(v, w, operand);
+}
+
+}  // namespace dpcf

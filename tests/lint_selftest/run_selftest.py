@@ -29,6 +29,7 @@ VIOLATING = [
     ("dpcf-naked-new", ["src/bad_new.h", "src/bad_new.cc"], 3),
     ("dpcf-metric-naming", ["src/bad_metric.cc"], 3),
     ("dpcf-eval-in-morsel", ["src/exec/bad_scan_loop.cc"], 2),
+    ("dpcf-simd-intrinsics", ["src/exec/bad_intrinsics.cc"], 2),
 ]
 
 CLEAN = [
@@ -39,6 +40,7 @@ CLEAN = [
     ("dpcf-naked-new", ["src/good_new.h", "src/good_new.cc"]),
     ("dpcf-metric-naming", ["src/good_metric.cc"]),
     ("dpcf-eval-in-morsel", ["src/exec/good_scan_loop.cc"]),
+    ("dpcf-simd-intrinsics", ["src/exec/simd_fixture.cc"]),
     # Violations present but suppressed -> clean.
     ("dpcf-naked-new", ["src/suppressed.h", "src/suppressed.cc"]),
 ]

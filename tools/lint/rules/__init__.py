@@ -9,6 +9,7 @@ from rules import metric_naming
 from rules import mutex_annotation
 from rules import naked_new
 from rules import nondeterminism
+from rules import simd_intrinsics
 
 ALL_RULES = [
     mutex_annotation,
@@ -18,4 +19,5 @@ ALL_RULES = [
     naked_new,
     metric_naming,
     eval_in_morsel,
+    simd_intrinsics,
 ]

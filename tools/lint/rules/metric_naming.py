@@ -4,7 +4,9 @@ MetricsRegistry documents (obs/metrics_registry.h).
 Prometheus-style exposition only stays queryable if names are predictable:
 snake_case, with the family's kind readable off the suffix — counters end
 in `_total`, gauges and histograms in a unit (`_us`, `_ms`, `_bytes`,
-`_pages`, `_rows`, `_ratio`, `_factor`, `_ops`). The rule checks every
+`_pages`, `_rows`, `_ratio`, `_factor`, `_ops`), or `_info` for constant
+gauges whose payload is a label (Prometheus info-metric idiom, e.g.
+`dpcf_simd_dispatch_info{isa="avx2"} 1`). The rule checks every
 GetCounter / GetGauge / GetHistogram registration in src/ and bench/
 whose name is a string literal (dynamic names are out of regex reach and
 out of convention anyway).
@@ -15,13 +17,14 @@ import re
 RULE_ID = "dpcf-metric-naming"
 DESCRIPTION = ("metric names must be snake_case with a unit suffix "
                "(counters `_total`; gauges/histograms `_us`, `_ms`, "
-               "`_bytes`, `_pages`, `_rows`, `_ratio`, `_factor`, `_ops`)")
+               "`_bytes`, `_pages`, `_rows`, `_ratio`, `_factor`, `_ops`, "
+               "or `_info` for constant label-carrying gauges)")
 
 _CALL = re.compile(r"\bGet(Counter|Gauge|Histogram)\s*\(")
 _LITERAL = re.compile(r'"([^"\\]*)"')
 _SNAKE = re.compile(r"^[a-z][a-z0-9]*(?:_[a-z0-9]+)*$")
 _UNIT_SUFFIXES = ("_us", "_ms", "_seconds", "_bytes", "_pages", "_rows",
-                  "_ratio", "_factor", "_ops")
+                  "_ratio", "_factor", "_ops", "_info")
 
 
 def _in_scope(source):

@@ -1,0 +1,45 @@
+"""dpcf-simd-intrinsics: raw vector intrinsics outside src/exec/simd*.
+
+The SIMD layer (src/exec/simd.h, DESIGN.md section 16) confines ISA-
+specific code to per-ISA translation units selected by runtime dispatch:
+simd_avx2.cc is the only file compiled with -mavx2 and simd_neon.cc the
+only one assuming NEON. An `_mm256_*` call in any other TU either fails to
+compile (no -mavx2 there) or, worse, compiles because someone widened the
+flag and then SIGILLs on CPUs without the feature — and it bypasses the
+scalar-equivalence testing the dispatch table gets. The rule flags x86
+`_mm*_*` and ARM NEON-style (`vld1q_s64`, `vdupq_n_s64`, ...) intrinsic
+calls everywhere except files whose path starts with src/exec/simd.
+"""
+
+import re
+
+RULE_ID = "dpcf-simd-intrinsics"
+DESCRIPTION = ("raw SIMD intrinsics (_mm*/_mm256_*/vld1q_*-style) outside "
+               "src/exec/simd* — add a kernel to the SimdOps dispatch "
+               "table instead")
+
+# x86: _mm_*, _mm256_*, _mm512_* calls. ARM: NEON intrinsics are v<op>
+# optionally followed by digits/q and lane infixes, ending in a typed
+# suffix like _s64 / _u32 / _f64 (vld1q_s64, vgetq_lane_u64, vdupq_n_s64).
+_X86 = re.compile(r"\b_mm\d{0,3}_[a-z0-9_]+\s*\(")
+_NEON = re.compile(r"\bv[a-z]+\d*q?(?:_[a-z]+)*_[sufp]\d+\s*\(")
+
+_ALLOWED_PREFIX = "src/exec/simd"
+
+
+def _in_scope(source):
+    rel = source.rel.replace("\\", "/")
+    return not rel.startswith(_ALLOWED_PREFIX)
+
+
+def check(source):
+    if not _in_scope(source):
+        return
+    for i, line in enumerate(source.code_lines, start=1):
+        for pat, family in ((_X86, "x86"), (_NEON, "NEON")):
+            m = pat.search(line)
+            if m is not None:
+                name = m.group(0).rstrip("( \t")
+                yield (i, f"raw {family} intrinsic {name}() outside "
+                          "src/exec/simd* — route it through the SimdOps "
+                          "kernel table (src/exec/simd.h)")
